@@ -1,0 +1,3 @@
+(* Thin runner over the experiment library: no arguments = every table;
+   otherwise the experiment ids to regenerate (f1..f6, c3, a1..a3). *)
+let () = Experiments.run (List.tl (Array.to_list Sys.argv))

@@ -1,0 +1,246 @@
+(* proxykit command-line tool: self-tests, a scripted demo, key generation,
+   and a wire-blob inspector. *)
+
+open Cmdliner
+
+let hex_of_string s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let string_of_hex s =
+  if String.length s mod 2 <> 0 then Error "odd-length hex"
+  else
+    try
+      Ok
+        (String.init (String.length s / 2) (fun i ->
+             Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2))))
+    with _ -> Error "invalid hex"
+
+(* --- selftest --- *)
+
+let selftest () =
+  let failures = ref 0 in
+  let check name ok =
+    Printf.printf "  %-40s %s\n" name (if ok then "PASS" else "FAIL");
+    if not ok then incr failures
+  in
+  print_endline "crypto self-test:";
+  check "SHA-256 empty-string vector"
+    (Crypto.Sha256.hex_digest ""
+    = "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  check "SHA-256 'abc' vector"
+    (Crypto.Sha256.hex_digest "abc"
+    = "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  check "HMAC-SHA256 RFC 4231 case 2"
+    (Crypto.Sha256.to_hex (Crypto.Hmac.mac ~key:"Jefe" "what do ya want for nothing?")
+    = "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  let key = Crypto.Sha256.digest "k" and nonce = String.make 12 'n' in
+  check "ChaCha20 involution"
+    (Crypto.Chacha20.encrypt ~key ~nonce (Crypto.Chacha20.encrypt ~key ~nonce "roundtrip")
+    = "roundtrip");
+  let box = Crypto.Aead.seal ~key ~nonce "sealed payload" in
+  check "AEAD roundtrip" (Crypto.Aead.open_ ~key box = Some "sealed payload");
+  check "AEAD tamper detection"
+    (Crypto.Aead.open_ ~key { box with Crypto.Aead.tag = String.make 32 '\x00' } = None);
+  let drbg = Crypto.Drbg.create ~seed:"selftest" in
+  let rsa = Crypto.Rsa.generate drbg ~bits:512 in
+  let signature = Crypto.Rsa.sign rsa "message" in
+  check "RSA-512 sign/verify" (Crypto.Rsa.verify rsa.Crypto.Rsa.pub ~msg:"message" ~signature);
+  check "RSA rejects altered message"
+    (not (Crypto.Rsa.verify rsa.Crypto.Rsa.pub ~msg:"other" ~signature));
+  print_endline "proxy self-test:";
+  let alice = Principal.make ~realm:"self" "alice" in
+  let session_key = Crypto.Drbg.generate drbg 32 in
+  let proxy =
+    Proxy.grant_conventional ~drbg ~now:0 ~expires:1000 ~grantor:alice ~session_key ~base:"b"
+      ~restrictions:[ Restriction.Quota ("usd", 5) ]
+  in
+  let open_base _ =
+    Ok
+      {
+        Verifier.base_client = alice;
+        base_session_key = session_key;
+        base_expires = 1000;
+        base_restrictions = [];
+      }
+  in
+  let chain = match proxy.Proxy.flavor with Proxy.Conventional c -> c | _ -> assert false in
+  check "conventional grant/verify"
+    (Result.is_ok (Verifier.verify_conventional ~open_base ~now:1 chain));
+  check "expired proxy rejected"
+    (Result.is_error (Verifier.verify_conventional ~open_base ~now:2000 chain));
+  if !failures = 0 then begin
+    print_endline "all self-tests passed";
+    0
+  end
+  else begin
+    Printf.printf "%d self-test(s) FAILED\n" !failures;
+    1
+  end
+
+(* --- demo --- *)
+
+let demo seed verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let w = World.create ~seed () in
+  let alice, _ = World.enrol w "alice" in
+  let bob, _ = World.enrol w "bob" in
+  let fs_name, fs_key = World.enrol w "fileserver" in
+  let acl = Acl.create () in
+  Acl.add acl ~target:"report.txt"
+    { Acl.subject = Acl.Principal_is alice; rights = []; restrictions = [] };
+  let fs = File_server.create w.World.net ~me:fs_name ~my_key:fs_key ~acl () in
+  File_server.install fs;
+  File_server.put_direct fs ~path:"report.txt" "numbers are up";
+  Printf.printf "world (seed %S): kdc, file server, alice (owner), bob\n" seed;
+  let tgt = World.login w alice in
+  let cap =
+    match
+      Capability.mint_via_kdc w.World.net ~kdc:w.World.kdc_name ~tgt ~end_server:fs_name
+        ~target:"report.txt" ~ops:[ "read" ] ()
+    with
+    | Ok c -> c
+    | Error e -> failwith e
+  in
+  Printf.printf "alice minted a read capability for report.txt\n";
+  let creds_b = World.credentials_for w ~tgt:(World.login w bob) fs_name in
+  let presented =
+    File_server.attach w.World.net ~proxy:cap ~server:fs_name ~operation:"read"
+      ~path:"report.txt"
+  in
+  (match File_server.read w.World.net ~creds:creds_b ~proxies:[ presented ] ~path:"report.txt" () with
+  | Ok content -> Printf.printf "bob read through the capability: %S\n" content
+  | Error e -> Printf.printf "unexpected failure: %s\n" e);
+  (match File_server.read w.World.net ~creds:creds_b ~path:"report.txt" () with
+  | Error e -> Printf.printf "bob without the capability is refused: %s\n" e
+  | Ok _ -> print_endline "BUG: unauthorized read succeeded");
+  let m = Sim.Net.metrics w.World.net in
+  Printf.printf "totals: %d messages, %d bytes on the simulated network\n"
+    (Sim.Metrics.get m "net.messages") (Sim.Metrics.get m "net.bytes");
+  0
+
+(* --- keygen --- *)
+
+let keygen bits seed =
+  if bits < 512 then begin
+    prerr_endline "keygen: need at least 512 bits for SHA-256 signatures";
+    1
+  end
+  else begin
+    let drbg = Crypto.Drbg.create ~seed in
+    let key = Crypto.Rsa.generate drbg ~bits in
+    let pub_bytes = Crypto.Rsa.public_to_bytes key.Crypto.Rsa.pub in
+    Printf.printf "modulus bits: %d\n" (Bignum.Nat.bit_length key.Crypto.Rsa.pub.Crypto.Rsa.n);
+    Printf.printf "public key:   %s\n" (hex_of_string pub_bytes);
+    Printf.printf "fingerprint:  %s\n"
+      (String.sub (Crypto.Sha256.hex_digest pub_bytes) 0 16);
+    0
+  end
+
+(* --- inspect --- *)
+
+let inspect hex =
+  match string_of_hex hex with
+  | Error e ->
+      Printf.eprintf "inspect: %s\n" e;
+      1
+  | Ok bytes -> (
+      match Wire.decode bytes with
+      | Error e ->
+          Printf.eprintf "inspect: not a wire value: %s\n" e;
+          1
+      | Ok v ->
+          Format.printf "%a@." Wire.pp v;
+          (* If it parses as a restriction list or presentation, say so. *)
+          (match Restriction.list_of_wire v with
+          | Ok rs when rs <> [] ->
+              Format.printf "as restrictions:@.";
+              List.iter (fun r -> Format.printf "  - %a@." Restriction.pp r) rs
+          | Ok _ | Error _ -> ());
+          (match Proxy.presentation_of_wire v with
+          | Ok (Proxy.Conventional c) ->
+              Format.printf "as presentation: conventional chain, %d certificate(s)@."
+                (List.length c.Proxy.cert_blobs)
+          | Ok (Proxy.Public_key certs) ->
+              Format.printf "as presentation: public-key chain, %d certificate(s)@."
+                (List.length certs);
+              List.iter
+                (fun (c : Proxy_cert.pk_cert) ->
+                  Format.printf "  grantor %a, serial %s..., %d restriction(s)@." Principal.pp
+                    c.Proxy_cert.pk_body.Proxy_cert.grantor
+                    (String.sub c.Proxy_cert.pk_body.Proxy_cert.serial 0 8)
+                    (List.length c.Proxy_cert.pk_body.Proxy_cert.restrictions))
+                certs
+          | Ok (Proxy.Hybrid (head, blobs)) ->
+              Format.printf
+                "as presentation: hybrid, grantor %a for %a, %d cascade certificate(s)@."
+                Principal.pp head.Proxy_cert.h_body.Proxy_cert.grantor Principal.pp
+                head.Proxy_cert.h_end_server (List.length blobs)
+          | Error _ -> ());
+          (match Proxy.presentation_of_wire v with
+          | Ok pres ->
+              Format.printf "audit chain:@.%a@." Audit.pp_chain
+                (Audit.chain_of_presentation pres)
+          | Error _ -> ());
+          0)
+
+(* --- cmdliner wiring --- *)
+
+let selftest_cmd =
+  Cmd.v (Cmd.info "selftest" ~doc:"Run crypto and proxy self-tests")
+    Term.(const selftest $ const ())
+
+let demo_cmd =
+  let seed =
+    Arg.(value & opt string "demo" & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log every simulated network message")
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Run the capability demo scenario")
+    Term.(const demo $ seed $ verbose)
+
+let keygen_cmd =
+  let bits =
+    Arg.(value & opt int 512 & info [ "bits" ] ~docv:"BITS" ~doc:"RSA modulus size")
+  in
+  let seed =
+    Arg.(value & opt string "keygen" & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed")
+  in
+  Cmd.v (Cmd.info "keygen" ~doc:"Generate a deterministic RSA key pair")
+    Term.(const keygen $ bits $ seed)
+
+let inspect_cmd =
+  let blob = Arg.(required & pos 0 (some string) None & info [] ~docv:"HEX") in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Decode a hex-encoded wire value (restrictions, presentations)")
+    Term.(const inspect $ blob)
+
+let bench list_only ids =
+  if list_only then begin
+    List.iter (fun (id, desc, _) -> Printf.printf "  %-4s %s\n" id desc) Experiments.all;
+    0
+  end
+  else begin
+    Experiments.run ids;
+    0
+  end
+
+let bench_cmd =
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all)") in
+  let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit") in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Regenerate the paper's experiment tables (f1..f6, c3, a1..a3)")
+    Term.(const bench $ list_only $ ids)
+
+let main =
+  Cmd.group
+    (Cmd.info "proxykit" ~version:"1.0.0"
+       ~doc:"Restricted proxies for distributed authorization and accounting (Neuman, ICDCS '93)")
+    [ selftest_cmd; demo_cmd; keygen_cmd; inspect_cmd; bench_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/cascaded_printing.ml: Accounting_server Acl Capability Check Demo File_server Ledger List Pipeline Print_server Printf Sim String

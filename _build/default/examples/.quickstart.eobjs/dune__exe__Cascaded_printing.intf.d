@@ -1,0 +1,1 @@
+examples/cascaded_printing.mli:

@@ -1,0 +1,1 @@
+examples/demo.ml: Crypto Directory Format Kdc List Option Principal Printf Sim String

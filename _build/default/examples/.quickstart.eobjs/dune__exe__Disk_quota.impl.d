@@ -1,0 +1,1 @@
+examples/disk_quota.ml: Accounting_server Demo Disk_server Ledger Sim Standing String

@@ -1,0 +1,1 @@
+examples/ecommerce_checks.ml: Accounting_server Check Demo Ledger Sim String

@@ -1,0 +1,1 @@
+examples/federated_delegation.ml: Acl Demo Directory File_server Kdc List Principal Printf Restriction Sim Tgs_proxy

@@ -1,0 +1,1 @@
+examples/groups_and_delegation.ml: Acl Authz_server Capability Demo Group_server Guard Restriction Sim

@@ -1,0 +1,1 @@
+examples/groups_and_delegation.mli:

@@ -1,0 +1,1 @@
+examples/hybrid_and_audit.ml: Acl Audit Crypto Demo Directory Format Guard List Principal Proxy Restriction Sim String Ticket

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Acl Capability Demo File_server Principal

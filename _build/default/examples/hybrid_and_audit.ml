@@ -1,0 +1,123 @@
+(* The three cryptographic realizations side by side, and the audit trail.
+
+   Alice grants the same read capability three ways — conventional
+   (Kerberos-style seals), public-key (RSA chain), hybrid (Section 6.1:
+   signed certificate, symmetric proxy key encrypted to the end-server) —
+   and the same guard accepts all three. Then a delegate cascade shows the
+   audit trail: every intermediate that extended the chain is identified,
+   while a bearer cascade stays anonymous.
+
+   Run with: dune exec examples/hybrid_and_audit.exe *)
+
+module R = Restriction
+
+let () =
+  Demo.section "Setup";
+  let w = Demo.create_world ~seed:"hybrid audit" () in
+  let alice, _, alice_rsa = Demo.enrol_pk w "alice" in
+  let bob, _, bob_rsa = Demo.enrol_pk w "bob" in
+  let courier, _, courier_rsa = Demo.enrol_pk w "courier" in
+  let fs_name, fs_key = Demo.enrol w "fileserver" in
+  let fs_rsa = Crypto.Rsa.generate (Sim.Net.drbg w.Demo.net) ~bits:512 in
+  Directory.add_public w.Demo.dir fs_name fs_rsa.Crypto.Rsa.pub;
+  let acl = Acl.create () in
+  Acl.add acl ~target:"report.txt"
+    { Acl.subject = Acl.Principal_is alice; rights = []; restrictions = [] };
+  let guard =
+    Guard.create w.Demo.net ~me:fs_name ~my_key:fs_key ~lookup_pub:(Demo.lookup w)
+      ~my_rsa:fs_rsa ~acl ()
+  in
+  let now () = Sim.Net.now w.Demo.net in
+  let try_read proxy label =
+    let presented =
+      Guard.present ~proxy ~time:(now ()) ~server:fs_name ~operation:"read" ~target:"report.txt"
+        ()
+    in
+    Demo.outcome label
+      (Guard.decide guard ~operation:"read" ~target:"report.txt" ~proxies:[ presented ] ())
+  in
+
+  Demo.section "One model, three realizations";
+  (* Conventional: rooted in alice's ticket for the file server. *)
+  let tgt = Demo.login w alice in
+  let creds = Demo.credentials_for w ~tgt fs_name in
+  let conventional =
+    Proxy.grant_conventional ~drbg:(Sim.Net.drbg w.Demo.net) ~now:(now ())
+      ~expires:(now () + Demo.hour) ~grantor:alice ~session_key:creds.Ticket.session_key
+      ~base:creds.Ticket.ticket_blob
+      ~restrictions:[ R.Authorized [ { R.target = "report.txt"; ops = [ "read" ] } ] ]
+  in
+  try_read conventional "conventional (AEAD-sealed, HMAC possession)";
+  (* Public-key: RSA chain, verifiable by anyone who knows alice's key. *)
+  let pk =
+    Proxy.grant_pk ~drbg:(Sim.Net.drbg w.Demo.net) ~now:(now ()) ~expires:(now () + Demo.hour)
+      ~grantor:alice ~grantor_key:alice_rsa
+      ~restrictions:[ R.Authorized [ { R.target = "report.txt"; ops = [ "read" ] } ] ]
+      ()
+  in
+  try_read pk "public-key (RSA-signed chain, RSA possession)";
+  (* Hybrid: signed like pk, cheap symmetric possession, pinned to this
+     server by encryption. *)
+  let hybrid =
+    match
+      Proxy.grant_hybrid ~drbg:(Sim.Net.drbg w.Demo.net) ~now:(now ())
+        ~expires:(now () + Demo.hour) ~grantor:alice ~grantor_key:alice_rsa ~end_server:fs_name
+        ~end_server_pub:fs_rsa.Crypto.Rsa.pub
+        ~restrictions:[ R.Authorized [ { R.target = "report.txt"; ops = [ "read" ] } ] ]
+        ()
+    with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  try_read hybrid "hybrid (signed cert, sym key sealed to the server)";
+
+  Demo.section "Audit: delegate cascades identify every intermediate";
+  let delegated =
+    Proxy.grant_pk ~drbg:(Sim.Net.drbg w.Demo.net) ~now:(now ()) ~expires:(now () + Demo.hour)
+      ~grantor:alice ~grantor_key:alice_rsa
+      ~restrictions:
+        [ R.Grantee ([ bob ], 1);
+          R.Authorized [ { R.target = "report.txt"; ops = [ "read" ] } ] ]
+      ()
+  in
+  let via_bob =
+    match
+      Proxy.delegate_pk ~drbg:(Sim.Net.drbg w.Demo.net) ~now:(now ())
+        ~expires:(now () + Demo.hour) ~intermediate:bob ~intermediate_key:bob_rsa
+        ~restrictions:[ R.Grantee ([ courier ], 1) ]
+        delegated
+    with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let via_courier =
+    match
+      Proxy.delegate_pk ~drbg:(Sim.Net.drbg w.Demo.net) ~now:(now ())
+        ~expires:(now () + Demo.hour) ~intermediate:courier ~intermediate_key:courier_rsa
+        ~restrictions:[] via_bob
+    with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let pres = Proxy.presentation via_courier in
+  Format.printf "  delegation chain as the end-server sees it:@.%a@." Audit.pp_chain
+    (Audit.chain_of_presentation pres);
+  let intermediates = Audit.identified_intermediates pres in
+  Demo.step "identified intermediates: %s"
+    (String.concat ", " (List.map Principal.to_string intermediates));
+  assert (List.length intermediates = 2);
+
+  Demo.section "Bearer cascades stay anonymous (the other side of the trade)";
+  let bearer =
+    match
+      Proxy.restrict_pk ~drbg:(Sim.Net.drbg w.Demo.net) ~now:(now ())
+        ~expires:(now () + Demo.hour) ~restrictions:[ R.Quota ("pages", 1) ] pk
+    with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  Demo.step "bearer cascade intermediates identified: %d"
+    (List.length (Audit.identified_intermediates (Proxy.presentation bearer)));
+  print_endline
+    "\nhybrid_and_audit: one verification engine, three cryptosystems, and an audit trail\n\
+     exactly where the paper says delegate proxies leave one."

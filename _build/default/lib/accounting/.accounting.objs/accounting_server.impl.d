@@ -1,0 +1,1 @@
+lib/accounting/accounting_server.ml: Acl Check Crypto Granter Guard Hashtbl Ledger Option Principal Printf Proxy Restriction Result Secure_rpc Sim Standing String Ticket Verifier Wire

@@ -1,0 +1,1 @@
+lib/accounting/accounting_server.mli: Check Crypto Ledger Principal Proxy Sim Standing Ticket

@@ -1,0 +1,1 @@
+lib/accounting/check.ml: Crypto Principal Proxy Restriction Result Wire

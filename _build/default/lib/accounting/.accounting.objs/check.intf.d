@@ -1,0 +1,1 @@
+lib/accounting/check.mli: Crypto Principal Proxy Wire

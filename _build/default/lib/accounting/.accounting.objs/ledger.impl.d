@@ -1,0 +1,1 @@
+lib/accounting/ledger.ml: Hashtbl List Option Principal Printf Result

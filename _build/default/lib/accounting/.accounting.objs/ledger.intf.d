@@ -1,0 +1,1 @@
+lib/accounting/ledger.mli: Principal

@@ -1,0 +1,1 @@
+lib/accounting/standing.ml: Principal Proxy Restriction Result Wire

@@ -1,0 +1,1 @@
+lib/accounting/standing.mli: Crypto Principal Proxy Wire

@@ -1,0 +1,131 @@
+(** The distributed accounting service (paper Section 4, Figure 5).
+
+    Each server keeps a {!Ledger} of multi-currency accounts guarded by the
+    same ACL machinery end-servers use: opening an account installs an entry
+    permitting its owner to debit it, so a check — a delegate proxy whose
+    grantor is the owner — clears through the ordinary proxy-verification
+    path, with accept-once (the check number), quota (the face value), and
+    issued-for (this server) restrictions enforced by the guard.
+
+    Clearing follows Figure 5: the payee endorses the check to its own
+    server and deposits it; a server that is not the drawee endorses onward
+    and forwards a [collect] to the next hop (configurable routes model
+    longer intermediary chains); the drawee validates the whole endorsement
+    chain offline and debits the payor. Certified checks place a hold and
+    return a certification proxy signed by the server; cashier's checks are
+    drawn by the server on its own escrow account. *)
+
+type t
+
+val create :
+  Sim.Net.t ->
+  me:Principal.t ->
+  my_key:string ->
+  kdc:Principal.t ->
+  signing_key:Crypto.Rsa.private_ ->
+  lookup:(Principal.t -> Crypto.Rsa.public option) ->
+  ?proxy_lifetime_us:int ->
+  unit ->
+  (t, string) result
+(** [signing_key] signs endorsements, certification proxies, and cashier's
+    checks; [lookup] resolves account owners' and peer servers' public
+    keys. *)
+
+val install : t -> unit
+val me : t -> Principal.t
+val ledger : t -> Ledger.t
+(** Direct ledger access for provisioning (minting resource currencies). *)
+
+val account : t -> string -> Principal.Account.t
+(** Global name of a local account. *)
+
+val set_route : t -> drawee:Principal.t -> next_hop:Principal.t -> unit
+(** Forward checks drawn on [drawee] via [next_hop] (default: directly). *)
+
+(** {2 Client operations} — each an authenticated exchange. [creds] are the
+    caller's credentials for the accounting server. *)
+
+val open_account : Sim.Net.t -> creds:Ticket.credentials -> name:string -> (unit, string) result
+
+val balance :
+  Sim.Net.t -> creds:Ticket.credentials -> name:string -> currency:string ->
+  (int * int, string) result
+(** Owner only; returns (available, held). *)
+
+val transfer :
+  Sim.Net.t ->
+  creds:Ticket.credentials ->
+  from_:string ->
+  to_:string ->
+  currency:string ->
+  amount:int ->
+  (unit, string) result
+(** Local transfer between two accounts on this server (cross-server
+    movement travels by check). *)
+
+val deposit :
+  Sim.Net.t ->
+  creds:Ticket.credentials ->
+  endorser_key:Crypto.Rsa.private_ ->
+  check:Check.t ->
+  to_account:string ->
+  (int, string) result
+(** Endorse the check to the bank named by [creds] and deposit it into
+    [to_account]; returns the amount credited once the check has cleared all
+    the way to the drawee. A bounced check (insufficient funds, forged or
+    duplicate number) is an [Error] and credits nothing. *)
+
+val certify :
+  Sim.Net.t ->
+  creds:Ticket.credentials ->
+  check:Check.t ->
+  (Proxy.t, string) result
+(** Place a hold covering [check] (which the caller has drawn on its account
+    at this server) and return the certification proxy asserting that funds
+    are guaranteed. *)
+
+val cashier_check :
+  Sim.Net.t ->
+  creds:Ticket.credentials ->
+  from_account:string ->
+  payee:Principal.t ->
+  currency:string ->
+  amount:int ->
+  (Check.t, string) result
+(** Pay now, receive a check drawn by the server itself on its escrow
+    account — trusted because the server is its own drawee. *)
+
+val standing_debit :
+  Sim.Net.t ->
+  creds:Ticket.credentials ->
+  authority:Standing.t ->
+  to_account:string ->
+  amount:int ->
+  (int, string) result
+(** Resource-server side of quota allocation: draw [amount] of the
+    authority's currency from the grantor's account into [to_account]
+    (owned by the caller). The accounting server tracks the cumulative draw
+    per authority and refuses to exceed its quota. Returns the new
+    cumulative total. *)
+
+val standing_release :
+  Sim.Net.t ->
+  creds:Ticket.credentials ->
+  authority:Standing.t ->
+  from_account:string ->
+  amount:int ->
+  (int, string) result
+(** Quota release: return funds from [from_account] to the grantor and
+    lower the cumulative draw. Returns the new cumulative total. *)
+
+val verify_certification :
+  lookup:(Principal.t -> Crypto.Rsa.public option) ->
+  now:int ->
+  server:Principal.t ->
+  check_number:string ->
+  Proxy.t ->
+  (unit, string) result
+(** End-server side: check that a certification proxy really was issued by
+    [server] for [check_number] and is still valid. *)
+
+val escrow_account : string

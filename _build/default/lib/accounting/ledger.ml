@@ -1,0 +1,97 @@
+type account = {
+  acct_owner : Principal.t;
+  balances : (string, int) Hashtbl.t; (* currency -> available *)
+  holds : (string, string * int) Hashtbl.t; (* hold id -> currency, amount *)
+}
+
+type t = { accounts : (string, account) Hashtbl.t }
+
+let create () = { accounts = Hashtbl.create 16 }
+
+let open_account t ~owner ~name =
+  if Hashtbl.mem t.accounts name then Error (Printf.sprintf "account %S already exists" name)
+  else begin
+    Hashtbl.add t.accounts name
+      { acct_owner = owner; balances = Hashtbl.create 4; holds = Hashtbl.create 4 };
+    Ok ()
+  end
+
+let exists t ~name = Hashtbl.mem t.accounts name
+let owner t ~name = Option.map (fun a -> a.acct_owner) (Hashtbl.find_opt t.accounts name)
+let accounts t = Hashtbl.fold (fun k _ acc -> k :: acc) t.accounts [] |> List.sort compare
+
+let find t name =
+  match Hashtbl.find_opt t.accounts name with
+  | Some a -> Ok a
+  | None -> Error (Printf.sprintf "no such account %S" name)
+
+let balance t ~name ~currency =
+  match Hashtbl.find_opt t.accounts name with
+  | None -> 0
+  | Some a -> Option.value (Hashtbl.find_opt a.balances currency) ~default:0
+
+let held t ~name ~currency =
+  match Hashtbl.find_opt t.accounts name with
+  | None -> 0
+  | Some a ->
+      Hashtbl.fold (fun _ (c, amt) acc -> if c = currency then acc + amt else acc) a.holds 0
+
+let positive amount = if amount <= 0 then Error "amount must be positive" else Ok ()
+
+let credit t ~name ~currency amount =
+  Result.bind (positive amount) (fun () ->
+      Result.map
+        (fun a ->
+          Hashtbl.replace a.balances currency
+            (Option.value (Hashtbl.find_opt a.balances currency) ~default:0 + amount))
+        (find t name))
+
+let mint = credit
+
+let debit t ~name ~currency amount =
+  Result.bind (positive amount) (fun () ->
+      Result.bind (find t name) (fun a ->
+          let available = Option.value (Hashtbl.find_opt a.balances currency) ~default:0 in
+          if available < amount then
+            Error
+              (Printf.sprintf "insufficient funds: %S has %d %s, needs %d" name available
+                 currency amount)
+          else begin
+            Hashtbl.replace a.balances currency (available - amount);
+            Ok ()
+          end))
+
+let transfer t ~from_ ~to_ ~currency amount =
+  Result.bind (find t to_) (fun _ ->
+      Result.bind (debit t ~name:from_ ~currency amount) (fun () ->
+          credit t ~name:to_ ~currency amount))
+
+let hold t ~name ~id ~currency amount =
+  Result.bind (find t name) (fun a ->
+      if Hashtbl.mem a.holds id then Error (Printf.sprintf "hold %S already placed" id)
+      else
+        Result.map
+          (fun () -> Hashtbl.add a.holds id (currency, amount))
+          (debit t ~name ~currency amount))
+
+let find_hold t ~name ~id =
+  match Hashtbl.find_opt t.accounts name with
+  | None -> None
+  | Some a -> Hashtbl.find_opt a.holds id
+
+let take_hold t ~name ~id =
+  Result.bind (find t name) (fun a ->
+      match Hashtbl.find_opt a.holds id with
+      | None -> Error (Printf.sprintf "no hold %S on %S" id name)
+      | Some (currency, amount) ->
+          Hashtbl.remove a.holds id;
+          Ok (currency, amount))
+
+let release_hold t ~name ~id =
+  Result.bind (take_hold t ~name ~id) (fun (currency, amount) ->
+      credit t ~name ~currency amount)
+
+let total t ~currency =
+  Hashtbl.fold
+    (fun name _ acc -> acc + balance t ~name ~currency + held t ~name ~currency)
+    t.accounts 0

@@ -1,0 +1,1 @@
+lib/apps/disk_server.ml: Accounting_server Granter Hashtbl Principal Printf Result Secure_rpc Sim Standing String Wire

@@ -1,0 +1,1 @@
+lib/apps/disk_server.mli: Principal Sim Standing Ticket

@@ -1,0 +1,1 @@
+lib/apps/file_server.ml: Guard Hashtbl List Principal Printf Result Secure_rpc Sim String Wire

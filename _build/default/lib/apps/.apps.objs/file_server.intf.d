@@ -1,0 +1,1 @@
+lib/apps/file_server.mli: Acl Crypto Guard Principal Proxy Sim Ticket

@@ -1,0 +1,1 @@
+lib/apps/pipeline.ml: Crypto File_server Granter List Principal Printf Proxy Restriction Result Secure_rpc Sim String Wire

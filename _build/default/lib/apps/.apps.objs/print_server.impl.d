@@ -1,0 +1,1 @@
+lib/apps/print_server.ml: Accounting_server Check Crypto Granter Option Principal Printf Proxy Result Secure_rpc Sim String Wire

@@ -1,0 +1,1 @@
+lib/apps/print_server.mli: Check Crypto Principal Proxy Sim Ticket

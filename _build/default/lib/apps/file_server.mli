@@ -1,0 +1,66 @@
+(** A capability-protected file server: the running example of paper
+    Section 3.1.
+
+    Authorization is the guard's: direct ACL entries, capabilities
+    (restricted bearer proxies), group proxies, and authorization-server
+    proxies all work, alone or combined. Clients attach presentations to
+    each authenticated request. *)
+
+type t
+
+val create :
+  Sim.Net.t ->
+  me:Principal.t ->
+  my_key:string ->
+  ?lookup_pub:(Principal.t -> Crypto.Rsa.public option) ->
+  acl:Acl.t ->
+  unit ->
+  t
+
+val install : t -> unit
+val me : t -> Principal.t
+val acl : t -> Acl.t
+val put_direct : t -> path:string -> string -> unit
+(** Provision content without going through authorization (setup). *)
+
+val get_direct : t -> path:string -> string option
+
+(** {2 Client operations} *)
+
+val read :
+  Sim.Net.t ->
+  creds:Ticket.credentials ->
+  ?proxies:Guard.presented list ->
+  ?group_proxies:Guard.presented list ->
+  path:string ->
+  unit ->
+  (string, string) result
+
+val write :
+  Sim.Net.t ->
+  creds:Ticket.credentials ->
+  ?proxies:Guard.presented list ->
+  ?group_proxies:Guard.presented list ->
+  path:string ->
+  string ->
+  (unit, string) result
+
+val stat :
+  Sim.Net.t ->
+  creds:Ticket.credentials ->
+  ?proxies:Guard.presented list ->
+  ?group_proxies:Guard.presented list ->
+  path:string ->
+  unit ->
+  (int, string) result
+(** Size in bytes. *)
+
+val attach :
+  Sim.Net.t ->
+  proxy:Proxy.t ->
+  server:Principal.t ->
+  operation:string ->
+  path:string ->
+  Guard.presented
+(** Build the presentation for one file operation (binds the proof to
+    server/operation/path at the current virtual time). *)

@@ -1,0 +1,1 @@
+lib/authz/acl.ml: Format Hashtbl List Principal Restriction String

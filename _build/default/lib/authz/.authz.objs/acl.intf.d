@@ -1,0 +1,1 @@
+lib/authz/acl.mli: Format Principal Restriction

@@ -1,0 +1,1 @@
+lib/authz/audit.ml: Format List Principal Proxy Proxy_cert Sim String

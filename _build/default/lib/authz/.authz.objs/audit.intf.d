@@ -1,0 +1,1 @@
+lib/authz/audit.mli: Format Principal Proxy Sim

@@ -1,0 +1,1 @@
+lib/authz/authz_server.ml: Acl Granter Guard List Principal Printf Proxy Restriction Result Secure_rpc Sim String Wire

@@ -1,0 +1,1 @@
+lib/authz/authz_server.mli: Acl Crypto Guard Principal Proxy Sim Ticket

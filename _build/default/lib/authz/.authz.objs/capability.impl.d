@@ -1,0 +1,1 @@
+lib/authz/capability.ml: Kdc Proxy Restriction Sim Ticket

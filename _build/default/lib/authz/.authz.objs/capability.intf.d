@@ -1,0 +1,1 @@
+lib/authz/capability.mli: Crypto Principal Proxy Sim Ticket

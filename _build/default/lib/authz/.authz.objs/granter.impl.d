@@ -1,0 +1,1 @@
+lib/authz/granter.ml: Hashtbl Kdc Principal Printf Proxy Sim Ticket

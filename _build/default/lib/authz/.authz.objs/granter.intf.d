@@ -1,0 +1,1 @@
+lib/authz/granter.mli: Principal Proxy Restriction Sim Ticket

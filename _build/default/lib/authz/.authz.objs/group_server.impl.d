@@ -1,0 +1,1 @@
+lib/authz/group_server.ml: Acl Granter Guard List Principal Printf Proxy Restriction Result Secure_rpc Sim Wire

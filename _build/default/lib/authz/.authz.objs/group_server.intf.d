@@ -1,0 +1,1 @@
+lib/authz/group_server.mli: Crypto Guard Principal Proxy Sim Ticket

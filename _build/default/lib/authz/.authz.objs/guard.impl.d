@@ -1,0 +1,1 @@
+lib/authz/guard.ml: Acl Crypto Format List Logs Option Presentation Principal Printf Proxy Replay_cache Restriction Result Sim String Ticket Verifier Wire

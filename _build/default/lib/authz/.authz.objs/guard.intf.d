@@ -1,0 +1,1 @@
+lib/authz/guard.mli: Acl Crypto Presentation Principal Proxy Replay_cache Restriction Sim Wire

@@ -1,0 +1,1 @@
+lib/authz/tgs_proxy.ml: Guard Kdc List Restriction Sim Ticket

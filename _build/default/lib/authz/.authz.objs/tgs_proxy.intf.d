@@ -1,0 +1,1 @@
+lib/authz/tgs_proxy.mli: Principal Restriction Sim Ticket

@@ -1,0 +1,254 @@
+let log_src = Logs.Src.create "authz.guard" ~doc:"end-server authorization decisions"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  net : Sim.Net.t;
+  me : Principal.t;
+  my_key : string;
+  lookup_pub : Principal.t -> Crypto.Rsa.public option;
+  decrypt : string -> string option;
+  max_skew_us : int;
+  acl : Acl.t;
+  replay : Replay_cache.t;
+}
+
+let create net ~me ~my_key ?(lookup_pub = fun _ -> None) ?my_rsa
+    ?(max_skew_us = 5 * 60 * 1_000_000) ~acl () =
+  let decrypt =
+    match my_rsa with None -> fun _ -> None | Some key -> Crypto.Rsa.decrypt key
+  in
+  { net; me; my_key; lookup_pub; decrypt; max_skew_us; acl; replay = Replay_cache.create () }
+
+let me t = t.me
+let acl t = t.acl
+let replay_cache t = t.replay
+
+type presented = { pres : Proxy.presentation; pres_proof : Presentation.proof option }
+
+let presented_to_wire p =
+  let proof =
+    match p.pres_proof with None -> Wire.L [] | Some pr -> Presentation.proof_to_wire pr
+  in
+  Wire.L [ Proxy.presentation_to_wire p.pres; proof ]
+
+let presented_of_wire v =
+  let open Wire in
+  let* pw = field v 0 in
+  let* pres = Proxy.presentation_of_wire pw in
+  let* proof_w = field v 1 in
+  match proof_w with
+  | Wire.L [] -> Ok { pres; pres_proof = None }
+  | _ ->
+      let* proof = Presentation.proof_of_wire proof_w in
+      Ok { pres; pres_proof = Some proof }
+
+let present ~proxy ~time ~server ~operation ?(target = "") ?spend () =
+  let req = Restriction.request ~server ~time ~operation ~target ?spend () in
+  let proof =
+    Presentation.prove ~key:proxy.Proxy.key ~time
+      ~request_digest:(Presentation.digest_request req)
+  in
+  { pres = Proxy.presentation proxy; pres_proof = Some proof }
+
+let restrictions_of_auth_data auth_data =
+  List.map
+    (fun v ->
+      match Restriction.of_wire v with
+      | Ok r -> r
+      | Error _ -> Restriction.Unknown "malformed-authorization-data")
+    auth_data
+
+let transport_ok ~me ~now ~auth_data ~operation ?(target = "") ?spend () =
+  match restrictions_of_auth_data auth_data with
+  | [] -> Ok ()
+  | rs ->
+      let req = Restriction.request ~server:me ~time:now ~operation ~target ?spend () in
+      (match Restriction.check_all rs req with
+      | Ok () -> Ok ()
+      | Error e -> Error (Printf.sprintf "refused by credential restriction: %s" e))
+
+type decision = {
+  granted_by : Acl.subject;
+  acting_for : Principal.t list;
+  via_groups : Principal.Group.t list;
+  serials_used : string list;
+  restrictions_used : Restriction.t list;
+}
+
+(* Everything the guard learned about one successfully verified and
+   authorized proxy. *)
+type usable = {
+  u_grantor : Principal.t;
+  u_restrictions : Restriction.t list;
+  u_expires : int;
+  u_serials : string list;
+}
+
+let open_base t blob =
+  match Ticket.open_ ~service_key:t.my_key blob with
+  | Error e -> Error e
+  | Ok ticket ->
+      if not (Principal.equal ticket.Ticket.service t.me) then
+        Error "base ticket is for a different service"
+      else
+        Ok
+          {
+            Verifier.base_client = ticket.Ticket.client;
+            base_session_key = ticket.Ticket.session_key;
+            base_expires = ticket.Ticket.expires;
+            base_restrictions = restrictions_of_auth_data ticket.Ticket.authorization_data;
+          }
+
+let tally t name = Sim.Metrics.incr (Sim.Net.metrics t.net) name
+
+(* Verify a presented proxy and check it authorizes [req]; [Ok usable] if it
+   contributes its grantor's authority to the request. *)
+let evaluate t ~req (p : presented) =
+  match
+    Verifier.verify ~open_base:(open_base t) ~lookup:t.lookup_pub ~decrypt:t.decrypt ~me:t.me
+      ~tally:(tally t) ~now:req.Restriction.time p.pres
+  with
+  | Error e -> Error e
+  | Ok verified -> (
+      match
+        Verifier.authorize verified ~req ~proof:p.pres_proof ~max_skew:t.max_skew_us
+      with
+      | Error e -> Error e
+      | Ok () ->
+          Ok
+            {
+              u_grantor = verified.Verifier.grantor;
+              u_restrictions = verified.Verifier.restrictions;
+              u_expires = verified.Verifier.expires;
+              u_serials = verified.Verifier.serials;
+            })
+
+(* Groups named in the ACL that this group proxy could possibly assert. *)
+let candidate_groups t =
+  List.concat_map
+    (fun target ->
+      List.filter_map
+        (fun (e : Acl.entry) ->
+          let rec groups_of = function
+            | Acl.Group g -> [ g ]
+            | Acl.Compound subs -> List.concat_map groups_of subs
+            | Acl.Principal_is _ | Acl.Anyone -> []
+          in
+          match groups_of e.Acl.subject with [] -> None | gs -> Some gs)
+        (Acl.entries_for t.acl ~target)
+      |> List.concat)
+    (Acl.targets t.acl)
+
+let accept_once_ids restrictions =
+  List.filter_map
+    (function Restriction.Accept_once id -> Some id | _ -> None)
+    restrictions
+
+let decide t ~operation ?(target = "") ?presenter ?(extra_presenters = []) ?(proxies = [])
+    ?(group_proxies = []) ?spend () =
+  let now = Sim.Net.now t.net in
+  let presenters = Option.to_list presenter @ extra_presenters in
+  let seen id = Replay_cache.seen t.replay ~now id in
+  (* Pass 1: which groups do the group proxies prove?  A group proxy is used
+     with operation "assert-membership" on the group's local name. *)
+  let asserted =
+    List.concat_map
+      (fun gp ->
+        List.filter_map
+          (fun (g : Principal.Group.t) ->
+            let req =
+              Restriction.request ~server:t.me ~time:now ~operation:"assert-membership"
+                ~target:g.Principal.Group.group ~presenters
+                ~claimed_memberships:[ g.Principal.Group.group ] ~accept_once_seen:seen ()
+            in
+            match evaluate t ~req gp with
+            | Ok u when Principal.equal u.u_grantor g.Principal.Group.server -> Some (g, u)
+            | Ok _ | Error _ -> None)
+          (candidate_groups t))
+      group_proxies
+  in
+  let groups_asserted = List.map fst asserted in
+  (* Pass 2: which grantors do the regular proxies contribute for this
+     operation? *)
+  let req =
+    Restriction.request ~server:t.me ~time:now ~operation ~target ~presenters ~groups_asserted
+      ?spend ~accept_once_seen:seen ()
+  in
+  let contributions = List.map (fun p -> evaluate t ~req p) proxies in
+  let usable = List.filter_map Result.to_option contributions in
+  let facts =
+    {
+      Acl.principals = presenters @ List.map (fun u -> u.u_grantor) usable;
+      groups = groups_asserted;
+    }
+  in
+  match Acl.find_permitting t.acl ~target ~operation facts with
+  | None ->
+      Log.debug (fun m ->
+          m "%s: DENY %s on %S (presenters=%d proxies=%d/%d usable groups=%d)"
+            (Principal.to_string t.me) operation target (List.length presenters)
+            (List.length usable) (List.length proxies) (List.length groups_asserted));
+      let detail =
+        match (proxies, contributions) with
+        | _ :: _, _ when usable = [] ->
+            let first_error =
+              List.find_map (function Error e -> Some e | Ok _ -> None) contributions
+            in
+            Printf.sprintf " (no presented proxy was usable: %s)"
+              (Option.value first_error ~default:"?")
+        | _ -> ""
+      in
+      Error (Printf.sprintf "access denied: no ACL entry permits %s on %S%s" operation target detail)
+  | Some entry -> (
+      (* Enforce any restrictions recorded on the ACL entry itself. *)
+      match Restriction.check_all entry.Acl.restrictions req with
+      | Error e -> Error (Printf.sprintf "access denied by ACL entry restriction: %s" e)
+      | Ok () ->
+          (* Work out which proxies actually contributed to satisfying the
+             entry, and consume their accept-once identifiers. *)
+          let rec contributors subject =
+            match subject with
+            | Acl.Anyone -> ([], [])
+            | Acl.Principal_is p ->
+                if List.exists (Principal.equal p) presenters then ([], [])
+                else
+                  (Option.to_list (List.find_opt (fun u -> Principal.equal u.u_grantor p) usable), [])
+            | Acl.Group g -> (
+                match List.find_opt (fun (g', _) -> Principal.Group.equal g g') asserted with
+                | Some (_, u) -> ([ u ], [ g ])
+                | None -> ([], []))
+            | Acl.Compound subs ->
+                let parts = List.map contributors subs in
+                (List.concat_map fst parts, List.concat_map snd parts)
+          in
+          let used, via_groups = contributors entry.Acl.subject in
+          List.iter
+            (fun u ->
+              List.iter
+                (fun id ->
+                  match Replay_cache.record t.replay ~now ~expires:u.u_expires id with
+                  | Ok () -> ()
+                  | Error _ -> () (* already checked by accept_once_seen *))
+                (accept_once_ids u.u_restrictions))
+            used;
+          let decision =
+            {
+              granted_by = entry.Acl.subject;
+              acting_for = List.map (fun u -> u.u_grantor) used;
+              via_groups;
+              serials_used = List.concat_map (fun u -> u.u_serials) used;
+              restrictions_used = List.concat_map (fun u -> u.u_restrictions) used;
+            }
+          in
+          Log.debug (fun m ->
+              m "%s: GRANT %s on %S via %s" (Principal.to_string t.me) operation target
+                (Format.asprintf "%a" Acl.pp_subject entry.Acl.subject));
+          Sim.Trace.record (Sim.Net.trace t.net) ~time:now ~actor:(Principal.to_string t.me)
+            (Printf.sprintf "granted %s on %S to %s via [%s]%s" operation target
+               (match presenter with Some p -> Principal.to_string p | None -> "<anonymous>")
+               (Format.asprintf "%a" Acl.pp_subject entry.Acl.subject)
+               (match decision.acting_for with
+               | [] -> ""
+               | ps -> " acting-for " ^ String.concat "," (List.map Principal.to_string ps)));
+          Ok decision)

@@ -1,0 +1,102 @@
+(** The end-server authorization engine (paper Section 3.5).
+
+    Every application server bases authorization on a local ACL. The guard
+    combines, for one request:
+
+    - the caller's authenticated identity (from the secure-RPC ticket),
+    - any restricted proxies presented (each contributing its grantor's
+      authority, limited by its restrictions),
+    - any group proxies presented (each proving membership in groups
+      maintained by the granting group server),
+    - compound ACL entries requiring several of the above to concur,
+    - the server's accept-once replay cache, and
+    - per-entry restrictions recorded in the ACL itself.
+
+    Capabilities, centrally-administered authorization, and plain ACLs are
+    all the same decision: a capability is a bearer proxy whose grantor the
+    ACL names; delegating to an authorization server is one ACL entry naming
+    that server. *)
+
+type t
+
+val create :
+  Sim.Net.t ->
+  me:Principal.t ->
+  my_key:string ->
+  ?lookup_pub:(Principal.t -> Crypto.Rsa.public option) ->
+  ?my_rsa:Crypto.Rsa.private_ ->
+  ?max_skew_us:int ->
+  acl:Acl.t ->
+  unit ->
+  t
+(** [my_rsa] enables accepting hybrid proxies (their symmetric proxy key is
+    encrypted to this server's public key). *)
+
+val me : t -> Principal.t
+val acl : t -> Acl.t
+val replay_cache : t -> Replay_cache.t
+
+(** A proxy as it arrives at the server: certificates plus (for bearer
+    proxies) a proof of possession bound to this request. *)
+type presented = { pres : Proxy.presentation; pres_proof : Presentation.proof option }
+
+val presented_to_wire : presented -> Wire.t
+val presented_of_wire : Wire.t -> (presented, string) result
+
+val present :
+  proxy:Proxy.t ->
+  time:int ->
+  server:Principal.t ->
+  operation:string ->
+  ?target:string ->
+  ?spend:string * int ->
+  unit ->
+  presented
+(** Client side: build the presentation for a specific request. The proof
+    binds server/operation/target/spend, so it cannot be replayed for
+    anything else. *)
+
+type decision = {
+  granted_by : Acl.subject;  (** the ACL entry that matched *)
+  acting_for : Principal.t list;
+      (** proxy grantors whose authority contributed *)
+  via_groups : Principal.Group.t list;  (** memberships that contributed *)
+  serials_used : string list;  (** certificate serials (audit trail) *)
+  restrictions_used : Restriction.t list;
+      (** full restriction set of the proxies that contributed (e.g. for
+          cumulative quota tracking by accounting servers) *)
+}
+
+val decide :
+  t ->
+  operation:string ->
+  ?target:string ->
+  ?presenter:Principal.t ->
+  ?extra_presenters:Principal.t list ->
+  ?proxies:presented list ->
+  ?group_proxies:presented list ->
+  ?spend:string * int ->
+  unit ->
+  (decision, string) result
+(** Evaluate one request. On success, accept-once identifiers carried by
+    the proxies that contributed are recorded in the replay cache (a second
+    presentation of the same check bounces). *)
+
+val restrictions_of_auth_data : Wire.t list -> Restriction.t list
+(** Decode ticket/authenticator authorization-data into restrictions;
+    undecodable entries become [Unknown] (fail-closed). *)
+
+val transport_ok :
+  me:Principal.t ->
+  now:int ->
+  auth_data:Wire.t list ->
+  operation:string ->
+  ?target:string ->
+  ?spend:string * int ->
+  unit ->
+  (unit, string) result
+(** Enforce the restrictions carried by the caller's own credentials (the
+    ticket's authorization-data) against this request. This is what makes
+    "the initial authentication ... itself the granting of a proxy"
+    (Section 6.3) real: a server must refuse a request that the transport
+    credentials' restrictions forbid, whoever else vouches for it. *)

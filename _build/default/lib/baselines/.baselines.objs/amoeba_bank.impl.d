@@ -1,0 +1,1 @@
+lib/baselines/amoeba_bank.ml: Hashtbl Option Principal Printf Result Sim Wire

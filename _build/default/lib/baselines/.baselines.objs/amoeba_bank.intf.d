@@ -1,0 +1,1 @@
+lib/baselines/amoeba_bank.mli: Principal Sim

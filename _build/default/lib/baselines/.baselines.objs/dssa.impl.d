@@ -1,0 +1,1 @@
+lib/baselines/dssa.ml: Bignum Crypto List Principal Printf Result Sim Wire

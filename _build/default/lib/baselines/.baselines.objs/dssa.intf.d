@@ -1,0 +1,1 @@
+lib/baselines/dssa.mli: Crypto Principal Sim

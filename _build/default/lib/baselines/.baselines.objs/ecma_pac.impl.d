@@ -1,0 +1,1 @@
+lib/baselines/ecma_pac.ml: Crypto Hashtbl List Principal Result Sim Wire

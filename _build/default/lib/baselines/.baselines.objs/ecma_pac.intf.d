@@ -1,0 +1,1 @@
+lib/baselines/ecma_pac.mli: Crypto Principal Sim

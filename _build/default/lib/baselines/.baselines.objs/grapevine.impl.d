@@ -1,0 +1,1 @@
+lib/baselines/grapevine.ml: Hashtbl List Principal Result Sim Wire

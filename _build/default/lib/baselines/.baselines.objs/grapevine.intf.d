@@ -1,0 +1,1 @@
+lib/baselines/grapevine.mli: Principal Sim

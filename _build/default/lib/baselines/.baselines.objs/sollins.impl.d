@@ -1,0 +1,1 @@
+lib/baselines/sollins.ml: Crypto Hashtbl List Principal Result Sim Wire

@@ -1,0 +1,1 @@
+lib/baselines/sollins.mli: Principal Sim Wire

@@ -1,0 +1,52 @@
+(** Baseline: the Amoeba bank server (Mullender & Tanenbaum), as contrasted
+    in paper Section 5.
+
+    "A client must contact the bank and transfer funds into the server's
+    account before it contacts the server. The server will then provide
+    services until the pre-paid funds have been exhausted." The pre-payment
+    round-trip before first service, and the server's balance check, are the
+    message costs the F5 bench compares against proxy checks. Multiple
+    currencies are supported, as in Amoeba. *)
+
+type t
+
+val create : Sim.Net.t -> name:Principal.t -> t
+val install : t -> unit
+
+val open_account : t -> string -> unit
+val mint : t -> account:string -> currency:string -> int -> unit
+val balance_direct : t -> account:string -> currency:string -> int
+
+(** Client/server operations, one round-trip each. The protocol trusts the
+    claimed caller name — Amoeba capabilities stood in for authentication;
+    this baseline measures message flow, not spoofing resistance. *)
+
+val transfer :
+  Sim.Net.t ->
+  bank:Principal.t ->
+  caller:string ->
+  from_:string ->
+  to_:string ->
+  currency:string ->
+  amount:int ->
+  (unit, string) result
+(** The pre-payment: client → server's account, before service. *)
+
+val balance :
+  Sim.Net.t ->
+  bank:Principal.t ->
+  caller:string ->
+  account:string ->
+  currency:string ->
+  (int, string) result
+(** The server checks its pre-paid balance. *)
+
+val withdraw :
+  Sim.Net.t ->
+  bank:Principal.t ->
+  caller:string ->
+  account:string ->
+  currency:string ->
+  amount:int ->
+  (unit, string) result
+(** The server draws down consumed funds. *)

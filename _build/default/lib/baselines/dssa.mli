@@ -1,0 +1,46 @@
+(** Baseline: DSSA role-based delegation (Gasser et al.), as contrasted in
+    paper Section 5.
+
+    "In the DSSA, restrictions are supported only by creating separate
+    principals, called roles ... The creation of a new role is cumbersome
+    when delegating on the fly." Restricting a delegation therefore costs a
+    round-trip to the certification authority to register the role and sign
+    its certificate, where a restricted proxy is minted locally. The C3
+    bench measures exactly that difference. *)
+
+type t
+(** The certification authority / directory holding role registrations. *)
+
+val create : Sim.Net.t -> name:Principal.t -> drbg:Crypto.Drbg.t -> bits:int -> t
+val install : t -> unit
+val ca_pub : t -> Crypto.Rsa.public
+val role_count : t -> int
+
+type role_cert = {
+  role : Principal.t;  (** the freshly created role principal *)
+  role_owner : Principal.t;
+  role_rights : string list;  (** the restricted rights the role stands for *)
+  role_pub : Crypto.Rsa.public;
+  role_sig : string;  (** CA signature over the above *)
+}
+
+val create_role :
+  Sim.Net.t ->
+  ca:Principal.t ->
+  caller:string ->
+  owner:Principal.t ->
+  rights:string list ->
+  (role_cert * Crypto.Rsa.private_, string) result
+(** One network round-trip: register a new role principal restricted to
+    [rights] and receive its certificate plus the role's private key. *)
+
+type delegation = { deleg_role : role_cert; deleg_to : Principal.t; deleg_sig : string }
+
+val delegate : role_key:Crypto.Rsa.private_ -> to_:Principal.t -> role_cert -> delegation
+(** Local: sign a delegation certificate allowing [to_] to act as the
+    role. *)
+
+val verify :
+  ca_pub:Crypto.Rsa.public -> presenter:Principal.t -> delegation -> (string list, string) result
+(** End-server side, offline: validate CA and role signatures; returns the
+    role's rights. *)

@@ -1,0 +1,59 @@
+type t = {
+  net : Sim.Net.t;
+  name : Principal.t;
+  groups : (string, Principal.t list ref) Hashtbl.t;
+}
+
+let create net ~name = { net; name; groups = Hashtbl.create 8 }
+
+let bucket t group =
+  match Hashtbl.find_opt t.groups group with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add t.groups group r;
+      r
+
+let add_member t ~group p =
+  let b = bucket t group in
+  if not (List.exists (Principal.equal p) !b) then b := p :: !b
+
+let remove_member t ~group p =
+  match Hashtbl.find_opt t.groups group with
+  | None -> ()
+  | Some b -> b := List.filter (fun q -> not (Principal.equal q p)) !b
+
+let handle t request =
+  let open Wire in
+  let parsed =
+    let* v = Wire.decode request in
+    let* group = Result.bind (field v 0) to_string in
+    let* p = Result.bind (field v 1) Principal.of_wire in
+    Ok (group, p)
+  in
+  match parsed with
+  | Error e -> Wire.encode (Wire.L [ Wire.S "err"; Wire.S e ])
+  | Ok (group, p) ->
+      let member =
+        match Hashtbl.find_opt t.groups group with
+        | None -> false
+        | Some b -> List.exists (Principal.equal p) !b
+      in
+      Wire.encode (Wire.L [ Wire.S "ok"; Wire.I (if member then 1 else 0) ])
+
+let install t = Sim.Net.register t.net ~name:(Principal.to_string t.name) (handle t)
+
+let is_member net ~server ~caller ~group p =
+  let request = Wire.encode (Wire.L [ Wire.S group; Principal.to_wire p ]) in
+  match Sim.Net.rpc net ~src:caller ~dst:(Principal.to_string server) request with
+  | Error e -> Error e
+  | Ok reply ->
+      let open Wire in
+      let* v = Wire.decode reply in
+      let* tag = Result.bind (field v 0) to_string in
+      if tag = "err" then
+        let* msg = Result.bind (field v 1) to_string in
+        Error msg
+      else
+        let* flag = Result.bind (field v 1) to_int in
+        Ok (flag = 1)

@@ -1,0 +1,26 @@
+(** Baseline: Grapevine-style registration service (Birrell et al.), as
+    contrasted in paper Section 5.
+
+    "End-servers query registration servers to determine whether a client is
+    a member of a particular group ... the authorization decision remains
+    with the local system." Every request the end-server authorizes costs a
+    round-trip to the registration server (modulo caching), where a group
+    proxy is fetched once by the {e client} and then verified offline. The
+    F3 bench counts those messages side by side. *)
+
+type t
+
+val create : Sim.Net.t -> name:Principal.t -> t
+val install : t -> unit
+
+val add_member : t -> group:string -> Principal.t -> unit
+val remove_member : t -> group:string -> Principal.t -> unit
+
+val is_member :
+  Sim.Net.t ->
+  server:Principal.t ->
+  caller:string ->
+  group:string ->
+  Principal.t ->
+  (bool, string) result
+(** The end-server's per-request membership query (one round-trip). *)

@@ -1,0 +1,57 @@
+(** Baseline: Sollins's cascaded authentication (1988), as contrasted in
+    paper Sections 3.4 and 5.
+
+    Each principal shares a key with a central authentication server.
+    Passports are chains of links, each MACed under the {e sender's} shared
+    key, so the end-server cannot validate a passport itself: it must ship
+    the chain to the authentication server on every use. That online
+    round-trip per verification is precisely the cost restricted proxies
+    eliminate, and what the F4 bench measures. *)
+
+type t
+(** The central authentication server. *)
+
+val create : Sim.Net.t -> name:Principal.t -> t
+val install : t -> unit
+
+val register : t -> Principal.t -> string
+(** Enrol a principal; returns the key it shares with the server. *)
+
+type link = {
+  link_from : Principal.t;
+  link_to : Principal.t;
+  link_restrictions : string list;
+  link_mac : string;
+}
+
+type passport = link list
+(** Oldest link first. *)
+
+val initiate :
+  key:string ->
+  from_:Principal.t ->
+  to_:Principal.t ->
+  restrictions:string list ->
+  passport
+
+val extend :
+  key:string ->
+  from_:Principal.t ->
+  to_:Principal.t ->
+  restrictions:string list ->
+  passport ->
+  passport
+(** Add a link; restrictions accumulate. *)
+
+val passport_to_wire : passport -> Wire.t
+val passport_of_wire : Wire.t -> (passport, string) result
+
+val verify_online :
+  Sim.Net.t ->
+  server:Principal.t ->
+  caller:string ->
+  passport ->
+  (Principal.t * string list, string) result
+(** End-server side: one network round-trip to the authentication server,
+    which checks every MAC and returns the originator and the accumulated
+    restrictions. *)

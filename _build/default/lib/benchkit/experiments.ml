@@ -1,0 +1,951 @@
+(* Benchmark harness: regenerates one table per figure/claim of the paper
+   (see DESIGN.md section 4 and EXPERIMENTS.md for paper-vs-measured).
+
+   The paper (ICDCS '93) is conceptual and reports no measurements, so each
+   "figure" here is characterized by the quantities its protocol determines:
+   messages and bytes on the simulated network, cryptographic operations,
+   simulated latency, and measured CPU time of the pure operations
+   (Bechamel, OLS over monotonic clock). Baselines from Section 5 (Sollins,
+   Amoeba, DSSA, Grapevine) run under identical conditions. *)
+
+module R = Restriction
+
+(* ------------------------------------------------------------------ *)
+(* measurement utilities                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* CPU nanoseconds per call, via Bechamel's OLS estimator. *)
+let ns_per_op name f =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let res = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  match Hashtbl.fold (fun _ v acc -> v :: acc) res [] with
+  | [ est ] -> ( match Analyze.OLS.estimates est with Some (ns :: _) -> ns | _ -> nan)
+  | _ -> nan
+
+(* Wall-clock per call for heavyweight operations (key generation) where
+   Bechamel's sampling would take too long. *)
+let wall_ns ?(iters = 3) f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+
+let fmt_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.1f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+(* Run [f] once and report (result, metric deltas, virtual time elapsed). *)
+let metered net f =
+  let m = Sim.Net.metrics net in
+  let before = Sim.Metrics.snapshot m in
+  let t0 = Sim.Net.now net in
+  let result = f () in
+  let deltas = Sim.Metrics.diff ~before ~after:(Sim.Metrics.snapshot m) in
+  (result, deltas, Sim.Net.now net - t0)
+
+let delta key deltas = Option.value (List.assoc_opt key deltas) ~default:0
+
+let crypto_ops deltas =
+  List.fold_left
+    (fun acc (k, v) ->
+      if String.length k >= 7 && String.sub k 0 7 = "crypto." then acc + v else acc)
+    0 deltas
+
+let print_table title columns rows =
+  Printf.printf "\n### %s\n\n" title;
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left (fun w r -> max w (String.length (List.nth r i))) (String.length c) rows)
+      columns
+  in
+  let line cells =
+    let padded = List.map2 (fun w c -> Printf.sprintf "%-*s" w c) widths cells in
+    Printf.printf "| %s |\n" (String.concat " | " padded)
+  in
+  line columns;
+  Printf.printf "|%s|\n" (String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths));
+  List.iter line rows;
+  print_newline ()
+
+let section title = Printf.printf "\n==================== %s ====================\n%!" title
+
+let expect_ok = function Ok v -> v | Error e -> failwith e
+
+(* ------------------------------------------------------------------ *)
+(* F1: the restricted proxy structure (Figure 1)                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  section "F1 (Fig 1): restricted proxy grant/verify vs restriction count";
+  let drbg = Crypto.Drbg.create ~seed:"f1" in
+  let alice = Principal.make ~realm:"r" "alice" in
+  let session_key = Crypto.Drbg.generate drbg 32 in
+  let base_blob = "base" in
+  let open_base blob =
+    if blob = base_blob then
+      Ok
+        {
+          Verifier.base_client = alice;
+          base_session_key = session_key;
+          base_expires = max_int;
+          base_restrictions = [];
+        }
+    else Error "unknown base"
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let restrictions =
+          List.init n (fun i ->
+              R.Authorized [ { R.target = Printf.sprintf "obj%d" i; ops = [ "read" ] } ])
+        in
+        let grant () =
+          Proxy.grant_conventional ~drbg ~now:0 ~expires:max_int ~grantor:alice ~session_key
+            ~base:base_blob ~restrictions
+        in
+        let proxy = grant () in
+        let chain =
+          match proxy.Proxy.flavor with Proxy.Conventional c -> c | _ -> assert false
+        in
+        let pres_bytes =
+          String.length (Wire.encode (Proxy.presentation_to_wire (Proxy.presentation proxy)))
+        in
+        let grant_ns = ns_per_op (Printf.sprintf "grant/%d" n) (fun () -> grant ()) in
+        let verify_ns =
+          ns_per_op (Printf.sprintf "verify/%d" n) (fun () ->
+              Verifier.verify_conventional ~open_base ~now:1 chain)
+        in
+        (match Verifier.verify_conventional ~open_base ~now:1 chain with
+        | Ok v -> assert (List.length v.Verifier.restrictions = n)
+        | Error e -> failwith e);
+        [ string_of_int n; string_of_int pres_bytes; fmt_ns grant_ns; fmt_ns verify_ns ])
+      [ 0; 1; 2; 4; 8; 16; 32 ]
+  in
+  print_table "F1: conventional proxy cost vs number of restrictions"
+    [ "restrictions"; "presentation bytes"; "grant CPU"; "verify CPU" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* F2: the layering of security services (Figure 2)                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  section "F2 (Fig 2): per-request cost as security services stack";
+  let usd = "usd" in
+  let rows = ref [] in
+  let add name deltas latency =
+    rows :=
+      [ name;
+        string_of_int (delta "net.messages" deltas);
+        string_of_int (delta "net.bytes" deltas);
+        string_of_int (crypto_ops deltas);
+        Printf.sprintf "%d us" latency ]
+      :: !rows
+  in
+
+  (* Layer 1: authentication only — an owner reads her file. *)
+  let w = World.create ~seed:"f2a" () in
+  let alice, _ = World.enrol w "alice" in
+  let fs_name, fs_key = World.enrol w "fs" in
+  let acl = Acl.create () in
+  Acl.add acl ~target:"*" { Acl.subject = Acl.Principal_is alice; rights = []; restrictions = [] };
+  let fs = File_server.create w.World.net ~me:fs_name ~my_key:fs_key ~acl () in
+  File_server.install fs;
+  File_server.put_direct fs ~path:"f" "data";
+  let tgt = World.login w alice in
+  let creds = World.credentials_for w ~tgt fs_name in
+  let _, deltas, lat =
+    metered w.World.net (fun () -> expect_ok (File_server.read w.World.net ~creds ~path:"f" ()))
+  in
+  add "authentication only (owner reads)" deltas lat;
+
+  (* Layer 2: + authorization via a capability. *)
+  let bob, _ = World.enrol w "bob" in
+  let cap =
+    expect_ok
+      (Capability.mint_via_kdc w.World.net ~kdc:w.World.kdc_name ~tgt ~end_server:fs_name
+         ~target:"f" ~ops:[ "read" ] ())
+  in
+  let tgt_b = World.login w bob in
+  let creds_b = World.credentials_for w ~tgt:tgt_b fs_name in
+  let _, deltas, lat =
+    metered w.World.net (fun () ->
+        let p =
+          File_server.attach w.World.net ~proxy:cap ~server:fs_name ~operation:"read" ~path:"f"
+        in
+        expect_ok (File_server.read w.World.net ~creds:creds_b ~proxies:[ p ] ~path:"f" ()))
+  in
+  add "+ authorization (capability presentation)" deltas lat;
+
+  (* Layer 3: + group membership. *)
+  let w = World.create ~seed:"f2c" () in
+  let dave, _ = World.enrol w "dave" in
+  let groups_p, groups_key = World.enrol w "groups" in
+  let fs_name, fs_key = World.enrol w "fs" in
+  let gsrv =
+    expect_ok
+      (Group_server.create w.World.net ~me:groups_p ~my_key:groups_key ~kdc:w.World.kdc_name ())
+  in
+  Group_server.install gsrv;
+  Group_server.add_member gsrv ~group:"staff" dave;
+  let acl = Acl.create () in
+  Acl.add acl ~target:"*"
+    {
+      Acl.subject = Acl.Group (Group_server.group_name gsrv "staff");
+      rights = [];
+      restrictions = [];
+    };
+  let fs = File_server.create w.World.net ~me:fs_name ~my_key:fs_key ~acl () in
+  File_server.install fs;
+  File_server.put_direct fs ~path:"f" "data";
+  let tgt_d = World.login w dave in
+  let creds_g = World.credentials_for w ~tgt:tgt_d groups_p in
+  let gproxy =
+    expect_ok
+      (Group_server.request_membership_proxy w.World.net ~creds:creds_g ~group:"staff"
+         ~end_server:fs_name ())
+  in
+  let creds_fs = World.credentials_for w ~tgt:tgt_d fs_name in
+  let _, deltas, lat =
+    metered w.World.net (fun () ->
+        let gp =
+          Guard.present ~proxy:gproxy ~time:(World.now w) ~server:fs_name
+            ~operation:"assert-membership" ~target:"staff" ()
+        in
+        expect_ok (File_server.read w.World.net ~creds:creds_fs ~group_proxies:[ gp ] ~path:"f" ()))
+  in
+  add "+ group service (membership proxy)" deltas lat;
+
+  (* Layer 4: + accounting — a print job paid by check, cross-bank. *)
+  let w = World.create ~seed:"f2d" () in
+  let carol, _, carol_rsa = World.enrol_pk w "carol" in
+  let bank1_p, bank1_key, bank1_rsa = World.enrol_pk w "bank1" in
+  let bank2_p, bank2_key, bank2_rsa = World.enrol_pk w "bank2" in
+  let printer_p, printer_key, printer_rsa = World.enrol_pk w "printer" in
+  let lookup = World.lookup w in
+  let bank1 =
+    expect_ok
+      (Accounting_server.create w.World.net ~me:bank1_p ~my_key:bank1_key ~kdc:w.World.kdc_name
+         ~signing_key:bank1_rsa ~lookup ())
+  in
+  let bank2 =
+    expect_ok
+      (Accounting_server.create w.World.net ~me:bank2_p ~my_key:bank2_key ~kdc:w.World.kdc_name
+         ~signing_key:bank2_rsa ~lookup ())
+  in
+  Accounting_server.install bank1;
+  Accounting_server.install bank2;
+  let tgt_c = World.login w carol in
+  let creds_cb = World.credentials_for w ~tgt:tgt_c bank2_p in
+  expect_ok (Accounting_server.open_account w.World.net ~creds:creds_cb ~name:"carol");
+  ignore (Ledger.mint (Accounting_server.ledger bank2) ~name:"carol" ~currency:usd 10_000);
+  let tgt_p = World.login w printer_p in
+  let creds_pb = World.credentials_for w ~tgt:tgt_p bank1_p in
+  expect_ok (Accounting_server.open_account w.World.net ~creds:creds_pb ~name:"printer");
+  let printer =
+    expect_ok
+      (Print_server.create w.World.net ~me:printer_p ~my_key:printer_key ~kdc:w.World.kdc_name
+         ~bank:bank1_p ~account:"printer" ~signing_key:printer_rsa ~lookup ())
+  in
+  Print_server.install printer;
+  let creds_cp = World.credentials_for w ~tgt:tgt_c printer_p in
+  let write_check amount =
+    Check.write ~drbg:(Sim.Net.drbg w.World.net) ~now:(World.now w)
+      ~expires:(World.now w + (24 * World.hour)) ~payor:carol ~payor_key:carol_rsa
+      ~account:(Accounting_server.account bank2 "carol") ~payee:printer_p ~currency:usd ~amount
+      ()
+  in
+  (* Warm the printer's credential cache so we meter the steady state. *)
+  ignore
+    (expect_ok
+       (Print_server.print w.World.net ~creds:creds_cp ~document:"warm" ~content:"x"
+          ~check:(write_check 10) ()));
+  let check = write_check 10 in
+  let _, deltas, lat =
+    metered w.World.net (fun () ->
+        expect_ok
+          (Print_server.print w.World.net ~creds:creds_cp ~document:"job" ~content:"x" ~check ()))
+  in
+  add "+ accounting (print job paid by cross-bank check)" deltas lat;
+
+  print_table "F2: one request at each service layer"
+    [ "configuration"; "messages"; "bytes"; "crypto ops"; "sim latency" ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+(* F3: the authorization protocol (Figure 3) vs alternatives          *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  section "F3 (Fig 3): authorization protocol, proxies vs online queries";
+  let batch_sizes = [ 1; 10; 100 ] in
+
+  (* Scheme A: the Fig-3 authorization-server proxy — acquired once,
+     verified offline on every request. *)
+  let run_authz n =
+    let w = World.create ~seed:("f3a" ^ string_of_int n) () in
+    let carol, _ = World.enrol w "carol" in
+    let authz_p, authz_key = World.enrol w "authz" in
+    let app_p, app_key = World.enrol w "app" in
+    let db = Acl.create () in
+    Acl.add db ~target:"job"
+      { Acl.subject = Acl.Principal_is carol; rights = [ "run" ]; restrictions = [] };
+    let srv =
+      expect_ok
+        (Authz_server.create w.World.net ~me:authz_p ~my_key:authz_key ~kdc:w.World.kdc_name
+           ~database:db ())
+    in
+    Authz_server.install srv;
+    let acl = Acl.create () in
+    Acl.add acl ~target:"*"
+      { Acl.subject = Acl.Principal_is authz_p; rights = []; restrictions = [] };
+    let guard = Guard.create w.World.net ~me:app_p ~my_key:app_key ~acl () in
+    let tgt = World.login w carol in
+    let _, deltas, _ =
+      metered w.World.net (fun () ->
+          let creds = World.credentials_for w ~tgt authz_p in
+          let proxy =
+            expect_ok
+              (Authz_server.request_authorization w.World.net ~creds ~end_server:app_p
+                 ~target:"job" ~operation:"run" ())
+          in
+          for _ = 1 to n do
+            let p =
+              Guard.present ~proxy ~time:(World.now w) ~server:app_p ~operation:"run"
+                ~target:"job" ()
+            in
+            ignore
+              (expect_ok
+                 (Guard.decide guard ~operation:"run" ~target:"job" ~presenter:carol
+                    ~proxies:[ p ] ()))
+          done)
+    in
+    delta "net.messages" deltas
+  in
+
+  (* Scheme B: Grapevine — the end-server queries the registry on every
+     request. *)
+  let run_grapevine n =
+    let w = World.create ~seed:("f3b" ^ string_of_int n) () in
+    let carol = Principal.make ~realm:"r" "carol" in
+    let reg_p = Principal.make ~realm:"r" "registry" in
+    let reg = Grapevine.create w.World.net ~name:reg_p in
+    Grapevine.install reg;
+    Grapevine.add_member reg ~group:"authorized" carol;
+    let _, deltas, _ =
+      metered w.World.net (fun () ->
+          for _ = 1 to n do
+            match
+              Grapevine.is_member w.World.net ~server:reg_p ~caller:"app" ~group:"authorized"
+                carol
+            with
+            | Ok true -> ()
+            | Ok false | Error _ -> failwith "grapevine lookup failed"
+          done)
+    in
+    delta "net.messages" deltas
+  in
+
+  let rows =
+    List.map
+      (fun (name, run) ->
+        let counts = List.map run batch_sizes in
+        name
+        :: List.map2
+             (fun n c -> Printf.sprintf "%d (%.1f/req)" c (float_of_int c /. float_of_int n))
+             batch_sizes counts)
+      [ ("authorization-server proxy (Fig 3)", run_authz);
+        ("Grapevine-style online query", run_grapevine) ]
+  in
+  print_table "F3: authorization messages vs number of requests (acquisition included)"
+    ([ "scheme" ] @ List.map (fun n -> Printf.sprintf "N=%d" n) batch_sizes)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* F4: cascaded proxies (Figure 4) vs Sollins                         *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  section "F4 (Fig 4): cascade verification vs chain depth; Sollins baseline";
+  let drbg = Crypto.Drbg.create ~seed:"f4" in
+  let alice = Principal.make ~realm:"r" "alice" in
+  let session_key = Crypto.Drbg.generate drbg 32 in
+  let open_base blob =
+    if blob = "base" then
+      Ok
+        {
+          Verifier.base_client = alice;
+          base_session_key = session_key;
+          base_expires = max_int;
+          base_restrictions = [];
+        }
+    else Error "unknown"
+  in
+  let alice_rsa = Crypto.Rsa.generate drbg ~bits:512 in
+  let lookup p = if Principal.equal p alice then Some alice_rsa.Crypto.Rsa.pub else None in
+
+  (* Sollins: a fresh world per depth to keep metrics clean. *)
+  let sollins_run depth =
+    let net = Sim.Net.create ~seed:("f4s" ^ string_of_int depth) () in
+    let as_p = Principal.make ~realm:"r" "as" in
+    let srv = Sollins.create net ~name:as_p in
+    Sollins.install srv;
+    let parties =
+      List.init (depth + 1) (fun i -> Principal.make ~realm:"r" (Printf.sprintf "p%d" i))
+    in
+    let keys = List.map (fun p -> (p, Sollins.register srv p)) parties in
+    let key_of p = List.assq p keys in
+    let passport = ref None in
+    List.iteri
+      (fun i p ->
+        if i < depth then begin
+          let next = List.nth parties (i + 1) in
+          let restrictions = [ Printf.sprintf "r%d" i ] in
+          passport :=
+            Some
+              (match !passport with
+              | None -> Sollins.initiate ~key:(key_of p) ~from_:p ~to_:next ~restrictions
+              | Some pp -> Sollins.extend ~key:(key_of p) ~from_:p ~to_:next ~restrictions pp)
+        end)
+      parties;
+    let passport = Option.get !passport in
+    let _, deltas, _ =
+      metered net (fun () ->
+          expect_ok (Sollins.verify_online net ~server:as_p ~caller:"end-server" passport))
+    in
+    let ns =
+      ns_per_op
+        (Printf.sprintf "sollins/%d" depth)
+        (fun () -> Sollins.verify_online net ~server:as_p ~caller:"end-server" passport)
+    in
+    (delta "net.messages" deltas, ns)
+  in
+
+  let rows =
+    List.map
+      (fun depth ->
+        (* conventional chain of [depth] certificates *)
+        let conv =
+          ref
+            (Proxy.grant_conventional ~drbg ~now:0 ~expires:max_int ~grantor:alice ~session_key
+               ~base:"base" ~restrictions:[ R.Quota ("step", 0) ])
+        in
+        for i = 2 to depth do
+          conv :=
+            expect_ok
+              (Proxy.restrict_conventional ~drbg ~now:0 ~expires:max_int
+                 ~restrictions:[ R.Quota ("step" ^ string_of_int i, i) ]
+                 !conv)
+        done;
+        let conv_chain =
+          match !conv.Proxy.flavor with Proxy.Conventional c -> c | _ -> assert false
+        in
+        let conv_bytes =
+          String.length (Wire.encode (Proxy.presentation_to_wire (Proxy.presentation !conv)))
+        in
+        let conv_ns =
+          ns_per_op
+            (Printf.sprintf "conv/%d" depth)
+            (fun () -> Verifier.verify_conventional ~open_base ~now:1 conv_chain)
+        in
+        (* public-key chain *)
+        let pk =
+          ref
+            (Proxy.grant_pk ~drbg ~now:0 ~expires:max_int ~grantor:alice ~grantor_key:alice_rsa
+               ~proxy_bits:512
+               ~restrictions:[ R.Quota ("step", 0) ]
+               ())
+        in
+        for i = 2 to depth do
+          pk :=
+            expect_ok
+              (Proxy.restrict_pk ~drbg ~now:0 ~expires:max_int ~proxy_bits:512
+                 ~restrictions:[ R.Quota ("step" ^ string_of_int i, i) ]
+                 !pk)
+        done;
+        let pk_certs =
+          match !pk.Proxy.flavor with Proxy.Public_key c -> c | _ -> assert false
+        in
+        let pk_ns =
+          ns_per_op (Printf.sprintf "pk/%d" depth) (fun () ->
+              Verifier.verify_pk ~lookup ~now:1 pk_certs)
+        in
+        let sollins_msgs, sollins_ns = sollins_run depth in
+        [ string_of_int depth;
+          fmt_ns conv_ns;
+          string_of_int conv_bytes;
+          fmt_ns pk_ns;
+          "0";
+          fmt_ns sollins_ns;
+          string_of_int sollins_msgs ])
+      [ 1; 2; 4; 8; 16 ]
+  in
+  print_table "F4: verification cost vs cascade depth"
+    [ "depth"; "conv verify CPU"; "conv bytes"; "pk verify CPU"; "proxy msgs";
+      "sollins verify CPU"; "sollins msgs" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* F5: check clearing (Figure 5) vs intermediaries; Amoeba baseline   *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  section "F5 (Fig 5): check clearing vs intermediary accounting servers";
+  let usd = "usd" in
+  let clear_with_intermediaries k certified =
+    let w = World.create ~seed:(Printf.sprintf "f5-%d-%b" k certified) () in
+    let carol, _, carol_rsa = World.enrol_pk w "carol" in
+    let shop, _, shop_rsa = World.enrol_pk w "shop" in
+    let lookup = World.lookup w in
+    let mk_bank name =
+      let p, key, rsa = World.enrol_pk w name in
+      let b =
+        expect_ok
+          (Accounting_server.create w.World.net ~me:p ~my_key:key ~kdc:w.World.kdc_name
+             ~signing_key:rsa ~lookup ())
+      in
+      Accounting_server.install b;
+      (p, b)
+    in
+    let payee_bank_p, _payee_bank = mk_bank "payee-bank" in
+    let drawee_p, drawee = mk_bank "drawee-bank" in
+    let hops = List.init k (fun i -> mk_bank (Printf.sprintf "hop%d" i)) in
+    (* Route payee-bank -> hop0 -> ... -> drawee. *)
+    let chain = (payee_bank_p, Option.get (Some _payee_bank)) :: hops in
+    let rec wire_routes = function
+      | (_, b) :: ((next_p, _) :: _ as rest) ->
+          Accounting_server.set_route b ~drawee:drawee_p ~next_hop:next_p;
+          wire_routes rest
+      | [ _ ] | [] -> ()
+    in
+    wire_routes chain;
+    let tgt_c = World.login w carol in
+    let creds_cd = World.credentials_for w ~tgt:tgt_c drawee_p in
+    expect_ok (Accounting_server.open_account w.World.net ~creds:creds_cd ~name:"carol");
+    ignore (Ledger.mint (Accounting_server.ledger drawee) ~name:"carol" ~currency:usd 1_000);
+    let tgt_s = World.login w shop in
+    let creds_sb = World.credentials_for w ~tgt:tgt_s payee_bank_p in
+    expect_ok (Accounting_server.open_account w.World.net ~creds:creds_sb ~name:"shop");
+    let write_check amount =
+      Check.write ~drbg:(Sim.Net.drbg w.World.net) ~now:(World.now w)
+        ~expires:(World.now w + (24 * World.hour)) ~payor:carol ~payor_key:carol_rsa
+        ~account:(Accounting_server.account drawee "carol") ~payee:shop ~currency:usd ~amount ()
+    in
+    (* Warm the inter-bank credential caches with a throwaway clearing so we
+       meter steady-state clearing, not first-contact key exchange. *)
+    ignore
+      (expect_ok
+         (Accounting_server.deposit w.World.net ~creds:creds_sb ~endorser_key:shop_rsa
+            ~check:(write_check 1) ~to_account:"shop"));
+    let check = write_check 100 in
+    if certified then
+      ignore (expect_ok (Accounting_server.certify w.World.net ~creds:creds_cd ~check));
+    let _, deltas, lat =
+      metered w.World.net (fun () ->
+          expect_ok
+            (Accounting_server.deposit w.World.net ~creds:creds_sb ~endorser_key:shop_rsa ~check
+               ~to_account:"shop"))
+    in
+    [ (if certified then Printf.sprintf "%d (certified)" k else string_of_int k);
+      string_of_int (delta "net.messages" deltas);
+      string_of_int (delta "net.bytes" deltas);
+      string_of_int (delta "accounting.endorsements" deltas);
+      string_of_int (crypto_ops deltas);
+      Printf.sprintf "%d us" lat ]
+  in
+  let rows =
+    List.map (fun k -> clear_with_intermediaries k false) [ 0; 1; 2; 4; 8 ]
+    @ [ clear_with_intermediaries 0 true ]
+  in
+  print_table "F5: clearing one 100-usd check"
+    [ "intermediaries"; "messages"; "bytes"; "endorsements"; "crypto ops"; "sim latency" ]
+    rows;
+
+  (* Amoeba pre-pay baseline: one purchase = prepay + server balance check +
+     withdraw. *)
+  let net = Sim.Net.create ~seed:"f5-amoeba" () in
+  let bank_p = Principal.make ~realm:"r" "amoeba-bank" in
+  let bank = Amoeba_bank.create net ~name:bank_p in
+  Amoeba_bank.install bank;
+  Amoeba_bank.open_account bank "client";
+  Amoeba_bank.open_account bank "server";
+  Amoeba_bank.mint bank ~account:"client" ~currency:usd 1_000;
+  let _, deltas, lat =
+    metered net (fun () ->
+        expect_ok
+          (Amoeba_bank.transfer net ~bank:bank_p ~caller:"client" ~from_:"client" ~to_:"server"
+             ~currency:usd ~amount:100);
+        ignore
+          (expect_ok
+             (Amoeba_bank.balance net ~bank:bank_p ~caller:"server" ~account:"server"
+                ~currency:usd));
+        expect_ok
+          (Amoeba_bank.withdraw net ~bank:bank_p ~caller:"server" ~account:"server" ~currency:usd
+             ~amount:100))
+  in
+  print_table "F5 baseline: Amoeba pre-paid transfer (one purchase)"
+    [ "scheme"; "messages"; "bytes"; "sim latency" ]
+    [ [ "Amoeba pre-pay (pay before service)";
+        string_of_int (delta "net.messages" deltas);
+        string_of_int (delta "net.bytes" deltas);
+        Printf.sprintf "%d us" lat ] ]
+
+(* ------------------------------------------------------------------ *)
+(* F6: public-key proxies (Figure 6) vs conventional                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  section "F6 (Fig 6): public-key vs conventional realization";
+  let drbg = Crypto.Drbg.create ~seed:"f6" in
+  let alice = Principal.make ~realm:"r" "alice" in
+  let session_key = Crypto.Drbg.generate drbg 32 in
+  let open_base blob =
+    if blob = "base" then
+      Ok
+        {
+          Verifier.base_client = alice;
+          base_session_key = session_key;
+          base_expires = max_int;
+          base_restrictions = [];
+        }
+    else Error "unknown"
+  in
+  let restrictions = [ R.Authorized [ { R.target = "obj"; ops = [ "read" ] } ] ] in
+  let conv_grant () =
+    Proxy.grant_conventional ~drbg ~now:0 ~expires:max_int ~grantor:alice ~session_key
+      ~base:"base" ~restrictions
+  in
+  let conv = conv_grant () in
+  let conv_chain = match conv.Proxy.flavor with Proxy.Conventional c -> c | _ -> assert false in
+  let conv_row =
+    [ "conventional (HMAC/AEAD)";
+      fmt_ns (ns_per_op "conv-grant" conv_grant);
+      fmt_ns
+        (ns_per_op "conv-verify" (fun () ->
+             Verifier.verify_conventional ~open_base ~now:1 conv_chain));
+      string_of_int
+        (String.length (Wire.encode (Proxy.presentation_to_wire (Proxy.presentation conv))));
+      "one end-server";
+      "no" ]
+  in
+  (* Hybrid row: signed like public-key, but the proxy key is symmetric and
+     sealed to one end-server — no per-proxy keypair generation. *)
+  let hybrid_row =
+    let grantor_key = Crypto.Rsa.generate drbg ~bits:512 in
+    let end_server = Principal.make ~realm:"r" "server" in
+    let server_key = Crypto.Rsa.generate drbg ~bits:512 in
+    let lookup p = if Principal.equal p alice then Some grantor_key.Crypto.Rsa.pub else None in
+    let grant () =
+      match
+        Proxy.grant_hybrid ~drbg ~now:0 ~expires:max_int ~grantor:alice ~grantor_key
+          ~end_server ~end_server_pub:server_key.Crypto.Rsa.pub ~restrictions ()
+      with
+      | Ok p -> p
+      | Error e -> failwith e
+    in
+    let proxy = grant () in
+    let chain =
+      match proxy.Proxy.flavor with Proxy.Hybrid (h, b) -> (h, b) | _ -> assert false
+    in
+    [ "hybrid RSA-512 (Sec 6.1)";
+      fmt_ns (ns_per_op "hybrid-grant" grant);
+      fmt_ns
+        (ns_per_op "hybrid-verify" (fun () ->
+             Verifier.verify_hybrid ~lookup ~decrypt:(Crypto.Rsa.decrypt server_key) ~now:1 chain));
+      string_of_int
+        (String.length (Wire.encode (Proxy.presentation_to_wire (Proxy.presentation proxy))));
+      "one end-server";
+      "signature only" ]
+  in
+  let pk_rows =
+    List.map
+      (fun bits ->
+        let grantor_key = Crypto.Rsa.generate drbg ~bits in
+        let lookup p =
+          if Principal.equal p alice then Some grantor_key.Crypto.Rsa.pub else None
+        in
+        let grant () =
+          Proxy.grant_pk ~drbg ~now:0 ~expires:max_int ~grantor:alice ~grantor_key
+            ~proxy_bits:bits ~restrictions ()
+        in
+        let proxy = grant () in
+        let certs = match proxy.Proxy.flavor with Proxy.Public_key c -> c | _ -> assert false in
+        let grant_ns = wall_ns ~iters:3 grant in
+        let verify_ns =
+          ns_per_op (Printf.sprintf "pk-verify-%d" bits) (fun () ->
+              Verifier.verify_pk ~lookup ~now:1 certs)
+        in
+        let bytes =
+          String.length (Wire.encode (Proxy.presentation_to_wire (Proxy.presentation proxy)))
+        in
+        [ Printf.sprintf "public-key RSA-%d" bits;
+          fmt_ns grant_ns;
+          fmt_ns verify_ns;
+          string_of_int bytes;
+          "any (issued-for restricts)";
+          "yes" ])
+      [ 512; 768; 1024 ]
+  in
+  print_table "F6: one-restriction proxy, all three realizations"
+    [ "realization"; "grant"; "verify CPU"; "presentation bytes"; "valid at";
+      "third-party verifiable" ]
+    (conv_row :: hybrid_row :: pk_rows)
+
+(* ------------------------------------------------------------------ *)
+(* C3: DSSA roles vs on-the-fly restricted proxies                    *)
+(* ------------------------------------------------------------------ *)
+
+let c3 () =
+  section "C3 (Sec 5): delegation cost, restricted proxies vs DSSA roles";
+  let w = World.create ~seed:"c3" () in
+  let alice, _, alice_rsa = World.enrol_pk w "alice" in
+  let bob = Principal.make ~realm:w.World.realm "bob" in
+  let drbg = Sim.Net.drbg w.World.net in
+  (* Restricted proxy: minted locally, no server contact, no server state. *)
+  let proxy_grant () =
+    Proxy.grant_pk ~drbg ~now:0 ~expires:max_int ~grantor:alice ~grantor_key:alice_rsa
+      ~proxy_bits:512
+      ~restrictions:
+        [ R.Grantee ([ bob ], 1); R.Authorized [ { R.target = "file1"; ops = [ "read" ] } ] ]
+      ()
+  in
+  let _, pdeltas, _ = metered w.World.net (fun () -> ignore (proxy_grant ())) in
+  let proxy_ns = wall_ns ~iters:3 proxy_grant in
+
+  let ca_p = Principal.make ~realm:"r" "dssa-ca" in
+  let ca = Dssa.create w.World.net ~name:ca_p ~drbg ~bits:512 in
+  Dssa.install ca;
+  let dssa_delegate () =
+    let cert, role_key =
+      expect_ok
+        (Dssa.create_role w.World.net ~ca:ca_p ~caller:"alice" ~owner:alice
+           ~rights:[ "read:file1" ])
+    in
+    Dssa.delegate ~role_key ~to_:bob cert
+  in
+  let roles_before = Dssa.role_count ca in
+  let _, ddeltas, _ = metered w.World.net (fun () -> ignore (dssa_delegate ())) in
+  let roles_created = Dssa.role_count ca - roles_before in
+  let dssa_ns = wall_ns ~iters:3 dssa_delegate in
+  print_table "C3: one restricted delegation to bob"
+    [ "scheme"; "CPU"; "messages"; "server state created" ]
+    [ [ "restricted proxy (local grant)";
+        fmt_ns proxy_ns;
+        string_of_int (delta "net.messages" pdeltas);
+        "none" ];
+      [ "DSSA role creation + delegation";
+        fmt_ns dssa_ns;
+        string_of_int (delta "net.messages" ddeltas);
+        Printf.sprintf "%d role registration at the CA (grows per delegation)" roles_created ] ];
+
+  (* Narrowing an existing delegation: offline for proxies, another
+     authority round-trip for ECMA PACs (Section 5). *)
+  let base_proxy = proxy_grant () in
+  let narrow_proxy () =
+    expect_ok
+      (Proxy.restrict_pk ~drbg ~now:0 ~expires:max_int ~proxy_bits:512
+         ~restrictions:[ R.Quota ("pages", 1) ] base_proxy)
+  in
+  let _, ndeltas, _ = metered w.World.net (fun () -> ignore (narrow_proxy ())) in
+  let narrow_ns = wall_ns ~iters:3 narrow_proxy in
+  let pac_authority_p = Principal.make ~realm:"r" "pac-authority" in
+  let pac_authority =
+    Ecma_pac.create w.World.net ~name:pac_authority_p ~drbg ~bits:512
+  in
+  Ecma_pac.install pac_authority;
+  Ecma_pac.entitle pac_authority alice "read:file1";
+  let pac_narrow () =
+    expect_ok
+      (Ecma_pac.request w.World.net ~authority:pac_authority_p ~caller:alice
+         ~privileges:[ "read:file1" ] ())
+  in
+  let _, pacdeltas, _ = metered w.World.net (fun () -> ignore (pac_narrow ())) in
+  let pac_ns = wall_ns ~iters:3 pac_narrow in
+  let session_key = Crypto.Drbg.generate drbg 32 in
+  let conv_base =
+    Proxy.grant_conventional ~drbg ~now:0 ~expires:max_int ~grantor:alice ~session_key
+      ~base:"b" ~restrictions:[]
+  in
+  let conv_narrow () =
+    expect_ok
+      (Proxy.restrict_conventional ~drbg ~now:0 ~expires:max_int
+         ~restrictions:[ R.Quota ("pages", 1) ] conv_base)
+  in
+  print_table "C3b: narrowing an existing delegation"
+    [ "scheme"; "CPU"; "messages" ]
+    [ [ "proxy cascade, conventional (offline)";
+        fmt_ns (ns_per_op "conv-narrow" conv_narrow);
+        "0" ];
+      [ "proxy cascade, public-key (offline)";
+        fmt_ns narrow_ns;
+        string_of_int (delta "net.messages" ndeltas) ];
+      [ "ECMA PAC re-issue (online)";
+        fmt_ns pac_ns;
+        string_of_int (delta "net.messages" pacdeltas) ] ]
+
+(* ------------------------------------------------------------------ *)
+(* A1: accept-once replay cache ablation                              *)
+(* ------------------------------------------------------------------ *)
+
+let a1 () =
+  section "A1 (ablation): accept-once replay cache";
+  let rows =
+    List.map
+      (fun size ->
+        let cache = Replay_cache.create () in
+        for i = 1 to size do
+          ignore (Replay_cache.record cache ~now:0 ~expires:max_int (string_of_int i))
+        done;
+        let i = ref 0 in
+        let probe_ns =
+          ns_per_op (Printf.sprintf "replay-probe/%d" size) (fun () ->
+              incr i;
+              Replay_cache.seen cache ~now:0 (string_of_int (!i mod (2 * size))))
+        in
+        (* Every duplicate must be caught. *)
+        let dupes_caught = ref 0 in
+        for j = 1 to size do
+          if Replay_cache.seen cache ~now:0 (string_of_int j) then incr dupes_caught
+        done;
+        [ string_of_int size; fmt_ns probe_ns; Printf.sprintf "%d/%d" !dupes_caught size ])
+      [ 100; 1_000; 10_000; 100_000 ]
+  in
+  print_table "A1: probe cost and replay detection vs cache population"
+    [ "live identifiers"; "probe CPU"; "duplicates caught" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* A3: TGS proxies (Sec 6.3) vs per-server capabilities               *)
+(* ------------------------------------------------------------------ *)
+
+let a3 () =
+  section "A3 (Sec 6.3): equipping a grantee for k end-servers";
+  let rows =
+    List.map
+      (fun k ->
+        (* Scheme 1: the grantor mints one capability per end-server. *)
+        let w = World.create ~seed:(Printf.sprintf "a3cap%d" k) () in
+        let alice, _ = World.enrol w "alice" in
+        let servers = List.init k (fun i -> fst (World.enrol w (Printf.sprintf "srv%d" i))) in
+        let tgt = World.login w alice in
+        let _, cap_deltas, _ =
+          metered w.World.net (fun () ->
+              List.iter
+                (fun s ->
+                  ignore
+                    (expect_ok
+                       (Capability.mint_via_kdc w.World.net ~kdc:w.World.kdc_name ~tgt
+                          ~end_server:s ~target:"obj" ~ops:[ "read" ] ())))
+                servers)
+        in
+        (* Scheme 2: one TGS proxy; the grantee derives per server. *)
+        let w = World.create ~seed:(Printf.sprintf "a3tgs%d" k) () in
+        let alice, _ = World.enrol w "alice" in
+        let servers = List.init k (fun i -> fst (World.enrol w (Printf.sprintf "srv%d" i))) in
+        let tgt = World.login w alice in
+        let _, grant_deltas, _ =
+          metered w.World.net (fun () ->
+              expect_ok
+                (Tgs_proxy.grant w.World.net ~kdc:w.World.kdc_name ~tgt
+                   ~restrictions:[ R.Authorized [ { R.target = "obj"; ops = [ "read" ] } ] ]
+                   ()))
+        in
+        let proxy_tgt =
+          expect_ok
+            (Tgs_proxy.grant w.World.net ~kdc:w.World.kdc_name ~tgt
+               ~restrictions:[ R.Authorized [ { R.target = "obj"; ops = [ "read" ] } ] ]
+               ())
+        in
+        let _, use_deltas, _ =
+          metered w.World.net (fun () ->
+              List.iter
+                (fun s ->
+                  ignore
+                    (expect_ok
+                       (Tgs_proxy.use w.World.net ~kdc:w.World.kdc_name ~proxy_tgt ~service:s)))
+                servers)
+        in
+        [ string_of_int k;
+          string_of_int (delta "net.messages" cap_deltas);
+          string_of_int (delta "net.messages" grant_deltas);
+          string_of_int (delta "net.messages" use_deltas) ])
+      [ 1; 2; 4; 8; 16 ]
+  in
+  print_table "A3: messages to delegate access to k end-servers"
+    [ "end-servers k"; "k capabilities (grantor msgs)"; "TGS proxy (grantor msgs)";
+      "TGS proxy (grantee msgs)" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* A2: restriction-propagation ablation (Sec 7.9)                     *)
+(* ------------------------------------------------------------------ *)
+
+let a2 () =
+  section "A2 (ablation): limit-restriction elision in propagation";
+  let server_a = Principal.make ~realm:"r" "server-a" in
+  let server_b = Principal.make ~realm:"r" "server-b" in
+  let rows =
+    List.map
+      (fun limited ->
+        (* Half of the limited restrictions apply to server-a (reachable),
+           half to server-b (unreachable by the derived proxy). *)
+        let base = [ R.Quota ("usd", 10); R.Accept_once "x" ] in
+        let limits =
+          List.init limited (fun i ->
+              let target = if i mod 2 = 0 then server_a else server_b in
+              R.Limit_restriction ([ target ], [ R.Quota (Printf.sprintf "c%d" i, i) ]))
+        in
+        let rs = base @ limits in
+        let propagated = R.propagate ~issued_for:[ server_a ] rs in
+        let naive = R.Issued_for [ server_a ] :: rs in
+        let bytes l = String.length (Wire.encode (R.list_to_wire l)) in
+        [ string_of_int limited;
+          string_of_int (List.length naive);
+          string_of_int (bytes naive);
+          string_of_int (List.length propagated);
+          string_of_int (bytes propagated) ])
+      [ 0; 2; 4; 8; 16 ]
+  in
+  print_table "A2: derived-proxy restriction list, naive copy vs Sec-7.9 elision"
+    [ "limit-restrictions"; "naive count"; "naive bytes"; "elided count"; "elided bytes" ]
+    rows
+
+(* The experiment registry: ids as used in DESIGN.md / EXPERIMENTS.md. *)
+let all =
+  [ ("f1", "Fig 1: proxy grant/verify vs restriction count", fig1);
+    ("f2", "Fig 2: per-request cost as services stack", fig2);
+    ("f3", "Fig 3: authorization protocol vs online queries", fig3);
+    ("f4", "Fig 4: cascade depth vs Sollins", fig4);
+    ("f5", "Fig 5: check clearing vs intermediaries; Amoeba", fig5);
+    ("f6", "Fig 6: conventional vs hybrid vs public-key", fig6);
+    ("c3", "Sec 5: delegation and narrowing vs DSSA/ECMA", c3);
+    ("a1", "ablation: accept-once replay cache", a1);
+    ("a2", "ablation: limit-restriction elision", a2);
+    ("a3", "Sec 6.3: TGS proxies vs per-server capabilities", a3) ]
+
+let run ids =
+  let t0 = Unix.gettimeofday () in
+  print_endline "proxykit benchmark harness -- regenerating the paper's figures";
+  print_endline "(quantities: simulated-network messages/bytes/latency, crypto ops, CPU time)";
+  let selected =
+    match ids with
+    | [] -> all
+    | ids -> List.filter (fun (id, _, _) -> List.mem id ids) all
+  in
+  if selected = [] then
+    Printf.printf "no such experiment; known ids: %s\n"
+      (String.concat ", " (List.map (fun (id, _, _) -> id) all))
+  else begin
+    List.iter (fun (_, _, f) -> f ()) selected;
+    Printf.printf "\n%d experiment(s) completed in %.1f s\n" (List.length selected)
+      (Unix.gettimeofday () -. t0)
+  end

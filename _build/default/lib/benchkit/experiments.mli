@@ -1,0 +1,10 @@
+(** The experiment harness: one function per figure/claim of the paper.
+
+    Each experiment prints its table(s) to stdout; see DESIGN.md section 4
+    for the id → figure mapping and EXPERIMENTS.md for paper-vs-measured. *)
+
+val all : (string * string * (unit -> unit)) list
+(** (id, description, run) for every experiment. *)
+
+val run : string list -> unit
+(** Run the named experiments ([[]] = all). *)

@@ -1,0 +1,1 @@
+lib/core/presentation.ml: Crypto Principal Proxy Restriction Result Wire

@@ -1,0 +1,1 @@
+lib/core/presentation.mli: Crypto Proxy Restriction Wire

@@ -1,0 +1,1 @@
+lib/core/proxy.ml: Bignum Crypto List Principal Printf Proxy_cert Restriction Result Wire

@@ -1,0 +1,1 @@
+lib/core/proxy.mli: Crypto Principal Proxy_cert Restriction Wire

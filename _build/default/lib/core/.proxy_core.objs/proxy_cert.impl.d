@@ -1,0 +1,1 @@
+lib/core/proxy_cert.ml: Crypto Principal Printf Restriction Result String Wire

@@ -1,0 +1,1 @@
+lib/core/proxy_cert.mli: Crypto Principal Restriction Wire

@@ -1,0 +1,1 @@
+lib/core/restriction.ml: Format List Principal Printf Result String Wire

@@ -1,0 +1,1 @@
+lib/core/restriction.mli: Format Principal Wire

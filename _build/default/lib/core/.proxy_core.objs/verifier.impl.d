@@ -1,0 +1,1 @@
+lib/core/verifier.ml: List Option Presentation Principal Printf Proxy Proxy_cert Restriction Wire

@@ -1,0 +1,1 @@
+lib/core/verifier.mli: Crypto Presentation Principal Proxy Proxy_cert Restriction

@@ -1,0 +1,49 @@
+type proof = { pop_time : int; pop_sig : string }
+
+let signed_bytes ~time ~request_digest =
+  Wire.encode (Wire.L [ Wire.S "proof-of-possession"; Wire.I time; Wire.S request_digest ])
+
+let prove ~key ~time ~request_digest =
+  let msg = signed_bytes ~time ~request_digest in
+  let pop_sig =
+    match (key : Proxy.material) with
+    | Proxy.Sym k -> Crypto.Hmac.mac ~key:k msg
+    | Proxy.Keypair kp -> Crypto.Rsa.sign kp msg
+  in
+  { pop_time = time; pop_sig }
+
+type commitment = Sym_commit of string | Pk_commit of Crypto.Rsa.public
+
+let check commitment proof ~now ~max_skew ~request_digest =
+  if abs (proof.pop_time - now) > max_skew then Error "proof of possession: stale timestamp"
+  else begin
+    let msg = signed_bytes ~time:proof.pop_time ~request_digest in
+    let valid =
+      match commitment with
+      | Sym_commit k -> Crypto.Hmac.verify ~key:k ~msg ~tag:proof.pop_sig
+      | Pk_commit pub -> Crypto.Rsa.verify pub ~msg ~signature:proof.pop_sig
+    in
+    if valid then Ok () else Error "proof of possession: invalid"
+  end
+
+let proof_to_wire p = Wire.L [ Wire.I p.pop_time; Wire.S p.pop_sig ]
+
+let proof_of_wire v =
+  let open Wire in
+  let* pop_time = Result.bind (field v 0) to_int in
+  let* pop_sig = Result.bind (field v 1) to_string in
+  Ok { pop_time; pop_sig }
+
+let digest_request (req : Restriction.request) =
+  let spend =
+    match req.Restriction.spend with
+    | None -> Wire.L []
+    | Some (c, n) -> Wire.L [ Wire.S c; Wire.I n ]
+  in
+  Crypto.Sha256.digest
+    (Wire.encode
+       (Wire.L
+          [ Principal.to_wire req.Restriction.server;
+            Wire.S req.Restriction.operation;
+            Wire.S req.Restriction.target;
+            spend ]))

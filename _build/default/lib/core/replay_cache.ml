@@ -1,0 +1,28 @@
+type t = { entries : (string, int) Hashtbl.t (* identifier -> expiry *) }
+
+let create () = { entries = Hashtbl.create 64 }
+
+let seen t ~now id =
+  match Hashtbl.find_opt t.entries id with
+  | None -> false
+  | Some expires ->
+      if expires > now then true
+      else begin
+        Hashtbl.remove t.entries id;
+        false
+      end
+
+let record t ~now ~expires id =
+  if seen t ~now id then Error (Printf.sprintf "accept-once identifier %S already recorded" id)
+  else begin
+    Hashtbl.replace t.entries id expires;
+    Ok ()
+  end
+
+let size t = Hashtbl.length t.entries
+
+let purge t ~now =
+  let stale =
+    Hashtbl.fold (fun id expires acc -> if expires <= now then id :: acc else acc) t.entries []
+  in
+  List.iter (Hashtbl.remove t.entries) stale

@@ -1,0 +1,21 @@
+(** Accept-once replay cache (Section 7.7).
+
+    "Once a check is paid, the accounting server keeps track of the check
+    number until the expiration time on the check. If, within that period,
+    another check with the same number is seen, it is rejected." Entries
+    expire with the proxy that carried them, so the cache is bounded. *)
+
+type t
+
+val create : unit -> t
+
+val seen : t -> now:int -> string -> bool
+(** Has this identifier been recorded and not yet expired? *)
+
+val record : t -> now:int -> expires:int -> string -> (unit, string) result
+(** Remember an identifier until [expires]. Fails if it is already live —
+    callers can rely on record-if-absent being atomic. *)
+
+val size : t -> int
+val purge : t -> now:int -> unit
+(** Drop expired entries (also happens incrementally during queries). *)

@@ -1,0 +1,225 @@
+type base_info = {
+  base_client : Principal.t;
+  base_session_key : string;
+  base_expires : int;
+  base_restrictions : Restriction.t list;
+}
+
+type verified = {
+  grantor : Principal.t;
+  restrictions : Restriction.t list;
+  expires : int;
+  commitment : Presentation.commitment;
+  chain_length : int;
+  serials : string list;
+}
+
+let no_tally _ = ()
+
+let check_window ~now (body : Proxy_cert.body) =
+  if body.Proxy_cert.issued_at > now then Error "proxy-cert: issued in the future"
+  else if body.Proxy_cert.expires <= now then Error "proxy-cert: expired"
+  else Ok ()
+
+let verify_conventional ~open_base ?(tally = no_tally) ~now
+    (chain : Proxy.conventional_chain) =
+  let open Wire in
+  tally "crypto.open";
+  let* base = open_base chain.Proxy.base in
+  if base.base_expires <= now then Error "base credentials expired"
+  else if chain.Proxy.cert_blobs = [] then
+    Error "a bare ticket is not a proxy: no certificates presented"
+  else begin
+    (* Walk the chain: each certificate is sealed under the previous key,
+       starting from the base session key, and embeds the next proxy key. *)
+    let rec walk key acc_restrictions acc_serials expires first = function
+      | [] ->
+          Ok
+            {
+              grantor = base.base_client;
+              restrictions = acc_restrictions;
+              expires;
+              commitment = Presentation.Sym_commit key;
+              chain_length = List.length chain.Proxy.cert_blobs;
+              serials = List.rev acc_serials;
+            }
+      | blob :: rest ->
+          tally "crypto.open";
+          let* body, proxy_key = Proxy_cert.open_conventional ~sealing_key:key blob in
+          let* () = check_window ~now body in
+          let* () =
+            if first && not (Principal.equal body.Proxy_cert.grantor base.base_client) then
+              Error "head certificate grantor does not match base credentials"
+            else Ok ()
+          in
+          walk proxy_key
+            (acc_restrictions @ body.Proxy_cert.restrictions)
+            (body.Proxy_cert.serial :: acc_serials)
+            (min expires body.Proxy_cert.expires)
+            false rest
+    in
+    walk base.base_session_key base.base_restrictions [] base.base_expires true
+      chain.Proxy.cert_blobs
+  end
+
+let verify_pk ~lookup ?(tally = no_tally) ~now certs =
+  let open Wire in
+  match certs with
+  | [] -> Error "empty certificate chain"
+  | head :: _ ->
+      let signer_key ~prev (cert : Proxy_cert.pk_cert) =
+        match (cert.Proxy_cert.pk_signer, prev) with
+        | Proxy_cert.By_grantor_key, None -> (
+            match lookup cert.Proxy_cert.pk_body.Proxy_cert.grantor with
+            | Some pub -> Ok pub
+            | None ->
+                Error
+                  (Printf.sprintf "no public key known for grantor %s"
+                     (Principal.to_string cert.Proxy_cert.pk_body.Proxy_cert.grantor)))
+        | Proxy_cert.By_grantor_key, Some _ ->
+            Error "only the head certificate may be signed by the grantor key"
+        | Proxy_cert.By_proxy_key, Some (prev_cert : Proxy_cert.pk_cert) ->
+            Ok prev_cert.Proxy_cert.proxy_pub
+        | Proxy_cert.By_proxy_key, None ->
+            Error "head certificate cannot be signed by a proxy key"
+        | Proxy_cert.By_principal p, Some prev_cert -> (
+            (* Delegate cascade: the signing intermediate must be a named
+               grantee of the previous certificate. *)
+            match Proxy.classify prev_cert.Proxy_cert.pk_body.Proxy_cert.restrictions with
+            | `Bearer ->
+                Error "delegate cascade on a bearer certificate (no grantees named)"
+            | `Delegate grantees ->
+                if not (List.exists (Principal.equal p) grantees) then
+                  Error
+                    (Printf.sprintf "%s is not a named grantee of the preceding certificate"
+                       (Principal.to_string p))
+                else (
+                  match lookup p with
+                  | Some pub -> Ok pub
+                  | None ->
+                      Error
+                        (Printf.sprintf "no public key known for intermediate %s"
+                           (Principal.to_string p))))
+        | Proxy_cert.By_principal _, None ->
+            Error "head certificate must be signed by the grantor key"
+      in
+      (* [pending_grantees] holds the previous certificate's Grantee
+         restrictions: a delegate-cascade signature by a named grantee
+         discharges them (the delegation is the exercise); any other
+         continuation re-imposes them on the final presenters. *)
+      let is_grantee = function Restriction.Grantee _ -> true | _ -> false in
+      let rec walk prev acc_restrictions pending_grantees acc_serials expires = function
+        | [] ->
+            let last = Option.get prev in
+            Ok
+              {
+                grantor = head.Proxy_cert.pk_body.Proxy_cert.grantor;
+                restrictions = acc_restrictions @ pending_grantees;
+                expires;
+                commitment = Presentation.Pk_commit last.Proxy_cert.proxy_pub;
+                chain_length = List.length certs;
+                serials = List.rev acc_serials;
+              }
+        | (cert : Proxy_cert.pk_cert) :: rest ->
+            let* pub = signer_key ~prev cert in
+            tally "crypto.rsa_verify";
+            let* () = Proxy_cert.verify_pk_signature pub cert in
+            let* () = check_window ~now cert.Proxy_cert.pk_body in
+            let discharged =
+              match cert.Proxy_cert.pk_signer with
+              | Proxy_cert.By_principal _ -> []
+              | Proxy_cert.By_grantor_key | Proxy_cert.By_proxy_key -> pending_grantees
+            in
+            let grantee_rs, other_rs =
+              List.partition is_grantee cert.Proxy_cert.pk_body.Proxy_cert.restrictions
+            in
+            walk (Some cert)
+              (acc_restrictions @ discharged @ other_rs)
+              grantee_rs
+              (cert.Proxy_cert.pk_body.Proxy_cert.serial :: acc_serials)
+              (min expires cert.Proxy_cert.pk_body.Proxy_cert.expires)
+              rest
+      in
+      walk None [] [] [] max_int certs
+
+(* Walk conventionally-sealed cascade certificates from a known starting
+   key, accumulating restrictions; shared by the conventional walk above in
+   spirit, specialized here for the hybrid tail. *)
+let walk_cascade ~tally ~now ~start_key ~acc ~serials ~expires blobs =
+  let open Wire in
+  let rec go key acc serials expires = function
+    | [] -> Ok (key, acc, List.rev serials, expires)
+    | blob :: rest ->
+        tally "crypto.open";
+        let* body, proxy_key = Proxy_cert.open_conventional ~sealing_key:key blob in
+        let* () = check_window ~now body in
+        go proxy_key
+          (acc @ body.Proxy_cert.restrictions)
+          (body.Proxy_cert.serial :: serials)
+          (min expires body.Proxy_cert.expires)
+          rest
+  in
+  go start_key acc (List.rev serials) expires blobs
+
+let verify_hybrid ~lookup ~decrypt ?me ?(tally = no_tally) ~now ((head, blobs) : Proxy_cert.hybrid_cert * string list) =
+  let open Wire in
+  let grantor = head.Proxy_cert.h_body.Proxy_cert.grantor in
+  let* () =
+    match me with
+    | Some me when not (Principal.equal me head.Proxy_cert.h_end_server) ->
+        Error
+          (Printf.sprintf "hybrid proxy is for %s, not this server"
+             (Principal.to_string head.Proxy_cert.h_end_server))
+    | Some _ | None -> Ok ()
+  in
+  let* grantor_pub =
+    match lookup grantor with
+    | Some pub -> Ok pub
+    | None ->
+        Error (Printf.sprintf "no public key known for grantor %s" (Principal.to_string grantor))
+  in
+  tally "crypto.rsa_verify";
+  let* () = Proxy_cert.verify_hybrid_signature grantor_pub head in
+  let* () = check_window ~now head.Proxy_cert.h_body in
+  tally "crypto.rsa_decrypt";
+  let* head_key = Proxy_cert.open_hybrid_key ~decrypt head in
+  let* final_key, restrictions, serials, expires =
+    walk_cascade ~tally ~now ~start_key:head_key
+      ~acc:head.Proxy_cert.h_body.Proxy_cert.restrictions
+      ~serials:[ head.Proxy_cert.h_body.Proxy_cert.serial ]
+      ~expires:head.Proxy_cert.h_body.Proxy_cert.expires blobs
+  in
+  Ok
+    {
+      grantor;
+      restrictions;
+      expires;
+      commitment = Presentation.Sym_commit final_key;
+      chain_length = 1 + List.length blobs;
+      serials;
+    }
+
+let no_decrypt _ = None
+
+let verify ~open_base ~lookup ?(decrypt = no_decrypt) ?me ?tally ~now = function
+  | Proxy.Conventional chain -> verify_conventional ~open_base ?tally ~now chain
+  | Proxy.Public_key certs -> verify_pk ~lookup ?tally ~now certs
+  | Proxy.Hybrid (head, blobs) -> verify_hybrid ~lookup ~decrypt ?me ?tally ~now (head, blobs)
+
+let authorize verified ~req ~proof ~max_skew =
+  let open Wire in
+  let* () =
+    if verified.expires <= req.Restriction.time then Error "proxy expired" else Ok ()
+  in
+  let* () = Restriction.check_all verified.restrictions req in
+  match Proxy.classify verified.restrictions with
+  | `Delegate _ ->
+      (* Identity-based: the Grantee restriction already validated the
+         presenters; a proof of possession is welcome but not required. *)
+      Ok ()
+  | `Bearer -> (
+      match proof with
+      | None -> Error "bearer proxy requires proof of possession"
+      | Some p ->
+          Presentation.check verified.commitment p ~now:req.Restriction.time ~max_skew
+            ~request_digest:(Presentation.digest_request req))

@@ -1,0 +1,90 @@
+(** End-server verification of presented proxies.
+
+    Walks the certificate chain (Figure 4), accumulating restrictions
+    additively and recovering the final proxy-key commitment, then
+    {!authorize} evaluates the accumulated restrictions against the request
+    and demands the right kind of proof: possession of the proxy key for a
+    bearer proxy, authenticated presenter identity for a delegate proxy.
+
+    Verification is offline — no message to any authentication server — in
+    contrast to Sollins's cascaded authentication, which is the comparison
+    the paper draws in Section 3.4 and that [bench/main.ml] measures. *)
+
+(** What the verifier learns from the opaque base credentials (the
+    grantor's ticket for this server); supplied by the server glue since the
+    core stays independent of the KDC. *)
+type base_info = {
+  base_client : Principal.t;
+  base_session_key : string;
+  base_expires : int;
+  base_restrictions : Restriction.t list;
+      (** restrictions already attached to the base credentials *)
+}
+
+type verified = {
+  grantor : Principal.t;  (** the authority at the head of the chain *)
+  restrictions : Restriction.t list;  (** the full, additive set *)
+  expires : int;  (** the tightest expiry along the chain *)
+  commitment : Presentation.commitment;
+  chain_length : int;
+  serials : string list;  (** certificate serials, head first (audit) *)
+}
+
+val verify_conventional :
+  open_base:(string -> (base_info, string) result) ->
+  ?tally:(string -> unit) ->
+  now:int ->
+  Proxy.conventional_chain ->
+  (verified, string) result
+
+val verify_pk :
+  lookup:(Principal.t -> Crypto.Rsa.public option) ->
+  ?tally:(string -> unit) ->
+  now:int ->
+  Proxy_cert.pk_cert list ->
+  (verified, string) result
+(** Chain rules: the head certificate must be signed by the grantor's
+    long-term key; later certificates are signed either with the previous
+    proxy key (bearer cascade) or by a named principal that the previous
+    certificate listed as a grantee (delegate cascade — enforcing the
+    paper's audit-trail discipline). A delegate-cascade signature
+    {e discharges} the Grantee restriction it exercised: a check endorsed
+    from payee to bank no longer requires the payee among the final
+    presenters, only the endorsement target. *)
+
+val verify_hybrid :
+  lookup:(Principal.t -> Crypto.Rsa.public option) ->
+  decrypt:(string -> string option) ->
+  ?me:Principal.t ->
+  ?tally:(string -> unit) ->
+  now:int ->
+  Proxy_cert.hybrid_cert * string list ->
+  (verified, string) result
+(** Section 6.1 hybrid: validate the grantor's signature, recover the
+    symmetric proxy key with the server's RSA [decrypt], then walk any
+    cascade certificates conventionally. When [me] is given, the
+    certificate must name this server. *)
+
+val verify :
+  open_base:(string -> (base_info, string) result) ->
+  lookup:(Principal.t -> Crypto.Rsa.public option) ->
+  ?decrypt:(string -> string option) ->
+  ?me:Principal.t ->
+  ?tally:(string -> unit) ->
+  now:int ->
+  Proxy.presentation ->
+  (verified, string) result
+(** Dispatch on the presentation's flavor. Hybrid presentations require
+    [decrypt] (the default refuses them). *)
+
+val authorize :
+  verified ->
+  req:Restriction.request ->
+  proof:Presentation.proof option ->
+  max_skew:int ->
+  (unit, string) result
+(** Full decision: expiry, every restriction, and the flavor-appropriate
+    proof. A bearer proxy without a valid proof of possession is refused; a
+    delegate proxy is refused unless the grantee quorum is among the
+    authenticated presenters (which {!Restriction.check} enforces via the
+    [Grantee] restriction). *)

@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Char Ct Sha256 String

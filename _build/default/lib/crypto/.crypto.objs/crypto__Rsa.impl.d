@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Bignum Char Ct Drbg Sha256 String

@@ -1,0 +1,40 @@
+type sealed = { nonce : string; ciphertext : string; tag : string }
+
+(* Domain-separated subkeys so the same 32-byte key can drive both the
+   cipher and the MAC. *)
+let enc_key key = Hmac.mac ~key "aead-encrypt"
+let mac_key key = Hmac.mac ~key "aead-mac"
+
+let tag_input ~nonce ~ad ~ciphertext =
+  let len_be n =
+    String.init 8 (fun i -> Char.chr ((n lsr (8 * (7 - i))) land 0xff))
+  in
+  String.concat "" [ len_be (String.length ad); ad; len_be (String.length ciphertext); ciphertext; nonce ]
+
+let seal ~key ?(ad = "") ~nonce plaintext =
+  if String.length key <> 32 then invalid_arg "Aead.seal: key must be 32 bytes";
+  if String.length nonce <> 12 then invalid_arg "Aead.seal: nonce must be 12 bytes";
+  let ciphertext = Chacha20.encrypt ~key:(enc_key key) ~nonce plaintext in
+  let tag = Hmac.mac ~key:(mac_key key) (tag_input ~nonce ~ad ~ciphertext) in
+  { nonce; ciphertext; tag }
+
+let open_ ~key ?(ad = "") box =
+  if String.length key <> 32 || String.length box.nonce <> 12 then None
+  else begin
+    let expected = Hmac.mac ~key:(mac_key key) (tag_input ~nonce:box.nonce ~ad ~ciphertext:box.ciphertext) in
+    if Ct.equal_string expected box.tag then
+      Some (Chacha20.encrypt ~key:(enc_key key) ~nonce:box.nonce box.ciphertext)
+    else None
+  end
+
+let encode box = box.nonce ^ box.tag ^ box.ciphertext
+
+let decode s =
+  if String.length s < 44 then None
+  else
+    Some
+      {
+        nonce = String.sub s 0 12;
+        tag = String.sub s 12 32;
+        ciphertext = String.sub s 44 (String.length s - 44);
+      }

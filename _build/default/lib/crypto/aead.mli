@@ -1,0 +1,20 @@
+(** Authenticated encryption: ChaCha20 + HMAC-SHA256, encrypt-then-MAC.
+
+    Sealed boxes carry session keys inside Kerberos-style tickets and proxy
+    keys between grantor and grantee. The MAC covers nonce, associated data,
+    and ciphertext, so any tampering with a sealed certificate is detected
+    before decryption. *)
+
+type sealed = { nonce : string; ciphertext : string; tag : string }
+
+val seal : key:string -> ?ad:string -> nonce:string -> string -> sealed
+(** [seal ~key ~ad ~nonce plaintext]. [key] is 32 bytes, [nonce] 12 bytes.
+    [ad] is authenticated but not encrypted. *)
+
+val open_ : key:string -> ?ad:string -> sealed -> string option
+(** [open_ ~key ~ad box] returns the plaintext iff the tag verifies. *)
+
+val encode : sealed -> string
+(** Flat wire encoding (nonce || tag || ciphertext). *)
+
+val decode : string -> sealed option

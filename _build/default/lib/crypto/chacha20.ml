@@ -1,0 +1,72 @@
+let ( +% ) = Int32.add
+let ( ^% ) = Int32.logxor
+let rotl x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+
+let quarter st a b c d =
+  st.(a) <- st.(a) +% st.(b);
+  st.(d) <- rotl (st.(d) ^% st.(a)) 16;
+  st.(c) <- st.(c) +% st.(d);
+  st.(b) <- rotl (st.(b) ^% st.(c)) 12;
+  st.(a) <- st.(a) +% st.(b);
+  st.(d) <- rotl (st.(d) ^% st.(a)) 8;
+  st.(c) <- st.(c) +% st.(d);
+  st.(b) <- rotl (st.(b) ^% st.(c)) 7
+
+let word_le s off =
+  Int32.logor
+    (Int32.of_int (Char.code s.[off]))
+    (Int32.logor
+       (Int32.shift_left (Int32.of_int (Char.code s.[off + 1])) 8)
+       (Int32.logor
+          (Int32.shift_left (Int32.of_int (Char.code s.[off + 2])) 16)
+          (Int32.shift_left (Int32.of_int (Char.code s.[off + 3])) 24)))
+
+let block ~key ~nonce ~counter =
+  if String.length key <> 32 then invalid_arg "Chacha20.block: key must be 32 bytes";
+  if String.length nonce <> 12 then invalid_arg "Chacha20.block: nonce must be 12 bytes";
+  let st = Array.make 16 0l in
+  st.(0) <- 0x61707865l;
+  st.(1) <- 0x3320646el;
+  st.(2) <- 0x79622d32l;
+  st.(3) <- 0x6b206574l;
+  for i = 0 to 7 do
+    st.(4 + i) <- word_le key (4 * i)
+  done;
+  st.(12) <- Int32.of_int counter;
+  for i = 0 to 2 do
+    st.(13 + i) <- word_le nonce (4 * i)
+  done;
+  let working = Array.copy st in
+  for _ = 1 to 10 do
+    quarter working 0 4 8 12;
+    quarter working 1 5 9 13;
+    quarter working 2 6 10 14;
+    quarter working 3 7 11 15;
+    quarter working 0 5 10 15;
+    quarter working 1 6 11 12;
+    quarter working 2 7 8 13;
+    quarter working 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    let w = working.(i) +% st.(i) in
+    Bytes.set out (4 * i) (Char.chr (Int32.to_int w land 0xff));
+    Bytes.set out ((4 * i) + 1) (Char.chr (Int32.to_int (Int32.shift_right_logical w 8) land 0xff));
+    Bytes.set out ((4 * i) + 2) (Char.chr (Int32.to_int (Int32.shift_right_logical w 16) land 0xff));
+    Bytes.set out ((4 * i) + 3) (Char.chr (Int32.to_int (Int32.shift_right_logical w 24) land 0xff))
+  done;
+  Bytes.to_string out
+
+let encrypt ~key ~nonce ?(counter = 1) msg =
+  let len = String.length msg in
+  let out = Bytes.create len in
+  let nblocks = (len + 63) / 64 in
+  for b = 0 to nblocks - 1 do
+    let ks = block ~key ~nonce ~counter:(counter + b) in
+    let off = 64 * b in
+    let n = min 64 (len - off) in
+    for i = 0 to n - 1 do
+      Bytes.set out (off + i) (Char.chr (Char.code msg.[off + i] lxor Char.code ks.[i]))
+    done
+  done;
+  Bytes.to_string out

@@ -1,0 +1,14 @@
+(** ChaCha20 stream cipher (RFC 8439).
+
+    Used to protect proxy keys in transit (the paper requires the proxy key
+    be "protected from disclosure" when a proxy moves from grantor to
+    grantee) and as the confidentiality half of {!Aead}. *)
+
+val block : key:string -> nonce:string -> counter:int -> string
+(** [block ~key ~nonce ~counter] is the 64-byte keystream block. [key] must
+    be 32 bytes and [nonce] 12 bytes; raises [Invalid_argument] otherwise. *)
+
+val encrypt : key:string -> nonce:string -> ?counter:int -> string -> string
+(** XOR the message with the keystream starting at block [counter]
+    (default 1, per RFC 8439 AEAD convention). Encryption and decryption are
+    the same operation. *)

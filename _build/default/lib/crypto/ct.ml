@@ -1,0 +1,7 @@
+let equal_string a b =
+  String.length a = String.length b
+  && begin
+       let acc = ref 0 in
+       String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+       !acc = 0
+     end

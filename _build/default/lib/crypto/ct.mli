@@ -1,0 +1,9 @@
+(** Constant-time byte-string comparison.
+
+    MAC tags and proof-of-possession responses must never be compared with
+    short-circuiting equality, or an attacker on the simulated network could
+    oracle its way to a forgery byte by byte. *)
+
+val equal_string : string -> string -> bool
+(** Length is compared first (length is public); contents are compared
+    without data-dependent branching. *)

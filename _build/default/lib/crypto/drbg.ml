@@ -1,0 +1,45 @@
+(* HMAC-DRBG with SHA-256: state is (key, v); update per SP 800-90A. *)
+
+type t = { mutable key : string; mutable v : string }
+
+let update t provided =
+  t.key <- Hmac.mac ~key:t.key (t.v ^ "\x00" ^ provided);
+  t.v <- Hmac.mac ~key:t.key t.v;
+  if provided <> "" then begin
+    t.key <- Hmac.mac ~key:t.key (t.v ^ "\x01" ^ provided);
+    t.v <- Hmac.mac ~key:t.key t.v
+  end
+
+let create ~seed =
+  let t = { key = String.make 32 '\x00'; v = String.make 32 '\x01' } in
+  update t seed;
+  t
+
+let reseed t entropy = update t entropy
+
+let generate t n =
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    t.v <- Hmac.mac ~key:t.key t.v;
+    Buffer.add_string buf t.v
+  done;
+  update t "";
+  String.sub (Buffer.contents buf) 0 n
+
+let rand t n = generate t n
+
+let uniform_int t n =
+  if n <= 0 then invalid_arg "Drbg.uniform_int: bound must be positive";
+  (* Rejection sampling over 62-bit draws. *)
+  let draw () =
+    let s = generate t 8 in
+    let acc = ref 0 in
+    String.iter (fun c -> acc := ((!acc lsl 8) lor Char.code c) land max_int) s;
+    !acc
+  in
+  let limit = max_int - (max_int mod n) in
+  let rec go () =
+    let x = draw () in
+    if x < limit then x mod n else go ()
+  in
+  go ()

@@ -1,0 +1,20 @@
+(** Deterministic random bit generator (HMAC-DRBG, NIST SP 800-90A).
+
+    Every source of randomness in the system — session keys, proxy keys,
+    nonces, RSA primes, simulated jitter — draws from a seeded DRBG so whole
+    experiment runs are reproducible bit-for-bit. *)
+
+type t
+
+val create : seed:string -> t
+val reseed : t -> string -> unit
+
+val generate : t -> int -> string
+(** [generate t n] returns [n] fresh pseudorandom bytes. *)
+
+val rand : t -> Bignum.Prime.rand
+(** View as the byte source expected by {!Bignum.Prime}. *)
+
+val uniform_int : t -> int -> int
+(** [uniform_int t n] is uniform in [[0, n)]. Raises [Invalid_argument] when
+    [n <= 0]. *)

@@ -1,0 +1,12 @@
+(** HMAC-SHA256 (RFC 2104).
+
+    This is the integrity primitive of the conventional-cryptography proxy
+    realization: proxy certificates are sealed with an HMAC under the
+    grantor's key, and proof-of-possession challenges are answered with an
+    HMAC under the proxy key. *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag. *)
+
+val verify : key:string -> msg:string -> tag:string -> bool
+(** Constant-time tag check. *)

@@ -1,0 +1,31 @@
+(** RSA signatures and encryption over {!Bignum.Nat}.
+
+    This realizes the paper's public-key proxies (Figure 6): proxy
+    certificates are signed with the grantor's private key, and for the
+    hybrid scheme the conventional proxy key is sealed under the end-server's
+    public key. Padding follows PKCS#1 v1.5 (deterministic for signatures,
+    randomized for encryption); modulus size is a parameter so benches can
+    sweep it. *)
+
+type public = { n : Bignum.Nat.t; e : Bignum.Nat.t }
+type private_ = { pub : public; d : Bignum.Nat.t }
+
+val generate : Drbg.t -> bits:int -> private_
+(** Generate a key pair with a modulus of [bits] bits ([bits >= 128],
+    public exponent 65537). *)
+
+val sign : private_ -> string -> string
+(** [sign key msg] signs SHA-256([msg]); the signature is
+    [modulus_bytes key.pub] bytes. *)
+
+val verify : public -> msg:string -> signature:string -> bool
+
+val encrypt : Drbg.t -> public -> string -> string option
+(** PKCS#1 v1.5 type-2 encryption. [None] if the message is too long for
+    the modulus (max [modulus_bytes - 11]). *)
+
+val decrypt : private_ -> string -> string option
+
+val modulus_bytes : public -> int
+val public_to_bytes : public -> string
+val public_of_bytes : string -> public option

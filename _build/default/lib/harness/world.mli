@@ -1,0 +1,28 @@
+(** Experiment worlds: a simulated network with a KDC and enrolment
+    helpers, shared by the benches (and mirrored by the examples).
+
+    All functions that contact the KDC raise [Failure] on error — worlds are
+    experiment scaffolding, not adversarial surface. *)
+
+type t = {
+  net : Sim.Net.t;
+  dir : Directory.t;
+  kdc_name : Principal.t;
+  realm : string;
+}
+
+val create : ?seed:string -> ?realm:string -> ?default_latency_us:int -> unit -> t
+
+val enrol : t -> string -> Principal.t * string
+(** Register a principal with a fresh long-term symmetric key. *)
+
+val enrol_pk : t -> ?bits:int -> string -> Principal.t * string * Crypto.Rsa.private_
+(** Additionally generate and publish an RSA key pair (default 512 bits). *)
+
+val lookup : t -> Principal.t -> Crypto.Rsa.public option
+val login : t -> Principal.t -> Ticket.credentials
+(** Obtain a TGT. *)
+
+val credentials_for : t -> tgt:Ticket.credentials -> Principal.t -> Ticket.credentials
+val now : t -> int
+val hour : int

@@ -1,0 +1,1 @@
+lib/kdc/kdc.ml: Char Crypto Directory Hashtbl List Option Principal Printf Result Sim String Ticket Wire

@@ -1,0 +1,1 @@
+lib/kdc/kdc.mli: Directory Principal Sim Ticket Wire

@@ -1,0 +1,1 @@
+lib/kdc/secure_rpc.ml: Crypto Hashtbl Option Principal Printf Result Sim String Ticket Wire

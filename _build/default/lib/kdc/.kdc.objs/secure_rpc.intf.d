@@ -1,0 +1,1 @@
+lib/kdc/secure_rpc.mli: Principal Sim Ticket Wire

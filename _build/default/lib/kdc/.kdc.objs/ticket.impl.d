@@ -1,0 +1,1 @@
+lib/kdc/ticket.ml: Crypto Option Principal Result Wire

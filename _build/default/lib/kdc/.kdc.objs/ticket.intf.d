@@ -1,0 +1,1 @@
+lib/kdc/ticket.mli: Principal Wire

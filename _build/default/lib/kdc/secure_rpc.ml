@@ -1,0 +1,134 @@
+type server_context = {
+  rpc_client : Principal.t;
+  rpc_session_key : string;
+  rpc_auth_data : Wire.t list;
+}
+
+let err msg = Wire.encode (Wire.L [ Wire.S "err"; Wire.S msg ])
+
+let serve net ~me ~my_key ?(max_skew_us = 5 * 60 * 1_000_000) handler =
+  let metrics = Sim.Net.metrics net in
+  (* Replay cache over authenticator blobs: within the freshness window an
+     identical authenticator is a replay. *)
+  let seen_auths : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let handle request =
+    let now = Sim.Net.now net in
+    let open Wire in
+    let parsed =
+      let* v = Wire.decode request in
+      let* tag = Result.bind (field v 0) to_string in
+      if tag <> "secure" then Error "not a secure-rpc request"
+      else
+        let* ticket_blob = Result.bind (field v 1) to_string in
+        let* auth_blob = Result.bind (field v 2) to_string in
+        let* payload = field v 3 in
+        Ok (ticket_blob, auth_blob, payload)
+    in
+    match parsed with
+    | Error e -> err e
+    | Ok (ticket_blob, auth_blob, payload) -> (
+        Sim.Metrics.incr metrics "crypto.open";
+        match Ticket.open_ ~service_key:my_key ticket_blob with
+        | Error e -> err e
+        | Ok ticket ->
+            if not (Principal.equal ticket.Ticket.service me) then
+              err "ticket is for a different service"
+            else if ticket.Ticket.expires <= now then err "ticket expired"
+            else begin
+              Sim.Metrics.incr metrics "crypto.open";
+              match
+                Ticket.open_authenticator ~session_key:ticket.Ticket.session_key auth_blob
+              with
+              | Error e -> err e
+              | Ok auth ->
+                  if not (Principal.equal auth.Ticket.auth_client ticket.Ticket.client) then
+                    err "authenticator does not match ticket"
+                  else if abs (auth.Ticket.timestamp - now) > max_skew_us then
+                    err "authenticator outside freshness window"
+                  else begin
+                    let auth_id = Crypto.Sha256.digest auth_blob in
+                    match Hashtbl.find_opt seen_auths auth_id with
+                    | Some _ -> err "authenticator replayed"
+                    | None ->
+                        Hashtbl.replace seen_auths auth_id (now + max_skew_us);
+                        (* Opportunistic purge keeps the cache bounded. *)
+                        Hashtbl.iter
+                          (fun k expiry -> if expiry <= now then Hashtbl.remove seen_auths k)
+                          (Hashtbl.copy seen_auths);
+                        let ctx =
+                          {
+                            rpc_client = ticket.Ticket.client;
+                            rpc_session_key = ticket.Ticket.session_key;
+                            rpc_auth_data =
+                              ticket.Ticket.authorization_data @ auth.Ticket.auth_data;
+                          }
+                        in
+                        let reply_key =
+                          match auth.Ticket.subkey with
+                          | Some k when String.length k = 32 -> k
+                          | Some _ | None -> ticket.Ticket.session_key
+                        in
+                        let body =
+                          match handler ctx payload with
+                          | Ok reply -> Wire.L [ Wire.S "ok"; reply ]
+                          | Error e -> Wire.L [ Wire.S "err"; Wire.S e ]
+                        in
+                        Sim.Metrics.incr metrics "crypto.seal";
+                        let sealed =
+                          Crypto.Aead.encode
+                            (Crypto.Aead.seal ~key:reply_key ~ad:"secure-rpc-resp"
+                               ~nonce:(Sim.Net.fresh_nonce net) (Wire.encode body))
+                        in
+                        Wire.encode (Wire.L [ Wire.S "sealed"; Wire.S sealed ])
+                  end
+            end)
+  in
+  Sim.Net.register net ~name:(Principal.to_string me) handle
+
+let call net ~creds ?subkey payload =
+  let open Wire in
+  let authenticator =
+    {
+      Ticket.auth_client = creds.Ticket.cred_client;
+      timestamp = Sim.Net.now net;
+      subkey;
+      auth_data = [];
+    }
+  in
+  let auth_blob =
+    Ticket.seal_authenticator ~session_key:creds.Ticket.session_key
+      ~nonce:(Sim.Net.fresh_nonce net) authenticator
+  in
+  let request =
+    Wire.encode
+      (Wire.L [ Wire.S "secure"; Wire.S creds.Ticket.ticket_blob; Wire.S auth_blob; payload ])
+  in
+  let src = Principal.to_string creds.Ticket.cred_client in
+  let dst = Principal.to_string creds.Ticket.cred_service in
+  match Sim.Net.rpc net ~src ~dst request with
+  | Error e -> Error e
+  | Ok reply -> (
+      let* v = Wire.decode reply in
+      let* tag = Result.bind (field v 0) to_string in
+      match tag with
+      | "err" ->
+          let* msg = Result.bind (field v 1) to_string in
+          Error msg
+      | "sealed" -> (
+          let* sealed = Result.bind (field v 1) to_string in
+          let reply_key = Option.value subkey ~default:creds.Ticket.session_key in
+          match Crypto.Aead.decode sealed with
+          | None -> Error "response: malformed seal"
+          | Some box -> (
+              match Crypto.Aead.open_ ~key:reply_key ~ad:"secure-rpc-resp" box with
+              | None -> Error "response: seal verification failed"
+              | Some plaintext -> (
+                  let* body = Wire.decode plaintext in
+                  let* status = Result.bind (field body 0) to_string in
+                  match status with
+                  | "ok" -> field body 1
+                  | "err" ->
+                      let* msg = Result.bind (field body 1) to_string in
+                      Error msg
+                  | other -> Error (Printf.sprintf "response: unknown status %S" other))))
+      | other -> Error (Printf.sprintf "response: unknown tag %S" other))

@@ -1,0 +1,37 @@
+(** Authenticated application RPC over tickets.
+
+    The standard Kerberos application exchange: the client sends its ticket
+    and a fresh authenticator with the request; the server learns the
+    client's authenticated identity and the session key, and seals its
+    response under the session key (or the authenticator's subkey). Every
+    service in the system — authorization server, group server, accounting
+    servers, end-servers — speaks this. *)
+
+type server_context = {
+  rpc_client : Principal.t;  (** authenticated identity of the caller *)
+  rpc_session_key : string;
+  rpc_auth_data : Wire.t list;
+      (** restrictions carried by the caller's ticket + authenticator *)
+}
+
+val serve :
+  Sim.Net.t ->
+  me:Principal.t ->
+  my_key:string ->
+  ?max_skew_us:int ->
+  (server_context -> Wire.t -> (Wire.t, string) result) ->
+  unit
+(** Register the service on the network. The handler sees only
+    authenticated requests; ticket/authenticator failures are answered with
+    in-band errors before it runs. Authenticator replays within the skew
+    window are rejected via an internal cache. *)
+
+val call :
+  Sim.Net.t ->
+  creds:Ticket.credentials ->
+  ?subkey:string ->
+  Wire.t ->
+  (Wire.t, string) result
+(** One authenticated exchange with the service named by
+    [creds.cred_service]. The response is decrypted and authenticated; a
+    tampered or substituted response surfaces as [Error]. *)

@@ -1,0 +1,1 @@
+lib/pki/ca.ml: Crypto Principal Result Wire

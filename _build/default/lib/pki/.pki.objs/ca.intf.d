@@ -1,0 +1,1 @@
+lib/pki/ca.mli: Crypto Principal Wire

@@ -1,0 +1,1 @@
+lib/pki/name_server.ml: Ca Crypto Hashtbl Principal Result Sim Wire

@@ -1,0 +1,1 @@
+lib/pki/name_server.mli: Ca Crypto Principal Sim

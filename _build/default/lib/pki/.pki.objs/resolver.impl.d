@@ -1,0 +1,1 @@
+lib/pki/resolver.ml: Crypto Hashtbl Name_server Principal Sim

@@ -1,0 +1,1 @@
+lib/pki/resolver.mli: Crypto Principal Sim

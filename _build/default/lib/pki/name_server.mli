@@ -1,0 +1,26 @@
+(** Name server: network lookup of public-key certificates.
+
+    The paper's Figure 6 discussion has end-servers obtain grantor public
+    keys "from an authentication/name server"; this node serves the CA's
+    certificates over the simulated network, and the client helper verifies
+    the CA signature on every answer so a tampering adversary cannot
+    substitute keys. *)
+
+type t
+
+val create : Sim.Net.t -> name:Principal.t -> ca_pub:Crypto.Rsa.public -> t
+val install : t -> unit
+val publish : t -> Ca.cert -> unit
+(** Store a certificate for its subject (replacing any previous one). *)
+
+val revoke : t -> Principal.t -> unit
+
+val lookup :
+  Sim.Net.t ->
+  server:Principal.t ->
+  ca_pub:Crypto.Rsa.public ->
+  caller:string ->
+  Principal.t ->
+  (Crypto.Rsa.public, string) result
+(** One network exchange; verifies the CA signature and validity before
+    returning the bound key. *)

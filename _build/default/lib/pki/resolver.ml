@@ -1,0 +1,32 @@
+type entry = { pub : Crypto.Rsa.public; fetched_at : int }
+
+type t = {
+  net : Sim.Net.t;
+  name_server : Principal.t;
+  ca_pub : Crypto.Rsa.public;
+  caller : string;
+  ttl_us : int;
+  cache : (string, entry) Hashtbl.t;
+}
+
+let create net ~name_server ~ca_pub ~caller ?(ttl_us = 3_600_000_000) () =
+  { net; name_server; ca_pub; caller; ttl_us; cache = Hashtbl.create 16 }
+
+let lookup t p =
+  let key = Principal.to_string p in
+  let now = Sim.Net.now t.net in
+  match Hashtbl.find_opt t.cache key with
+  | Some e when e.fetched_at + t.ttl_us > now -> Some e.pub
+  | Some _ | None -> (
+      match
+        Name_server.lookup t.net ~server:t.name_server ~ca_pub:t.ca_pub ~caller:t.caller p
+      with
+      | Ok pub ->
+          Hashtbl.replace t.cache key { pub; fetched_at = now };
+          Some pub
+      | Error _ ->
+          Hashtbl.remove t.cache key;
+          None)
+
+let flush t = Hashtbl.reset t.cache
+let cached t = Hashtbl.length t.cache

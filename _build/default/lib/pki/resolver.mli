@@ -1,0 +1,30 @@
+(** Caching public-key resolution through the name server.
+
+    Guards and accounting servers take a [lookup] function; this module
+    provides the production one: fetch the CA-signed binding from the name
+    server on first use, cache it until a TTL expires, and re-fetch after.
+    Revocation at the name server therefore takes effect within one TTL —
+    the classic certificate-freshness trade the paper's expiration-time
+    discussion implies. *)
+
+type t
+
+val create :
+  Sim.Net.t ->
+  name_server:Principal.t ->
+  ca_pub:Crypto.Rsa.public ->
+  caller:string ->
+  ?ttl_us:int ->
+  unit ->
+  t
+(** Default TTL: 1 simulated hour. *)
+
+val lookup : t -> Principal.t -> Crypto.Rsa.public option
+(** The shape services expect; failures (unknown, revoked, network) read as
+    [None]. *)
+
+val flush : t -> unit
+(** Drop the cache (forces re-fetch on next use). *)
+
+val cached : t -> int
+(** Number of live cache entries. *)

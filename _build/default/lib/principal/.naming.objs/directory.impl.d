@@ -1,0 +1,1 @@
+lib/principal/directory.ml: Crypto List Option Principal Stdlib

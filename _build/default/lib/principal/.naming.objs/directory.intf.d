@@ -1,0 +1,1 @@
+lib/principal/directory.mli: Crypto Principal

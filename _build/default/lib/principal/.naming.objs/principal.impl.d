@@ -1,0 +1,1 @@
+lib/principal/principal.ml: Format Result Stdlib String Wire

@@ -1,0 +1,1 @@
+lib/principal/principal.mli: Format Wire

@@ -1,0 +1,1 @@
+lib/sim/net.ml: Clock Crypto Hashtbl Logs Metrics Printf String Trace

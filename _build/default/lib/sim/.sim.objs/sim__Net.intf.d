@@ -1,0 +1,1 @@
+lib/sim/net.mli: Clock Crypto Metrics Trace

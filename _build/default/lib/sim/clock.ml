@@ -1,0 +1,8 @@
+type t = { mutable now : int }
+
+let create ?(start = 0) () = { now = start }
+let now t = t.now
+
+let advance t us =
+  if us < 0 then invalid_arg "Clock.advance: negative step";
+  t.now <- t.now + us

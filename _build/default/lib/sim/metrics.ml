@@ -1,0 +1,30 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t name r;
+      r
+
+let add t name n = cell t name := !(cell t name) + n
+let incr t name = add t name 1
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+let reset t = Hashtbl.reset t
+
+let to_list t =
+  Hashtbl.fold (fun k r acc -> if !r <> 0 then (k, !r) :: acc else acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot = to_list
+
+let diff ~before ~after =
+  let base = List.to_seq before |> Hashtbl.of_seq in
+  List.filter_map
+    (fun (k, v) ->
+      let prev = match Hashtbl.find_opt base k with Some p -> p | None -> 0 in
+      if v - prev <> 0 then Some (k, v - prev) else None)
+    after

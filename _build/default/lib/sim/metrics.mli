@@ -1,0 +1,22 @@
+(** Named counters.
+
+    The benches report protocol costs as counted quantities — messages,
+    bytes, signatures, MAC operations — rather than wall-clock noise, so
+    every interesting operation in the stack increments a counter here.
+    Counter names are dotted paths, e.g. ["net.messages"], ["rsa.verify"]. *)
+
+type t
+
+val create : unit -> t
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val get : t -> string -> int
+(** Missing counters read as 0. *)
+
+val reset : t -> unit
+val to_list : t -> (string * int) list
+(** All non-zero counters, sorted by name. *)
+
+val snapshot : t -> (string * int) list
+val diff : before:(string * int) list -> after:(string * int) list -> (string * int) list
+(** Per-counter deltas (non-zero only), for measuring a single operation. *)

@@ -1,0 +1,84 @@
+let log_src = Logs.Src.create "sim.net" ~doc:"simulated network traffic"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type tap_action = Deliver | Replace of string | Drop
+
+type t = {
+  clock : Clock.t;
+  drbg : Crypto.Drbg.t;
+  metrics : Metrics.t;
+  trace : Trace.t;
+  nodes : (string, string -> string) Hashtbl.t;
+  latency : (string * string, int) Hashtbl.t;
+  default_latency_us : int;
+  mutable tap : (dir:[ `Request | `Response ] -> src:string -> dst:string -> string -> tap_action) option;
+}
+
+let create ?(seed = "proxykit") ?(default_latency_us = 500) () =
+  {
+    clock = Clock.create ();
+    drbg = Crypto.Drbg.create ~seed;
+    metrics = Metrics.create ();
+    trace = Trace.create ();
+    nodes = Hashtbl.create 16;
+    latency = Hashtbl.create 16;
+    default_latency_us;
+    tap = None;
+  }
+
+let clock t = t.clock
+let drbg t = t.drbg
+let metrics t = t.metrics
+let trace t = t.trace
+let now t = Clock.now t.clock
+let fresh_key t = Crypto.Drbg.generate t.drbg 32
+let fresh_nonce t = Crypto.Drbg.generate t.drbg 12
+
+let register t ~name handler = Hashtbl.replace t.nodes name handler
+let unregister t ~name = Hashtbl.remove t.nodes name
+
+let set_latency t ~src ~dst us = Hashtbl.replace t.latency (src, dst) us
+
+let link_latency t src dst =
+  match Hashtbl.find_opt t.latency (src, dst) with
+  | Some us -> us
+  | None -> t.default_latency_us
+
+let set_tap t f = t.tap <- Some f
+let clear_tap t = t.tap <- None
+
+let transmit t ~dir ~src ~dst payload =
+  Metrics.incr t.metrics "net.messages";
+  Metrics.add t.metrics "net.bytes" (String.length payload);
+  Clock.advance t.clock (link_latency t src dst);
+  match t.tap with
+  | None -> Some payload
+  | Some tap -> (
+      match tap ~dir ~src ~dst payload with
+      | Deliver -> Some payload
+      | Replace payload' -> Some payload'
+      | Drop ->
+          Metrics.incr t.metrics "net.dropped";
+          None)
+
+let rpc t ~src ~dst request =
+  match Hashtbl.find_opt t.nodes dst with
+  | None ->
+      Log.debug (fun m -> m "[%d] %s -> %s: unknown node" (Clock.now t.clock) src dst);
+      Error (Printf.sprintf "unknown node %s" dst)
+  | Some handler -> (
+      Log.debug (fun m ->
+          m "[%d] %s -> %s: request (%d bytes)" (Clock.now t.clock) src dst
+            (String.length request));
+      match transmit t ~dir:`Request ~src ~dst request with
+      | None -> Error "request dropped"
+      | Some request' -> (
+          let response = handler request' in
+          match transmit t ~dir:`Response ~src:dst ~dst:src response with
+          | None -> Error "response dropped"
+          | Some response' ->
+              Log.debug (fun m ->
+                  m "[%d] %s <- %s: response (%d bytes)" (Clock.now t.clock) src dst
+                    (String.length response'));
+              Ok response'))

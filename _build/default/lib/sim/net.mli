@@ -1,0 +1,53 @@
+(** Simulated network and simulation environment.
+
+    Nodes register request handlers by name; clients call {!rpc}. Every
+    exchange is metered (messages, bytes) and advances the virtual clock by
+    the configured link latency, so protocol-cost experiments read their
+    numbers straight from {!Metrics}. An optional {e tap} models an active
+    network adversary able to observe, tamper with, or drop traffic — the
+    paper's eavesdropper who must not be able to steal capabilities off the
+    wire.
+
+    The environment bundle (clock, DRBG, metrics, trace) lives here too,
+    since every service needs all four. *)
+
+type t
+
+val create : ?seed:string -> ?default_latency_us:int -> unit -> t
+(** [default_latency_us] is the one-way per-message latency (default 500). *)
+
+val clock : t -> Clock.t
+val drbg : t -> Crypto.Drbg.t
+val metrics : t -> Metrics.t
+val trace : t -> Trace.t
+
+val now : t -> int
+(** Shorthand for [Clock.now (clock t)]. *)
+
+val fresh_key : t -> string
+(** 32 fresh DRBG bytes — the standard symmetric key / proxy key source. *)
+
+val fresh_nonce : t -> string
+(** 12 fresh DRBG bytes. *)
+
+val register : t -> name:string -> (string -> string) -> unit
+(** Install (or replace) the handler for a node. The handler receives the
+    request bytes and returns response bytes. *)
+
+val unregister : t -> name:string -> unit
+
+val set_latency : t -> src:string -> dst:string -> int -> unit
+(** Override the one-way latency of a directed link. *)
+
+type tap_action =
+  | Deliver  (** pass the message through unchanged *)
+  | Replace of string  (** tamper: substitute payload *)
+  | Drop  (** lose the message *)
+
+val set_tap : t -> (dir:[ `Request | `Response ] -> src:string -> dst:string -> string -> tap_action) -> unit
+val clear_tap : t -> unit
+
+val rpc : t -> src:string -> dst:string -> string -> (string, string) result
+(** One request/response exchange. [Error] covers unknown destination and
+    adversarial drops; service-level failures travel in-band in the
+    response. *)

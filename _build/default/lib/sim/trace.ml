@@ -1,0 +1,20 @@
+type entry = { time : int; actor : string; event : string }
+type t = { mutable rev_entries : entry list }
+
+let create () = { rev_entries = [] }
+let record t ~time ~actor event = t.rev_entries <- { time; actor; event } :: t.rev_entries
+let entries t = List.rev t.rev_entries
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  nn = 0
+  ||
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let find t ~actor ~substring =
+  List.find_opt (fun e -> e.actor = actor && contains_substring e.event substring) (entries t)
+
+let clear t = t.rev_entries <- []
+
+let pp_entry fmt e = Format.fprintf fmt "[%8dus] %-20s %s" e.time e.actor e.event

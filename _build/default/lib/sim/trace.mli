@@ -1,0 +1,17 @@
+(** Audit trail.
+
+    Section 3.4 of the paper argues that delegate-proxy cascades "leave an
+    audit trail since the new proxy identifies the intermediate server"; the
+    trace is where servers record such facts, and tests assert over it. *)
+
+type entry = { time : int; actor : string; event : string }
+type t
+
+val create : unit -> t
+val record : t -> time:int -> actor:string -> string -> unit
+val entries : t -> entry list
+(** In recording order. *)
+
+val find : t -> actor:string -> substring:string -> entry option
+val clear : t -> unit
+val pp_entry : Format.formatter -> entry -> unit

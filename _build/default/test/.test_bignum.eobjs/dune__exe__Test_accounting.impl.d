@@ -1,0 +1,1 @@
+test/test_accounting.ml: Accounting_server Alcotest Check Crypto Directory Ledger List Principal QCheck QCheck_alcotest Result Sim Testkit

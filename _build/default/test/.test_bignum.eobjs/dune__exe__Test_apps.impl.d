@@ -1,0 +1,1 @@
+test/test_apps.ml: Accounting_server Acl Alcotest Capability Check Crypto Directory File_server Ledger Pipeline Principal Print_server Proxy Restriction Result Sim String Testkit

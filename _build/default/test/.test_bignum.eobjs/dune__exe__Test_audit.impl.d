@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Audit Crypto Format List Principal Proxy Restriction Result Sim String

@@ -1,0 +1,1 @@
+test/test_authz.ml: Acl Alcotest Authz_server Capability Group_server Guard List Principal Proxy Restriction Result Secure_rpc Sim Testkit Ticket Wire

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Amoeba_bank Dssa Ecma_pac Grapevine List Principal Result Sim Sollins

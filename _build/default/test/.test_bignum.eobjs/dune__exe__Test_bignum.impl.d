@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Bignum Char List Printf QCheck QCheck_alcotest String

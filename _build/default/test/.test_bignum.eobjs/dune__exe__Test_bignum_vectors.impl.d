@@ -1,0 +1,1 @@
+test/test_bignum_vectors.ml: Alcotest Bignum Crypto List

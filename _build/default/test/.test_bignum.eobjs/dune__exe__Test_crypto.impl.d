@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Buffer Bytes Char Crypto List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_federation.ml: Accounting_server Acl Alcotest Check Crypto Directory File_server Kdc Ledger List Principal Restriction Result Sim Testkit Tgs_proxy Ticket

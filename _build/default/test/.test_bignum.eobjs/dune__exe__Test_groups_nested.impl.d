@@ -1,0 +1,1 @@
+test/test_groups_nested.ml: Acl Alcotest Authz_server Group_server Guard List Principal Result Testkit

@@ -1,0 +1,1 @@
+test/test_hybrid.ml: Acl Alcotest Bytes Char Crypto Guard List Presentation Principal Proxy Proxy_cert QCheck QCheck_alcotest Restriction Result Sim String Verifier Wire

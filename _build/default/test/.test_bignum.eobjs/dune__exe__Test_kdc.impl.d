@@ -1,0 +1,1 @@
+test/test_kdc.ml: Acl Alcotest Bytes Char Crypto Directory Guard Kdc List Option Principal Printf QCheck QCheck_alcotest Result Sim String Ticket Wire

@@ -1,0 +1,1 @@
+test/test_marketplace.ml: Accounting_server Alcotest Check Crypto Directory Hashtbl Ledger List Option Principal Result Sim Testkit

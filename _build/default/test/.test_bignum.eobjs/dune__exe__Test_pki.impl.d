@@ -1,0 +1,1 @@
+test/test_pki.ml: Alcotest Bytes Ca Char Crypto Name_server Principal Resolver Result Sim

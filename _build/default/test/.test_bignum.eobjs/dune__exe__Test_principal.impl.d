@@ -1,0 +1,1 @@
+test/test_principal.ml: Alcotest Crypto Directory List Principal Result Wire

@@ -1,0 +1,1 @@
+test/test_proxy.ml: Alcotest Bytes Char Crypto List Presentation Principal Proxy Proxy_cert QCheck QCheck_alcotest Replay_cache Restriction Result String Verifier Wire

@@ -1,0 +1,1 @@
+test/test_quota.ml: Accounting_server Alcotest Crypto Directory Disk_server Ledger Principal Result Sim Standing String Testkit

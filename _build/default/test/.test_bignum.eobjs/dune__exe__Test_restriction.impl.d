@@ -1,0 +1,1 @@
+test/test_restriction.ml: Alcotest Format List Principal Printf QCheck QCheck_alcotest Restriction Result Wire

@@ -1,0 +1,1 @@
+test/test_soak.ml: Accounting_server Acl Alcotest Array Buffer Check Crypto Directory File_server Group_server Ledger Principal Printf Proxy Restriction Result Sim Testkit Ticket

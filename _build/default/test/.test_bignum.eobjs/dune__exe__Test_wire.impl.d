@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Buffer Format List QCheck QCheck_alcotest Result String Wire

@@ -1,0 +1,50 @@
+(* Shared world-building for integration tests and benches: a simulated
+   network with a KDC, a key directory, and helpers to enrol users and
+   services. *)
+
+type world = {
+  net : Sim.Net.t;
+  dir : Directory.t;
+  kdc : Kdc.t;
+  kdc_name : Principal.t;
+  realm : string;
+}
+
+let create ?(seed = "testkit") ?(realm = "example.org") () =
+  let net = Sim.Net.create ~seed () in
+  let dir = Directory.create () in
+  let kdc_name = Principal.make ~realm "kdc" in
+  Directory.add_symmetric dir kdc_name (Sim.Net.fresh_key net);
+  let kdc = Kdc.create net ~name:kdc_name ~directory:dir () in
+  Kdc.install kdc;
+  { net; dir; kdc; kdc_name; realm }
+
+(* Enrol a principal with a fresh long-term key; returns (principal, key). *)
+let enrol w name =
+  let p = Principal.make ~realm:w.realm name in
+  let key = Sim.Net.fresh_key w.net in
+  Directory.add_symmetric w.dir p key;
+  (p, key)
+
+let key_of w p =
+  match Directory.symmetric w.dir p with
+  | Some k -> k
+  | None -> failwith ("no key enrolled for " ^ Principal.to_string p)
+
+(* Obtain a TGT for an enrolled principal. *)
+let login w p =
+  match
+    Kdc.Client.authenticate w.net ~kdc:w.kdc_name ~client:p ~client_key:(key_of w p)
+      ~service:w.kdc_name ()
+  with
+  | Ok tgt -> tgt
+  | Error e -> failwith ("login failed for " ^ Principal.to_string p ^ ": " ^ e)
+
+(* Derive service credentials from a TGT. *)
+let credentials_for w ~tgt service =
+  match Kdc.Client.derive w.net ~kdc:w.kdc_name ~tgt ~target:service () with
+  | Ok creds -> creds
+  | Error e -> failwith ("derive failed: " ^ e)
+
+let now w = Sim.Net.now w.net
+let hour = 3_600_000_000

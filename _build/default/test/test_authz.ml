@@ -1,0 +1,617 @@
+(* Integration tests for the authorization stack: secure RPC, the end-server
+   guard, capabilities, the authorization server (Fig. 3), the group server
+   (Sec. 3.3), compound principals, and revocation (Sec. 3.1). *)
+
+module R = Restriction
+module W = Testkit
+
+let world () = W.create ~seed:"authz tests" ()
+
+(* --- secure rpc --- *)
+
+let test_secure_rpc_roundtrip () =
+  let w = world () in
+  let alice, _ = W.enrol w "alice" in
+  let echo, echo_key = W.enrol w "echo" in
+  Secure_rpc.serve w.W.net ~me:echo ~my_key:echo_key (fun ctx payload ->
+      Ok (Wire.L [ Principal.to_wire ctx.Secure_rpc.rpc_client; payload ]));
+  let tgt = W.login w alice in
+  let creds = W.credentials_for w ~tgt echo in
+  match Secure_rpc.call w.W.net ~creds (Wire.S "ping") with
+  | Error e -> Alcotest.fail e
+  | Ok reply ->
+      let client = Result.get_ok (Result.bind (Wire.field reply 0) Principal.of_wire) in
+      Alcotest.(check bool) "server saw alice" true (Principal.equal client alice);
+      Alcotest.(check (result string string)) "payload echoed" (Ok "ping")
+        (Result.bind (Wire.field reply 1) Wire.to_string)
+
+let test_secure_rpc_wrong_service () =
+  let w = world () in
+  let alice, _ = W.enrol w "alice" in
+  let s1, k1 = W.enrol w "service1" in
+  let s2, k2 = W.enrol w "service2" in
+  Secure_rpc.serve w.W.net ~me:s1 ~my_key:k1 (fun _ _ -> Ok (Wire.S "s1"));
+  Secure_rpc.serve w.W.net ~me:s2 ~my_key:k2 (fun _ _ -> Ok (Wire.S "s2"));
+  let tgt = W.login w alice in
+  let creds_s1 = W.credentials_for w ~tgt s1 in
+  (* Redirect a ticket for s1 at s2: the seal is under s1's key, s2 must
+     refuse. *)
+  let forged = { creds_s1 with Ticket.cred_service = s2 } in
+  match Secure_rpc.call w.W.net ~creds:forged (Wire.S "x") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ticket accepted by the wrong service"
+
+let test_secure_rpc_replay_rejected () =
+  let w = world () in
+  let alice, _ = W.enrol w "alice" in
+  let svc, svc_key = W.enrol w "svc" in
+  let hits = ref 0 in
+  Secure_rpc.serve w.W.net ~me:svc ~my_key:svc_key (fun _ _ ->
+      incr hits;
+      Ok (Wire.I !hits));
+  let tgt = W.login w alice in
+  let creds = W.credentials_for w ~tgt svc in
+  (* Capture the raw request, deliver it, then replay the captured bytes. *)
+  let captured = ref None in
+  Sim.Net.set_tap w.W.net (fun ~dir ~src:_ ~dst:_ payload ->
+      (match dir with `Request when !captured = None -> captured := Some payload | _ -> ());
+      Sim.Net.Deliver);
+  (match Secure_rpc.call w.W.net ~creds (Wire.S "op") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Sim.Net.clear_tap w.W.net;
+  (match !captured with
+  | None -> Alcotest.fail "nothing captured"
+  | Some raw -> (
+      match Sim.Net.rpc w.W.net ~src:"mallory" ~dst:(Principal.to_string svc) raw with
+      | Ok reply ->
+          (* The reply must be an in-band error, not a second execution. *)
+          let tag = Result.get_ok (Result.bind (Wire.field (Result.get_ok (Wire.decode reply)) 0) Wire.to_string) in
+          Alcotest.(check string) "replay refused" "err" tag
+      | Error e -> Alcotest.fail e));
+  Alcotest.(check int) "handler ran once" 1 !hits
+
+(* --- guard + capabilities --- *)
+
+type fs_world = {
+  w : W.world;
+  alice : Principal.t;
+  bob : Principal.t;
+  fileserver : Principal.t;
+  guard : Guard.t;
+}
+
+let fileserver_world () =
+  let w = world () in
+  let alice, _ = W.enrol w "alice" in
+  let bob, _ = W.enrol w "bob" in
+  let fileserver, fs_key = W.enrol w "fileserver" in
+  let acl = Acl.create () in
+  Acl.add acl ~target:"file1"
+    { Acl.subject = Acl.Principal_is alice; rights = []; restrictions = [] };
+  let guard = Guard.create w.W.net ~me:fileserver ~my_key:fs_key ~acl () in
+  { w; alice; bob; fileserver; guard }
+
+let test_guard_direct_identity () =
+  let fw = fileserver_world () in
+  (match Guard.decide fw.guard ~operation:"read" ~target:"file1" ~presenter:fw.alice () with
+  | Ok d -> Alcotest.(check bool) "granted to alice" true (d.Guard.acting_for = [])
+  | Error e -> Alcotest.fail e);
+  match Guard.decide fw.guard ~operation:"read" ~target:"file1" ~presenter:fw.bob () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bob has no entry"
+
+let test_capability_flow () =
+  let fw = fileserver_world () in
+  let tgt = W.login fw.w fw.alice in
+  (* Alice mints a read capability for file1 and passes it to bob. *)
+  let cap =
+    Result.get_ok
+      (Capability.mint_via_kdc fw.w.W.net ~kdc:fw.w.W.kdc_name ~tgt ~end_server:fw.fileserver
+         ~target:"file1" ~ops:[ "read" ] ())
+  in
+  let now = W.now fw.w in
+  let presented =
+    Guard.present ~proxy:cap ~time:now ~server:fw.fileserver ~operation:"read" ~target:"file1" ()
+  in
+  (match
+     Guard.decide fw.guard ~operation:"read" ~target:"file1" ~presenter:fw.bob
+       ~proxies:[ presented ] ()
+   with
+  | Ok d ->
+      Alcotest.(check int) "acting for alice" 1 (List.length d.Guard.acting_for);
+      Alcotest.(check bool) "grantor is alice" true
+        (Principal.equal (List.hd d.Guard.acting_for) fw.alice)
+  | Error e -> Alcotest.fail e);
+  (* The same capability does not authorize writing. *)
+  let presented_w =
+    Guard.present ~proxy:cap ~time:now ~server:fw.fileserver ~operation:"write" ~target:"file1" ()
+  in
+  (match
+     Guard.decide fw.guard ~operation:"write" ~target:"file1" ~presenter:fw.bob
+       ~proxies:[ presented_w ] ()
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "write granted through a read capability");
+  (* Nor reading another file. *)
+  let presented_2 =
+    Guard.present ~proxy:cap ~time:now ~server:fw.fileserver ~operation:"read" ~target:"file2" ()
+  in
+  match
+    Guard.decide fw.guard ~operation:"read" ~target:"file2" ~presenter:fw.bob
+      ~proxies:[ presented_2 ] ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "capability leaked to another object"
+
+let test_capability_anonymous_bearer () =
+  (* A bearer capability works with no presenter at all: possession is
+     everything. *)
+  let fw = fileserver_world () in
+  let tgt = W.login fw.w fw.alice in
+  let cap =
+    Result.get_ok
+      (Capability.mint_via_kdc fw.w.W.net ~kdc:fw.w.W.kdc_name ~tgt ~end_server:fw.fileserver
+         ~target:"file1" ~ops:[ "read" ] ())
+  in
+  let presented =
+    Guard.present ~proxy:cap ~time:(W.now fw.w) ~server:fw.fileserver ~operation:"read"
+      ~target:"file1" ()
+  in
+  match Guard.decide fw.guard ~operation:"read" ~target:"file1" ~proxies:[ presented ] () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_capability_narrowing () =
+  let fw = fileserver_world () in
+  let tgt = W.login fw.w fw.alice in
+  let cap =
+    Result.get_ok
+      (Capability.mint_via_kdc fw.w.W.net ~kdc:fw.w.W.kdc_name ~tgt ~end_server:fw.fileserver
+         ~target:"file1" ~ops:[ "read"; "stat" ] ())
+  in
+  let narrowed =
+    Result.get_ok
+      (Capability.narrow ~drbg:(Sim.Net.drbg fw.w.W.net) ~now:(W.now fw.w)
+         ~expires:(W.now fw.w + W.hour) ~target:"file1" ~ops:[ "stat" ] cap)
+  in
+  let now = W.now fw.w in
+  let ok_stat =
+    Guard.present ~proxy:narrowed ~time:now ~server:fw.fileserver ~operation:"stat"
+      ~target:"file1" ()
+  in
+  (match Guard.decide fw.guard ~operation:"stat" ~target:"file1" ~proxies:[ ok_stat ] () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let try_read =
+    Guard.present ~proxy:narrowed ~time:now ~server:fw.fileserver ~operation:"read"
+      ~target:"file1" ()
+  in
+  match Guard.decide fw.guard ~operation:"read" ~target:"file1" ~proxies:[ try_read ] () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "narrowed capability still reads"
+
+let test_stolen_presentation_useless () =
+  (* The eavesdropper captures a full presentation (certs + proof) and tries
+     to use it for a different operation: the proof binding stops it. *)
+  let fw = fileserver_world () in
+  let tgt = W.login fw.w fw.alice in
+  let cap =
+    Result.get_ok
+      (Capability.mint_via_kdc fw.w.W.net ~kdc:fw.w.W.kdc_name ~tgt ~end_server:fw.fileserver
+         ~target:"file1" ~ops:[] ())
+  in
+  let now = W.now fw.w in
+  let presented =
+    Guard.present ~proxy:cap ~time:now ~server:fw.fileserver ~operation:"read" ~target:"file1" ()
+  in
+  (* Mallory reuses the captured certificates + proof for "delete". *)
+  match
+    Guard.decide fw.guard ~operation:"delete" ~target:"file1" ~proxies:[ presented ] ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "captured presentation replayed for another operation"
+
+let test_revocation_via_grantor () =
+  (* Removing alice from the ACL kills every capability she granted. *)
+  let fw = fileserver_world () in
+  let tgt = W.login fw.w fw.alice in
+  let cap =
+    Result.get_ok
+      (Capability.mint_via_kdc fw.w.W.net ~kdc:fw.w.W.kdc_name ~tgt ~end_server:fw.fileserver
+         ~target:"file1" ~ops:[ "read" ] ())
+  in
+  let presented =
+    Guard.present ~proxy:cap ~time:(W.now fw.w) ~server:fw.fileserver ~operation:"read"
+      ~target:"file1" ()
+  in
+  (match Guard.decide fw.guard ~operation:"read" ~target:"file1" ~proxies:[ presented ] () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Acl.remove_subject (Guard.acl fw.guard) ~target:"file1" (Acl.Principal_is fw.alice);
+  match Guard.decide fw.guard ~operation:"read" ~target:"file1" ~proxies:[ presented ] () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "capability survived revocation of its grantor"
+
+let test_expired_capability () =
+  let fw = fileserver_world () in
+  let tgt = W.login fw.w fw.alice in
+  let cap =
+    Result.get_ok
+      (Capability.mint_via_kdc fw.w.W.net ~kdc:fw.w.W.kdc_name ~tgt ~end_server:fw.fileserver
+         ~target:"file1" ~ops:[ "read" ] ~lifetime_us:W.hour ())
+  in
+  Sim.Clock.advance (Sim.Net.clock fw.w.W.net) (2 * W.hour);
+  let presented =
+    Guard.present ~proxy:cap ~time:(W.now fw.w) ~server:fw.fileserver ~operation:"read"
+      ~target:"file1" ()
+  in
+  match Guard.decide fw.guard ~operation:"read" ~target:"file1" ~proxies:[ presented ] () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expired capability accepted"
+
+(* --- authorization server (Fig. 3) --- *)
+
+let test_authz_server_flow () =
+  let w = world () in
+  let carol, _ = W.enrol w "carol" in
+  let authz, authz_key = W.enrol w "authz" in
+  let appserver, app_key = W.enrol w "appserver" in
+  (* The authorization server's database says carol may "run" job42 with a
+     page quota, which must be copied into the proxy (Sec. 3.5). *)
+  let db = Acl.create () in
+  Acl.add db ~target:"job42"
+    {
+      Acl.subject = Acl.Principal_is carol;
+      rights = [ "run" ];
+      restrictions = [ R.Quota ("pages", 10) ];
+    };
+  let server =
+    Result.get_ok
+      (Authz_server.create w.W.net ~me:authz ~my_key:authz_key ~kdc:w.W.kdc_name ~database:db ())
+  in
+  Authz_server.install server;
+  (* The app server's ACL delegates authorization to the authz server. *)
+  let acl = Acl.create () in
+  Acl.add acl ~target:"*" { Acl.subject = Acl.Principal_is authz; rights = []; restrictions = [] };
+  let guard = Guard.create w.W.net ~me:appserver ~my_key:app_key ~acl () in
+  (* Message 0-2 of Fig. 3. *)
+  let tgt = W.login w carol in
+  let creds_authz = W.credentials_for w ~tgt authz in
+  let proxy =
+    Result.get_ok
+      (Authz_server.request_authorization w.W.net ~creds:creds_authz ~end_server:appserver
+         ~target:"job42" ~operation:"run" ())
+  in
+  (* Message 3: present to the end-server. *)
+  let now = W.now w in
+  let presented =
+    Guard.present ~proxy ~time:now ~server:appserver ~operation:"run" ~target:"job42" ()
+  in
+  (match Guard.decide guard ~operation:"run" ~target:"job42" ~presenter:carol ~proxies:[ presented ] () with
+  | Ok d ->
+      Alcotest.(check bool) "acting for authz server" true
+        (List.exists (Principal.equal authz) d.Guard.acting_for)
+  | Error e -> Alcotest.fail e);
+  (* The copied quota restriction is live: an over-quota spend fails. *)
+  let presented_big =
+    Guard.present ~proxy ~time:now ~server:appserver ~operation:"run" ~target:"job42"
+      ~spend:("pages", 100) ()
+  in
+  (match
+     Guard.decide guard ~operation:"run" ~target:"job42" ~presenter:carol
+       ~proxies:[ presented_big ] ~spend:("pages", 100) ()
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ACL-entry quota not copied into proxy");
+  (* An unauthorized principal is refused by the authorization server. *)
+  let dave, _ = W.enrol w "dave" in
+  let tgt_d = W.login w dave in
+  let creds_d = W.credentials_for w ~tgt:tgt_d authz in
+  match
+    Authz_server.request_authorization w.W.net ~creds:creds_d ~end_server:appserver
+      ~target:"job42" ~operation:"run" ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "authz server granted to an unlisted principal"
+
+let test_authz_server_delegate_mode () =
+  let w = world () in
+  let carol, _ = W.enrol w "carol" in
+  let eve, _ = W.enrol w "eve" in
+  let authz, authz_key = W.enrol w "authz" in
+  let appserver, app_key = W.enrol w "appserver" in
+  let db = Acl.create () in
+  Acl.add db ~target:"job"
+    { Acl.subject = Acl.Principal_is carol; rights = [ "run" ]; restrictions = [] };
+  let server =
+    Result.get_ok
+      (Authz_server.create w.W.net ~me:authz ~my_key:authz_key ~kdc:w.W.kdc_name ~database:db ())
+  in
+  Authz_server.install server;
+  let acl = Acl.create () in
+  Acl.add acl ~target:"*" { Acl.subject = Acl.Principal_is authz; rights = []; restrictions = [] };
+  let guard = Guard.create w.W.net ~me:appserver ~my_key:app_key ~acl () in
+  let tgt = W.login w carol in
+  let creds = W.credentials_for w ~tgt authz in
+  let proxy =
+    Result.get_ok
+      (Authz_server.request_authorization w.W.net ~creds ~end_server:appserver ~target:"job"
+         ~operation:"run" ~delegate:true ())
+  in
+  let presented =
+    Guard.present ~proxy ~time:(W.now w) ~server:appserver ~operation:"run" ~target:"job" ()
+  in
+  (* Carol herself: fine. *)
+  (match
+     Guard.decide guard ~operation:"run" ~target:"job" ~presenter:carol ~proxies:[ presented ] ()
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* Eve presenting the same (stolen, including key) delegate proxy: the
+     grantee restriction stops her. *)
+  match
+    Guard.decide guard ~operation:"run" ~target:"job" ~presenter:eve ~proxies:[ presented ] ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "delegate proxy used by a non-grantee"
+
+(* --- group server (Sec. 3.3) --- *)
+
+type group_world = {
+  gw : W.world;
+  alice : Principal.t;
+  bob : Principal.t;
+  gserver : Group_server.t;
+  gserver_name : Principal.t;
+  doorserver : Principal.t;
+  gguard : Guard.t;
+}
+
+let group_world () =
+  let gw = world () in
+  let alice, _ = W.enrol gw "alice" in
+  let bob, _ = W.enrol gw "bob" in
+  let gname, gkey = W.enrol gw "groups" in
+  let doorserver, door_key = W.enrol gw "door" in
+  let gserver =
+    Result.get_ok (Group_server.create gw.W.net ~me:gname ~my_key:gkey ~kdc:gw.W.kdc_name ())
+  in
+  Group_server.install gserver;
+  Group_server.add_member gserver ~group:"admins" alice;
+  let acl = Acl.create () in
+  Acl.add acl ~target:"machine-room"
+    {
+      Acl.subject = Acl.Group (Group_server.group_name gserver "admins");
+      rights = [ "open" ];
+      restrictions = [];
+    };
+  let gguard = Guard.create gw.W.net ~me:doorserver ~my_key:door_key ~acl () in
+  { gw; alice; bob; gserver; gserver_name = gname; doorserver; gguard }
+
+let test_group_membership_flow () =
+  let g = group_world () in
+  let tgt = W.login g.gw g.alice in
+  let creds = W.credentials_for g.gw ~tgt g.gserver_name in
+  let gproxy =
+    Result.get_ok
+      (Group_server.request_membership_proxy g.gw.W.net ~creds ~group:"admins"
+         ~end_server:g.doorserver ())
+  in
+  let now = W.now g.gw in
+  let presented =
+    Guard.present ~proxy:gproxy ~time:now ~server:g.doorserver ~operation:"assert-membership"
+      ~target:"admins" ()
+  in
+  (match
+     Guard.decide g.gguard ~operation:"open" ~target:"machine-room" ~presenter:g.alice
+       ~group_proxies:[ presented ] ()
+   with
+  | Ok d ->
+      Alcotest.(check int) "one group used" 1 (List.length d.Guard.via_groups)
+  | Error e -> Alcotest.fail e);
+  (* Without the group proxy, alice's bare identity is not in the ACL. *)
+  match Guard.decide g.gguard ~operation:"open" ~target:"machine-room" ~presenter:g.alice () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "door opened without membership proof"
+
+let test_group_proxy_bound_to_member () =
+  (* The group proxy is a delegate proxy naming alice: bob presenting it
+     (even with the key) is refused. *)
+  let g = group_world () in
+  let tgt = W.login g.gw g.alice in
+  let creds = W.credentials_for g.gw ~tgt g.gserver_name in
+  let gproxy =
+    Result.get_ok
+      (Group_server.request_membership_proxy g.gw.W.net ~creds ~group:"admins"
+         ~end_server:g.doorserver ())
+  in
+  let presented =
+    Guard.present ~proxy:gproxy ~time:(W.now g.gw) ~server:g.doorserver
+      ~operation:"assert-membership" ~target:"admins" ()
+  in
+  match
+    Guard.decide g.gguard ~operation:"open" ~target:"machine-room" ~presenter:g.bob
+      ~group_proxies:[ presented ] ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bob asserted alice's membership"
+
+let test_group_nonmember_refused () =
+  let g = group_world () in
+  let tgt = W.login g.gw g.bob in
+  let creds = W.credentials_for g.gw ~tgt g.gserver_name in
+  match
+    Group_server.request_membership_proxy g.gw.W.net ~creds ~group:"admins"
+      ~end_server:g.doorserver ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "group server granted to a non-member"
+
+let test_group_removal_blocks_new_proxies () =
+  let g = group_world () in
+  Group_server.remove_member g.gserver ~group:"admins" g.alice;
+  let tgt = W.login g.gw g.alice in
+  let creds = W.credentials_for g.gw ~tgt g.gserver_name in
+  match
+    Group_server.request_membership_proxy g.gw.W.net ~creds ~group:"admins"
+      ~end_server:g.doorserver ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "removed member still got a proxy"
+
+(* --- compound principals (Sec. 3.5) --- *)
+
+let test_compound_concurrence () =
+  let w = world () in
+  let alice, _ = W.enrol w "alice" in
+  let host, _ = W.enrol w "workstation7" in
+  let svc, svc_key = W.enrol w "launcher" in
+  (* Launching requires BOTH the user and the host to concur. *)
+  let acl = Acl.create () in
+  Acl.add acl ~target:"missile"
+    {
+      Acl.subject = Acl.Compound [ Acl.Principal_is alice; Acl.Principal_is host ];
+      rights = [ "launch" ];
+      restrictions = [];
+    };
+  let guard = Guard.create w.W.net ~me:svc ~my_key:svc_key ~acl () in
+  (* Alice alone is refused. *)
+  (match Guard.decide guard ~operation:"launch" ~target:"missile" ~presenter:alice () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "single principal satisfied a compound entry");
+  (* The host concurs by granting alice a proxy for the operation. *)
+  let tgt_host = W.login w host in
+  let host_proxy =
+    Result.get_ok
+      (Capability.mint_via_kdc w.W.net ~kdc:w.W.kdc_name ~tgt:tgt_host ~end_server:svc
+         ~target:"missile" ~ops:[ "launch" ] ())
+  in
+  let presented =
+    Guard.present ~proxy:host_proxy ~time:(W.now w) ~server:svc ~operation:"launch"
+      ~target:"missile" ()
+  in
+  match
+    Guard.decide guard ~operation:"launch" ~target:"missile" ~presenter:alice
+      ~proxies:[ presented ] ()
+  with
+  | Ok d -> Alcotest.(check int) "host authority used" 1 (List.length d.Guard.acting_for)
+  | Error e -> Alcotest.fail e
+
+(* --- cascaded authorization through the guard --- *)
+
+let test_cascade_through_guard () =
+  let fw = fileserver_world () in
+  let tgt = W.login fw.w fw.alice in
+  let cap =
+    Result.get_ok
+      (Capability.mint_via_kdc fw.w.W.net ~kdc:fw.w.W.kdc_name ~tgt ~end_server:fw.fileserver
+         ~target:"file1" ~ops:[ "read"; "stat" ] ())
+  in
+  (* Bob (intermediate) narrows and passes to a print spooler; depth-2
+     cascade verified by the guard in one shot. *)
+  let now = W.now fw.w in
+  let narrowed =
+    Result.get_ok
+      (Capability.narrow ~drbg:(Sim.Net.drbg fw.w.W.net) ~now ~expires:(now + W.hour)
+         ~target:"file1" ~ops:[ "read" ] cap)
+  in
+  let presented =
+    Guard.present ~proxy:narrowed ~time:now ~server:fw.fileserver ~operation:"read"
+      ~target:"file1" ()
+  in
+  match Guard.decide fw.guard ~operation:"read" ~target:"file1" ~proxies:[ presented ] () with
+  | Ok d -> Alcotest.(check int) "two serials in audit" 2 (List.length d.Guard.serials_used)
+  | Error e -> Alcotest.fail e
+
+(* --- accept-once through the guard --- *)
+
+let test_accept_once_consumed () =
+  let fw = fileserver_world () in
+  let tgt = W.login fw.w fw.alice in
+  let creds = W.credentials_for fw.w ~tgt fw.fileserver in
+  let once =
+    Proxy.grant_conventional ~drbg:(Sim.Net.drbg fw.w.W.net) ~now:(W.now fw.w)
+      ~expires:(W.now fw.w + W.hour) ~grantor:fw.alice ~session_key:creds.Ticket.session_key
+      ~base:creds.Ticket.ticket_blob
+      ~restrictions:
+        [ R.Authorized [ { R.target = "file1"; ops = [ "read" ] } ]; R.Accept_once "voucher-7" ]
+  in
+  let p1 =
+    Guard.present ~proxy:once ~time:(W.now fw.w) ~server:fw.fileserver ~operation:"read"
+      ~target:"file1" ()
+  in
+  (match Guard.decide fw.guard ~operation:"read" ~target:"file1" ~proxies:[ p1 ] () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* Second use of the same accept-once identifier bounces. *)
+  let p2 =
+    Guard.present ~proxy:once ~time:(W.now fw.w) ~server:fw.fileserver ~operation:"read"
+      ~target:"file1" ()
+  in
+  match Guard.decide fw.guard ~operation:"read" ~target:"file1" ~proxies:[ p2 ] () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accept-once proxy accepted twice"
+
+let test_accept_once_unused_not_consumed () =
+  (* When the presenter's own identity satisfies the ACL, an attached
+     accept-once proxy contributed nothing and must NOT be consumed: the
+     guard charges only the authority it actually used. *)
+  let fw = fileserver_world () in
+  let tgt = W.login fw.w fw.alice in
+  let creds = W.credentials_for fw.w ~tgt fw.fileserver in
+  let once =
+    Proxy.grant_conventional ~drbg:(Sim.Net.drbg fw.w.W.net) ~now:(W.now fw.w)
+      ~expires:(W.now fw.w + W.hour) ~grantor:fw.alice ~session_key:creds.Ticket.session_key
+      ~base:creds.Ticket.ticket_blob
+      ~restrictions:
+        [ R.Authorized [ { R.target = "file1"; ops = [ "read" ] } ]; R.Accept_once "spare" ]
+  in
+  let present () =
+    Guard.present ~proxy:once ~time:(W.now fw.w) ~server:fw.fileserver ~operation:"read"
+      ~target:"file1" ()
+  in
+  (* Alice presents her own proxy alongside her own identity: granted via
+     identity, proxy untouched. *)
+  (match
+     Guard.decide fw.guard ~operation:"read" ~target:"file1" ~presenter:fw.alice
+       ~proxies:[ present () ] ()
+   with
+  | Ok d -> Alcotest.(check int) "granted directly, no proxy used" 0 (List.length d.Guard.acting_for)
+  | Error e -> Alcotest.fail e);
+  (* The accept-once id is still fresh: an anonymous bearer can use the
+     proxy once. *)
+  (match Guard.decide fw.guard ~operation:"read" ~target:"file1" ~proxies:[ present () ] () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* ...and exactly once. *)
+  match Guard.decide fw.guard ~operation:"read" ~target:"file1" ~proxies:[ present () ] () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accept-once consumed twice"
+
+let () =
+  Alcotest.run "authz"
+    [ ( "secure-rpc",
+        [ ("roundtrip", `Quick, test_secure_rpc_roundtrip);
+          ("wrong service", `Quick, test_secure_rpc_wrong_service);
+          ("replay rejected", `Quick, test_secure_rpc_replay_rejected) ] );
+      ( "guard+capabilities",
+        [ ("direct identity", `Quick, test_guard_direct_identity);
+          ("capability flow", `Quick, test_capability_flow);
+          ("anonymous bearer", `Quick, test_capability_anonymous_bearer);
+          ("narrowing", `Quick, test_capability_narrowing);
+          ("stolen presentation useless", `Quick, test_stolen_presentation_useless);
+          ("revocation via grantor", `Quick, test_revocation_via_grantor);
+          ("expiry", `Quick, test_expired_capability);
+          ("cascade through guard", `Quick, test_cascade_through_guard);
+          ("accept-once consumed", `Quick, test_accept_once_consumed);
+          ("unused accept-once not consumed", `Quick, test_accept_once_unused_not_consumed) ] );
+      ( "authorization-server",
+        [ ("figure-3 flow", `Quick, test_authz_server_flow);
+          ("delegate mode", `Quick, test_authz_server_delegate_mode) ] );
+      ( "group-server",
+        [ ("membership flow", `Quick, test_group_membership_flow);
+          ("proxy bound to member", `Quick, test_group_proxy_bound_to_member);
+          ("non-member refused", `Quick, test_group_nonmember_refused);
+          ("removal blocks new proxies", `Quick, test_group_removal_blocks_new_proxies) ] );
+      ("compound", [ ("user+host concurrence", `Quick, test_compound_concurrence) ]) ]

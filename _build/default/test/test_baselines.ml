@@ -1,0 +1,218 @@
+(* The related-work baselines the paper compares against (Sections 3.4, 5):
+   behaviour plus the message-count characteristics the benches rely on. *)
+
+let realm = "base.test"
+let p name = Principal.make ~realm name
+
+(* --- Sollins cascaded authentication --- *)
+
+let sollins_world () =
+  let net = Sim.Net.create ~seed:"sollins" () in
+  let as_name = p "auth-server" in
+  let srv = Sollins.create net ~name:as_name in
+  Sollins.install srv;
+  (net, as_name, srv)
+
+let test_sollins_chain () =
+  let net, as_name, srv = sollins_world () in
+  let alice = p "alice" and inter = p "intermediate" and fs = p "fileserver" in
+  let ka = Sollins.register srv alice in
+  let ki = Sollins.register srv inter in
+  ignore (Sollins.register srv fs);
+  let passport = Sollins.initiate ~key:ka ~from_:alice ~to_:inter ~restrictions:[ "read-only" ] in
+  let passport =
+    Sollins.extend ~key:ki ~from_:inter ~to_:fs ~restrictions:[ "file1-only" ] passport
+  in
+  let m0 = Sim.Metrics.get (Sim.Net.metrics net) "net.messages" in
+  (match Sollins.verify_online net ~server:as_name ~caller:"fileserver" passport with
+  | Ok (originator, restrictions) ->
+      Alcotest.(check bool) "originator" true (Principal.equal originator alice);
+      Alcotest.(check (list string)) "restrictions accumulate" [ "read-only"; "file1-only" ]
+        restrictions
+  | Error e -> Alcotest.fail e);
+  (* The defining cost: verification is ONLINE — two messages per use. *)
+  Alcotest.(check int) "verification needs the network" 2
+    (Sim.Metrics.get (Sim.Net.metrics net) "net.messages" - m0)
+
+let test_sollins_rejects_forgery () =
+  let net, as_name, srv = sollins_world () in
+  let alice = p "alice" and inter = p "intermediate" and fs = p "fileserver" in
+  ignore (Sollins.register srv alice);
+  let ki = Sollins.register srv inter in
+  ignore (Sollins.register srv fs);
+  (* Intermediate forges the first link with its own key. *)
+  let forged = Sollins.initiate ~key:ki ~from_:alice ~to_:inter ~restrictions:[] in
+  (match Sollins.verify_online net ~server:as_name ~caller:"fs" forged with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "forged link accepted");
+  (* A broken handoff chain is refused. *)
+  let ka = Sollins.register srv alice in
+  let passport = Sollins.initiate ~key:ka ~from_:alice ~to_:(p "someone-else") ~restrictions:[] in
+  let passport = Sollins.extend ~key:ki ~from_:inter ~to_:fs ~restrictions:[] passport in
+  match Sollins.verify_online net ~server:as_name ~caller:"fs" passport with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "broken handoff accepted"
+
+let test_sollins_wire () =
+  let _, _, srv = sollins_world () in
+  let alice = p "alice" in
+  let ka = Sollins.register srv alice in
+  let passport = Sollins.initiate ~key:ka ~from_:alice ~to_:(p "b") ~restrictions:[ "r" ] in
+  match Sollins.passport_of_wire (Sollins.passport_to_wire passport) with
+  | Ok passport' -> Alcotest.(check int) "roundtrip" 1 (List.length passport')
+  | Error e -> Alcotest.fail e
+
+(* --- Amoeba bank --- *)
+
+let test_amoeba_prepay_flow () =
+  let net = Sim.Net.create ~seed:"amoeba" () in
+  let bank_name = p "bank" in
+  let bank = Amoeba_bank.create net ~name:bank_name in
+  Amoeba_bank.install bank;
+  Amoeba_bank.open_account bank "client";
+  Amoeba_bank.open_account bank "server";
+  Amoeba_bank.mint bank ~account:"client" ~currency:"usd" 100;
+  (* The client must pre-pay before service. *)
+  (match
+     Amoeba_bank.transfer net ~bank:bank_name ~caller:"client" ~from_:"client" ~to_:"server"
+       ~currency:"usd" ~amount:30
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Amoeba_bank.balance net ~bank:bank_name ~caller:"server" ~account:"server" ~currency:"usd" with
+  | Ok b -> Alcotest.(check int) "prepaid visible" 30 b
+  | Error e -> Alcotest.fail e);
+  (* Service consumes the pre-paid funds. *)
+  (match
+     Amoeba_bank.withdraw net ~bank:bank_name ~caller:"server" ~account:"server" ~currency:"usd"
+       ~amount:30
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "consumed" 0 (Amoeba_bank.balance_direct bank ~account:"server" ~currency:"usd");
+  (* Overdraft refused. *)
+  match
+    Amoeba_bank.transfer net ~bank:bank_name ~caller:"client" ~from_:"client" ~to_:"server"
+      ~currency:"usd" ~amount:1000
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "overdraft"
+
+(* --- DSSA roles --- *)
+
+let test_dssa_roles () =
+  let net = Sim.Net.create ~seed:"dssa" () in
+  let drbg = Sim.Net.drbg net in
+  let ca_name = p "dssa-ca" in
+  let ca = Dssa.create net ~name:ca_name ~drbg ~bits:512 in
+  Dssa.install ca;
+  let alice = p "alice" and bob = p "bob" in
+  let m0 = Sim.Metrics.get (Sim.Net.metrics net) "net.messages" in
+  let cert, role_key =
+    Result.get_ok
+      (Dssa.create_role net ~ca:ca_name ~caller:"alice" ~owner:alice ~rights:[ "read:file1" ])
+  in
+  (* The defining cost: restricting a delegation needs a round-trip and
+     registers state at the CA. *)
+  Alcotest.(check int) "role creation is online" 2
+    (Sim.Metrics.get (Sim.Net.metrics net) "net.messages" - m0);
+  Alcotest.(check int) "CA accumulates roles" 1 (Dssa.role_count ca);
+  let delegation = Dssa.delegate ~role_key ~to_:bob cert in
+  (match Dssa.verify ~ca_pub:(Dssa.ca_pub ca) ~presenter:bob delegation with
+  | Ok rights -> Alcotest.(check (list string)) "rights" [ "read:file1" ] rights
+  | Error e -> Alcotest.fail e);
+  (* The wrong presenter is refused. *)
+  (match Dssa.verify ~ca_pub:(Dssa.ca_pub ca) ~presenter:(p "eve") delegation with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "delegation usable by non-delegate");
+  (* A forged role certificate is refused. *)
+  let bad = { cert with Dssa.role_rights = [ "all" ] } in
+  let forged = Dssa.delegate ~role_key ~to_:bob bad in
+  match Dssa.verify ~ca_pub:(Dssa.ca_pub ca) ~presenter:bob forged with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tampered rights accepted"
+
+(* --- Grapevine --- *)
+
+let test_grapevine_queries () =
+  let net = Sim.Net.create ~seed:"grapevine" () in
+  let reg_name = p "registry" in
+  let reg = Grapevine.create net ~name:reg_name in
+  Grapevine.install reg;
+  let alice = p "alice" in
+  Grapevine.add_member reg ~group:"admins" alice;
+  let m0 = Sim.Metrics.get (Sim.Net.metrics net) "net.messages" in
+  (match Grapevine.is_member net ~server:reg_name ~caller:"fs" ~group:"admins" alice with
+  | Ok b -> Alcotest.(check bool) "member" true b
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "each check is online" 2
+    (Sim.Metrics.get (Sim.Net.metrics net) "net.messages" - m0);
+  (match Grapevine.is_member net ~server:reg_name ~caller:"fs" ~group:"admins" (p "bob") with
+  | Ok b -> Alcotest.(check bool) "non-member" false b
+  | Error e -> Alcotest.fail e);
+  Grapevine.remove_member reg ~group:"admins" alice;
+  match Grapevine.is_member net ~server:reg_name ~caller:"fs" ~group:"admins" alice with
+  | Ok b -> Alcotest.(check bool) "removed" false b
+  | Error e -> Alcotest.fail e
+
+(* --- ECMA PAC --- *)
+
+let test_ecma_pac () =
+  let net = Sim.Net.create ~seed:"pac" () in
+  let auth_name = p "pac-authority" in
+  let authority = Ecma_pac.create net ~name:auth_name ~drbg:(Sim.Net.drbg net) ~bits:512 in
+  Ecma_pac.install authority;
+  let alice = p "alice" in
+  Ecma_pac.entitle authority alice "print";
+  Ecma_pac.entitle authority alice "scan";
+  let m0 = Sim.Metrics.get (Sim.Net.metrics net) "net.messages" in
+  let pac =
+    Result.get_ok
+      (Ecma_pac.request net ~authority:auth_name ~caller:alice ~privileges:[ "print" ] ())
+  in
+  Alcotest.(check int) "issuance is online" 2 (Sim.Metrics.get (Sim.Net.metrics net) "net.messages" - m0);
+  (* Offline verification works for the named subject. *)
+  (match
+     Ecma_pac.verify ~authority_pub:(Ecma_pac.authority_pub authority) ~now:0
+       ~presenter:(Some alice) pac
+   with
+  | Ok privileges -> Alcotest.(check (list string)) "privileges" [ "print" ] privileges
+  | Error e -> Alcotest.fail e);
+  (* ...but not for anyone else. *)
+  (match
+     Ecma_pac.verify ~authority_pub:(Ecma_pac.authority_pub authority) ~now:0
+       ~presenter:(Some (p "bob")) pac
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "named PAC used by a stranger");
+  (* Unentitled privileges are refused at issuance. *)
+  (match Ecma_pac.request net ~authority:auth_name ~caller:alice ~privileges:[ "erase" ] () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unentitled privilege certified");
+  (* The defining limitation: narrowing is NOT an offline operation — the
+     holder must return to the authority (another 2 messages). *)
+  let m1 = Sim.Metrics.get (Sim.Net.metrics net) "net.messages" in
+  ignore
+    (Result.get_ok
+       (Ecma_pac.request net ~authority:auth_name ~caller:alice ~privileges:[ "print" ] ()));
+  Alcotest.(check int) "narrowing is online too" 2
+    (Sim.Metrics.get (Sim.Net.metrics net) "net.messages" - m1);
+  (* A tampered privilege list is caught. *)
+  let forged = { pac with Ecma_pac.pac_privileges = [ "print"; "erase" ] } in
+  match
+    Ecma_pac.verify ~authority_pub:(Ecma_pac.authority_pub authority) ~now:0
+      ~presenter:(Some alice) forged
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tampered PAC verified"
+
+let () =
+  Alcotest.run "baselines"
+    [ ( "sollins",
+        [ ("chain verification is online", `Quick, test_sollins_chain);
+          ("rejects forgery", `Quick, test_sollins_rejects_forgery);
+          ("wire roundtrip", `Quick, test_sollins_wire) ] );
+      ("amoeba", [ ("pre-pay flow", `Quick, test_amoeba_prepay_flow) ]);
+      ("dssa", [ ("role-based delegation", `Slow, test_dssa_roles) ]);
+      ("grapevine", [ ("per-request queries", `Quick, test_grapevine_queries) ]);
+      ("ecma-pac", [ ("privilege certificates", `Slow, test_ecma_pac) ]) ]

@@ -1,0 +1,233 @@
+(* Unit and property tests for the arbitrary-precision substrate. The
+   reference implementation for property tests is native [int] arithmetic on
+   small values plus algebraic identities on large ones. *)
+
+module N = Bignum.Nat
+
+let nat = Alcotest.testable N.pp N.equal
+
+(* A deterministic byte source for the prime tests. *)
+let test_rand =
+  let state = ref 0x12345678 in
+  fun n ->
+    String.init n (fun _ ->
+        (* xorshift *)
+        let x = !state in
+        let x = x lxor (x lsl 13) in
+        let x = x lxor (x lsr 7) in
+        let x = x lxor (x lsl 17) in
+        state := x land max_int;
+        Char.chr (x land 0xff))
+
+let big_a = N.of_string "123456789012345678901234567890123456789"
+let big_b = N.of_string "987654321098765432109876543210"
+
+let test_of_to_int () =
+  Alcotest.(check (option int)) "roundtrip 0" (Some 0) N.(to_int_opt zero);
+  Alcotest.(check (option int)) "roundtrip 42" (Some 42) N.(to_int_opt (of_int 42));
+  Alcotest.(check (option int))
+    "roundtrip large" (Some 123_456_789_012_345)
+    N.(to_int_opt (of_int 123_456_789_012_345));
+  Alcotest.(check (option int)) "too big" None (N.to_int_opt big_a)
+
+let test_decimal_roundtrip () =
+  Alcotest.(check string) "string" "123456789012345678901234567890123456789" (N.to_string big_a);
+  Alcotest.(check string) "zero" "0" N.(to_string zero);
+  Alcotest.check nat "parse" big_a (N.of_string (N.to_string big_a))
+
+let test_add_sub () =
+  Alcotest.check nat "a+b-b=a" big_a N.(sub (add big_a big_b) big_b);
+  Alcotest.check nat "a-a=0" N.zero (N.sub big_a big_a);
+  Alcotest.(check_raises "underflow" N.Underflow (fun () -> ignore (N.sub big_b big_a)))
+
+let test_mul_div () =
+  let q, r = N.divmod big_a big_b in
+  Alcotest.check nat "divmod reconstruct" big_a N.(add (mul q big_b) r);
+  Alcotest.(check bool) "r < b" true (N.compare r big_b < 0);
+  Alcotest.check nat "(a*b)/b = a" big_a N.(div (mul big_a big_b) big_b);
+  Alcotest.check nat "mod of multiple" N.zero N.(rem (mul big_a big_b) big_a);
+  Alcotest.(check_raises "div by zero" Division_by_zero (fun () -> ignore (N.div big_a N.zero)))
+
+let test_known_quotient () =
+  (* 10^38 / 10^19 = 10^19, computed independently. *)
+  let p38 = N.of_string (String.concat "" [ "1"; String.make 38 '0' ]) in
+  let p19 = N.of_string (String.concat "" [ "1"; String.make 19 '0' ]) in
+  Alcotest.check nat "10^38/10^19" p19 (N.div p38 p19);
+  Alcotest.check nat "exact" N.zero (N.rem p38 p19)
+
+let test_shifts () =
+  Alcotest.check nat "shl 0" big_a (N.shift_left big_a 0);
+  Alcotest.check nat "shl/shr" big_a N.(shift_right (shift_left big_a 131) 131);
+  Alcotest.check nat "shl = *2^k" N.(mul big_a (of_int 1024)) (N.shift_left big_a 10);
+  Alcotest.check nat "shr = /2^k" N.(div big_a (of_int 1024)) (N.shift_right big_a 10)
+
+let test_bits () =
+  Alcotest.(check int) "bitlen 0" 0 N.(bit_length zero);
+  Alcotest.(check int) "bitlen 1" 1 N.(bit_length one);
+  Alcotest.(check int) "bitlen 255" 8 N.(bit_length (of_int 255));
+  Alcotest.(check int) "bitlen 256" 9 N.(bit_length (of_int 256));
+  Alcotest.(check bool) "bit 0 of 5" true N.(bit (of_int 5) 0);
+  Alcotest.(check bool) "bit 1 of 5" false N.(bit (of_int 5) 1);
+  Alcotest.(check bool) "bit 2 of 5" true N.(bit (of_int 5) 2);
+  Alcotest.(check bool) "bit out of range" false (N.bit big_a 10_000)
+
+let test_bytes_roundtrip () =
+  Alcotest.check nat "bytes roundtrip" big_a (N.of_bytes_be (N.to_bytes_be big_a));
+  Alcotest.(check string) "zero is empty" "" N.(to_bytes_be zero);
+  Alcotest.check nat "empty is zero" N.zero (N.of_bytes_be "");
+  let padded = N.to_bytes_be_padded 32 big_b in
+  Alcotest.(check int) "padded length" 32 (String.length padded);
+  Alcotest.check nat "padded value" big_b (N.of_bytes_be padded);
+  Alcotest.(check_raises "too small" (Invalid_argument "Nat.to_bytes_be_padded: does not fit")
+      (fun () -> ignore (N.to_bytes_be_padded 2 big_a)))
+
+let test_mod_pow () =
+  (* 2^10 mod 1000 = 24 *)
+  Alcotest.check nat "2^10 mod 1000" (N.of_int 24)
+    N.(mod_pow two (of_int 10) (of_int 1000));
+  (* Fermat: a^(p-1) = 1 mod p for prime p = 1000003 *)
+  let p = N.of_int 1_000_003 in
+  Alcotest.check nat "fermat" N.one N.(mod_pow (of_int 31337) (sub p one) p);
+  Alcotest.check nat "mod 1" N.zero N.(mod_pow big_a big_b one)
+
+let test_gcd_modinv () =
+  Alcotest.check nat "gcd(12,18)" (N.of_int 6) N.(gcd (of_int 12) (of_int 18));
+  Alcotest.check nat "gcd(a,0)" big_a (N.gcd big_a N.zero);
+  let m = N.of_int 1_000_003 in
+  (match N.mod_inv (N.of_int 12345) m with
+  | None -> Alcotest.fail "expected inverse"
+  | Some inv -> Alcotest.check nat "inverse" N.one N.(rem (mul (of_int 12345) inv) m));
+  Alcotest.(check bool) "no inverse" true (N.mod_inv (N.of_int 6) (N.of_int 9) = None)
+
+let test_primes_known () =
+  let rounds = 16 in
+  let prime_list = [ 2; 3; 5; 17; 257; 65537; 1_000_003 ] in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d is prime" p)
+        true
+        (Bignum.Prime.is_probably_prime ~rounds test_rand (N.of_int p)))
+    prime_list;
+  let composite_list = [ 0; 1; 4; 9; 255; 65535; 1_000_001; 341; 561; 645; 1105 ] in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d is composite" c)
+        false
+        (Bignum.Prime.is_probably_prime ~rounds test_rand (N.of_int c)))
+    composite_list
+
+let test_prime_generation () =
+  let p = Bignum.Prime.generate ~rounds:8 test_rand 96 in
+  Alcotest.(check int) "bit length" 96 (N.bit_length p);
+  Alcotest.(check bool) "odd" true (N.is_odd p);
+  Alcotest.(check bool) "probably prime" true
+    (Bignum.Prime.is_probably_prime ~rounds:16 test_rand p)
+
+let test_random_below () =
+  let bound = N.of_int 1000 in
+  for _ = 1 to 50 do
+    let x = Bignum.Prime.random_nat_below test_rand bound in
+    Alcotest.(check bool) "below bound" true (N.compare x bound < 0)
+  done
+
+(* Property tests. *)
+
+let small_nat_gen = QCheck.Gen.(map N.of_int (int_bound 1_000_000_000))
+
+let big_nat_gen =
+  QCheck.Gen.(
+    map
+      (fun bytes -> N.of_bytes_be bytes)
+      (string_size ~gen:char (int_range 0 40)))
+
+let arb_small = QCheck.make ~print:N.to_string small_nat_gen
+let arb_big = QCheck.make ~print:N.to_string big_nat_gen
+
+let prop_add_commutative =
+  QCheck.Test.make ~name:"add commutative" ~count:200 (QCheck.pair arb_big arb_big)
+    (fun (a, b) -> N.equal (N.add a b) (N.add b a))
+
+let prop_mul_commutative =
+  QCheck.Test.make ~name:"mul commutative" ~count:200 (QCheck.pair arb_big arb_big)
+    (fun (a, b) -> N.equal (N.mul a b) (N.mul b a))
+
+let prop_mul_distributes =
+  QCheck.Test.make ~name:"mul distributes over add" ~count:200
+    (QCheck.triple arb_big arb_big arb_big)
+    (fun (a, b, c) -> N.equal (N.mul a (N.add b c)) (N.add (N.mul a b) (N.mul a c)))
+
+let prop_divmod_invariant =
+  QCheck.Test.make ~name:"divmod invariant" ~count:500 (QCheck.pair arb_big arb_big)
+    (fun (a, b) ->
+      QCheck.assume (not (N.is_zero b));
+      let q, r = N.divmod a b in
+      N.equal a (N.add (N.mul q b) r) && N.compare r b < 0)
+
+let prop_matches_int =
+  QCheck.Test.make ~name:"agrees with native int" ~count:500
+    (QCheck.pair (QCheck.int_bound 100_000) (QCheck.int_bound 100_000))
+    (fun (a, b) ->
+      let na = N.of_int a and nb = N.of_int b in
+      N.to_int_opt (N.add na nb) = Some (a + b)
+      && N.to_int_opt (N.mul na nb) = Some (a * b)
+      && (b = 0 || N.to_int_opt (N.div na nb) = Some (a / b))
+      && (b = 0 || N.to_int_opt (N.rem na nb) = Some (a mod b)))
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"bytes roundtrip" ~count:300 arb_big (fun a ->
+      N.equal a (N.of_bytes_be (N.to_bytes_be a)))
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"decimal roundtrip" ~count:200 arb_big (fun a ->
+      N.equal a (N.of_string (N.to_string a)))
+
+let prop_shift_mul =
+  QCheck.Test.make ~name:"shift_left k = mul 2^k" ~count:200
+    (QCheck.pair arb_big (QCheck.int_bound 100))
+    (fun (a, k) ->
+      N.equal (N.shift_left a k) (N.mul a (N.mod_pow N.two (N.of_int k) (N.shift_left N.one 200))))
+
+let prop_modinv =
+  QCheck.Test.make ~name:"mod_inv correct when defined" ~count:200
+    (QCheck.pair arb_small arb_small)
+    (fun (a, m) ->
+      QCheck.assume (N.compare m N.two >= 0);
+      match N.mod_inv a m with
+      | None -> not (N.equal (N.gcd a m) N.one) || N.is_zero (N.rem a m)
+      | Some x -> N.equal (N.rem (N.mul (N.rem a m) x) m) N.one)
+
+let prop_modpow_small =
+  QCheck.Test.make ~name:"mod_pow agrees with naive" ~count:100
+    (QCheck.triple (QCheck.int_bound 50) (QCheck.int_bound 12) (QCheck.int_range 1 1000))
+    (fun (b, e, m) ->
+      let naive = ref 1 in
+      for _ = 1 to e do
+        naive := !naive * b mod m
+      done;
+      N.to_int_opt (N.mod_pow (N.of_int b) (N.of_int e) (N.of_int m)) = Some !naive)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_add_commutative; prop_mul_commutative; prop_mul_distributes;
+      prop_divmod_invariant; prop_matches_int; prop_bytes_roundtrip;
+      prop_string_roundtrip; prop_shift_mul; prop_modinv; prop_modpow_small ]
+
+let suite =
+  [ ("int conversion", `Quick, test_of_to_int);
+    ("decimal roundtrip", `Quick, test_decimal_roundtrip);
+    ("add/sub", `Quick, test_add_sub);
+    ("mul/div", `Quick, test_mul_div);
+    ("known quotient", `Quick, test_known_quotient);
+    ("shifts", `Quick, test_shifts);
+    ("bits", `Quick, test_bits);
+    ("bytes roundtrip", `Quick, test_bytes_roundtrip);
+    ("mod_pow", `Quick, test_mod_pow);
+    ("gcd/modinv", `Quick, test_gcd_modinv);
+    ("known primes", `Quick, test_primes_known);
+    ("prime generation", `Slow, test_prime_generation);
+    ("random below", `Quick, test_random_below) ]
+  @ List.map (fun (n, s, f) -> (n, s, f)) props
+
+let () = Alcotest.run "bignum" [ ("nat+prime", suite) ]

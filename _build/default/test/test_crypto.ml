@@ -1,0 +1,296 @@
+(* Crypto substrate tests: published vectors for SHA-256 / HMAC / ChaCha20,
+   behavioural and property tests for DRBG, AEAD, and RSA. *)
+
+module Sha256 = Crypto.Sha256
+module Hmac = Crypto.Hmac
+module Chacha20 = Crypto.Chacha20
+module Drbg = Crypto.Drbg
+module Aead = Crypto.Aead
+module Rsa = Crypto.Rsa
+module Ct = Crypto.Ct
+
+let hex s =
+  (* Parse "ab cd" or "abcd" hex into raw bytes. *)
+  let buf = Buffer.create 32 in
+  let pending = ref None in
+  String.iter
+    (fun c ->
+      if c <> ' ' && c <> '\n' then
+        let v =
+          match c with
+          | '0' .. '9' -> Char.code c - Char.code '0'
+          | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+          | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+          | _ -> invalid_arg "hex"
+        in
+        match !pending with
+        | None -> pending := Some v
+        | Some hi ->
+            Buffer.add_char buf (Char.chr ((hi lsl 4) lor v));
+            pending := None)
+    s;
+  Buffer.contents buf
+
+(* --- SHA-256: FIPS 180-4 / NIST CAVS vectors --- *)
+
+let test_sha256_vectors () =
+  let cases =
+    [ ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+      ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+      ( String.make 1_000_000 'a',
+        "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0" ) ]
+  in
+  List.iter
+    (fun (msg, want) -> Alcotest.(check string) "sha256" want (Sha256.hex_digest msg))
+    cases
+
+let test_sha256_incremental () =
+  (* Streaming in odd-sized chunks must agree with one-shot. *)
+  let msg = String.init 3000 (fun i -> Char.chr (i mod 251)) in
+  let ctx = Sha256.init () in
+  let pos = ref 0 in
+  let sizes = [ 1; 63; 64; 65; 100; 7; 1000; 2000 ] in
+  List.iter
+    (fun n ->
+      let n = min n (String.length msg - !pos) in
+      Sha256.update ctx (String.sub msg !pos n);
+      pos := !pos + n)
+    sizes;
+  Sha256.update ctx (String.sub msg !pos (String.length msg - !pos));
+  Alcotest.(check string) "incremental = one-shot" (Sha256.digest msg) (Sha256.finalize ctx)
+
+(* --- HMAC-SHA256: RFC 4231 vectors --- *)
+
+let test_hmac_vectors () =
+  let cases =
+    [ ( String.make 20 '\x0b',
+        "Hi There",
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7" );
+      ( "Jefe",
+        "what do ya want for nothing?",
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843" );
+      ( String.make 20 '\xaa',
+        String.make 50 '\xdd',
+        "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe" );
+      ( String.make 131 '\xaa',
+        "Test Using Larger Than Block-Size Key - Hash Key First",
+        "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54" ) ]
+  in
+  List.iter
+    (fun (key, msg, want) ->
+      Alcotest.(check string) "hmac" want (Sha256.to_hex (Hmac.mac ~key msg)))
+    cases
+
+let test_hmac_verify () =
+  let key = "secret-key" and msg = "the message" in
+  let tag = Hmac.mac ~key msg in
+  Alcotest.(check bool) "accepts" true (Hmac.verify ~key ~msg ~tag);
+  Alcotest.(check bool) "rejects bad tag" false
+    (Hmac.verify ~key ~msg ~tag:(String.make 32 '\x00'));
+  Alcotest.(check bool) "rejects bad key" false (Hmac.verify ~key:"other" ~msg ~tag);
+  Alcotest.(check bool) "rejects truncated" false
+    (Hmac.verify ~key ~msg ~tag:(String.sub tag 0 16))
+
+(* --- ChaCha20: RFC 8439 section 2.4.2 vector --- *)
+
+let test_chacha20_vector () =
+  let key = hex "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f" in
+  let nonce = hex "000000000000004a00000000" in
+  let plaintext =
+    "Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it."
+  in
+  let want =
+    hex
+      "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+       f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+       07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+       5af90bbf74a35be6b40b8eedf2785e42874d"
+  in
+  Alcotest.(check string) "rfc8439 ciphertext" (Sha256.to_hex want)
+    (Sha256.to_hex (Chacha20.encrypt ~key ~nonce ~counter:1 plaintext));
+  Alcotest.(check string) "decrypt inverts" plaintext
+    (Chacha20.encrypt ~key ~nonce ~counter:1 (Chacha20.encrypt ~key ~nonce ~counter:1 plaintext))
+
+let test_chacha20_args () =
+  Alcotest.(check_raises "bad key" (Invalid_argument "Chacha20.block: key must be 32 bytes")
+      (fun () -> ignore (Chacha20.block ~key:"short" ~nonce:(String.make 12 '\x00') ~counter:0)));
+  Alcotest.(check_raises "bad nonce" (Invalid_argument "Chacha20.block: nonce must be 12 bytes")
+      (fun () -> ignore (Chacha20.block ~key:(String.make 32 '\x00') ~nonce:"x" ~counter:0)))
+
+(* --- Constant-time compare --- *)
+
+let test_ct () =
+  Alcotest.(check bool) "equal" true (Ct.equal_string "abc" "abc");
+  Alcotest.(check bool) "differs" false (Ct.equal_string "abc" "abd");
+  Alcotest.(check bool) "length differs" false (Ct.equal_string "abc" "abcd");
+  Alcotest.(check bool) "empty" true (Ct.equal_string "" "")
+
+(* --- DRBG --- *)
+
+let test_drbg_deterministic () =
+  let a = Drbg.create ~seed:"seed-1" and b = Drbg.create ~seed:"seed-1" in
+  Alcotest.(check string) "same seed, same stream" (Drbg.generate a 64) (Drbg.generate b 64);
+  let c = Drbg.create ~seed:"seed-2" in
+  Alcotest.(check bool) "different seed differs" true
+    (Drbg.generate (Drbg.create ~seed:"seed-1") 64 <> Drbg.generate c 64)
+
+let test_drbg_reseed () =
+  let a = Drbg.create ~seed:"s" and b = Drbg.create ~seed:"s" in
+  ignore (Drbg.generate a 16);
+  ignore (Drbg.generate b 16);
+  Drbg.reseed a "extra entropy";
+  Alcotest.(check bool) "reseed changes stream" true (Drbg.generate a 32 <> Drbg.generate b 32)
+
+let test_drbg_uniform () =
+  let d = Drbg.create ~seed:"uniform" in
+  for _ = 1 to 200 do
+    let x = Drbg.uniform_int d 7 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 7)
+  done;
+  Alcotest.(check_raises "zero bound" (Invalid_argument "Drbg.uniform_int: bound must be positive")
+      (fun () -> ignore (Drbg.uniform_int d 0)))
+
+(* --- AEAD --- *)
+
+let aead_key = Sha256.digest "test key material"
+
+let test_aead_roundtrip () =
+  let nonce = String.make 12 '\x07' in
+  let box = Aead.seal ~key:aead_key ~ad:"header" ~nonce "attack at dawn" in
+  (match Aead.open_ ~key:aead_key ~ad:"header" box with
+  | Some pt -> Alcotest.(check string) "roundtrip" "attack at dawn" pt
+  | None -> Alcotest.fail "expected successful open");
+  Alcotest.(check bool) "wrong ad fails" true (Aead.open_ ~key:aead_key ~ad:"other" box = None);
+  Alcotest.(check bool) "wrong key fails" true
+    (Aead.open_ ~key:(Sha256.digest "wrong") ~ad:"header" box = None)
+
+let test_aead_tamper () =
+  let nonce = String.make 12 '\x01' in
+  let box = Aead.seal ~key:aead_key ~nonce "sensitive proxy key" in
+  let flip s i =
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+    Bytes.to_string b
+  in
+  let tampered_ct = { box with Aead.ciphertext = flip box.Aead.ciphertext 0 } in
+  let tampered_tag = { box with Aead.tag = flip box.Aead.tag 5 } in
+  let tampered_nonce = { box with Aead.nonce = flip box.Aead.nonce 3 } in
+  Alcotest.(check bool) "ct tamper" true (Aead.open_ ~key:aead_key tampered_ct = None);
+  Alcotest.(check bool) "tag tamper" true (Aead.open_ ~key:aead_key tampered_tag = None);
+  Alcotest.(check bool) "nonce tamper" true (Aead.open_ ~key:aead_key tampered_nonce = None)
+
+let test_aead_encode () =
+  let nonce = String.make 12 '\x02' in
+  let box = Aead.seal ~key:aead_key ~nonce "wire me" in
+  (match Aead.decode (Aead.encode box) with
+  | Some box' -> (
+      match Aead.open_ ~key:aead_key box' with
+      | Some pt -> Alcotest.(check string) "decode roundtrip" "wire me" pt
+      | None -> Alcotest.fail "open after decode")
+  | None -> Alcotest.fail "decode");
+  Alcotest.(check bool) "short decode fails" true (Aead.decode "short" = None)
+
+(* --- RSA --- *)
+
+let drbg = Drbg.create ~seed:"rsa tests"
+let key = Rsa.generate drbg ~bits:512
+
+let test_rsa_sign_verify () =
+  let signature = Rsa.sign key "a proxy certificate body" in
+  Alcotest.(check bool) "verifies" true
+    (Rsa.verify key.Rsa.pub ~msg:"a proxy certificate body" ~signature);
+  Alcotest.(check bool) "other message fails" false
+    (Rsa.verify key.Rsa.pub ~msg:"another body" ~signature);
+  let bad = Bytes.of_string signature in
+  Bytes.set bad 10 (Char.chr (Char.code (Bytes.get bad 10) lxor 0x40));
+  Alcotest.(check bool) "bitflip fails" false
+    (Rsa.verify key.Rsa.pub ~msg:"a proxy certificate body" ~signature:(Bytes.to_string bad));
+  Alcotest.(check bool) "wrong length fails" false
+    (Rsa.verify key.Rsa.pub ~msg:"a proxy certificate body" ~signature:(signature ^ "x"))
+
+let test_rsa_cross_key () =
+  let key2 = Rsa.generate drbg ~bits:512 in
+  let signature = Rsa.sign key "msg" in
+  Alcotest.(check bool) "other key rejects" false
+    (Rsa.verify key2.Rsa.pub ~msg:"msg" ~signature)
+
+let test_rsa_encrypt () =
+  let secret = "proxy key: 32 bytes of material!" in
+  match Rsa.encrypt drbg key.Rsa.pub secret with
+  | None -> Alcotest.fail "encrypt"
+  | Some ct -> (
+      (match Rsa.decrypt key ct with
+      | Some pt -> Alcotest.(check string) "decrypt" secret pt
+      | None -> Alcotest.fail "decrypt");
+      let too_long = String.make 100 'x' in
+      Alcotest.(check bool) "too long rejected" true (Rsa.encrypt drbg key.Rsa.pub too_long = None);
+      let garbage = String.make (Rsa.modulus_bytes key.Rsa.pub) '\x7f' in
+      Alcotest.(check bool) "garbage decrypt fails" true (Rsa.decrypt key garbage = None))
+
+let test_rsa_pub_encoding () =
+  match Rsa.public_of_bytes (Rsa.public_to_bytes key.Rsa.pub) with
+  | None -> Alcotest.fail "decode public"
+  | Some pub ->
+      let signature = Rsa.sign key "check encoding" in
+      Alcotest.(check bool) "decoded key verifies" true
+        (Rsa.verify pub ~msg:"check encoding" ~signature);
+      Alcotest.(check bool) "truncated fails" true (Rsa.public_of_bytes "\x00\x00" = None)
+
+(* --- Properties --- *)
+
+let prop_sha_distinct =
+  QCheck.Test.make ~name:"sha256 distinguishes distinct strings" ~count:300
+    (QCheck.pair QCheck.string QCheck.string)
+    (fun (a, b) -> a = b || Sha256.digest a <> Sha256.digest b)
+
+let prop_aead_roundtrip =
+  QCheck.Test.make ~name:"aead roundtrips arbitrary bytes" ~count:200
+    (QCheck.pair QCheck.string QCheck.small_string)
+    (fun (pt, ad) ->
+      let d = Drbg.create ~seed:("nonce" ^ ad ^ pt) in
+      let nonce = Drbg.generate d 12 in
+      let box = Aead.seal ~key:aead_key ~ad ~nonce pt in
+      Aead.open_ ~key:aead_key ~ad box = Some pt)
+
+let prop_chacha_involution =
+  QCheck.Test.make ~name:"chacha encrypt is an involution" ~count:200 QCheck.string (fun pt ->
+      let key = Sha256.digest "k" and nonce = String.make 12 'n' in
+      Chacha20.encrypt ~key ~nonce (Chacha20.encrypt ~key ~nonce pt) = pt)
+
+let prop_ct_equal_iff =
+  QCheck.Test.make ~name:"ct equal iff structurally equal" ~count:500
+    (QCheck.pair QCheck.small_string QCheck.small_string)
+    (fun (a, b) -> Ct.equal_string a b = (a = b))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_sha_distinct; prop_aead_roundtrip; prop_chacha_involution; prop_ct_equal_iff ]
+
+let () =
+  Alcotest.run "crypto"
+    [ ( "sha256",
+        [ ("vectors", `Quick, test_sha256_vectors);
+          ("incremental", `Quick, test_sha256_incremental) ] );
+      ( "hmac",
+        [ ("rfc4231 vectors", `Quick, test_hmac_vectors); ("verify", `Quick, test_hmac_verify) ]
+      );
+      ( "chacha20",
+        [ ("rfc8439 vector", `Quick, test_chacha20_vector);
+          ("argument validation", `Quick, test_chacha20_args) ] );
+      ("ct", [ ("constant-time compare", `Quick, test_ct) ]);
+      ( "drbg",
+        [ ("deterministic", `Quick, test_drbg_deterministic);
+          ("reseed", `Quick, test_drbg_reseed);
+          ("uniform", `Quick, test_drbg_uniform) ] );
+      ( "aead",
+        [ ("roundtrip", `Quick, test_aead_roundtrip);
+          ("tamper detection", `Quick, test_aead_tamper);
+          ("wire encode", `Quick, test_aead_encode) ] );
+      ( "rsa",
+        [ ("sign/verify", `Slow, test_rsa_sign_verify);
+          ("cross key", `Slow, test_rsa_cross_key);
+          ("encrypt/decrypt", `Slow, test_rsa_encrypt);
+          ("public key encoding", `Slow, test_rsa_pub_encoding) ] );
+      ("properties", props) ]

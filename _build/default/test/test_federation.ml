@@ -1,0 +1,343 @@
+(* TGS proxies (Section 6.3) and cross-realm authentication: the two
+   mechanisms that turn per-server conventional proxies into realm- and
+   server-spanning delegation. *)
+
+module R = Restriction
+module W = Testkit
+
+(* --- TGS proxies --- *)
+
+type tgs_world = { w : W.world; alice : Principal.t; fs1 : Principal.t; fs2 : Principal.t }
+
+let make_fileserver w owner name =
+  let fs_name, fs_key = W.enrol w name in
+  let acl = Acl.create () in
+  Acl.add acl ~target:"*" { Acl.subject = Acl.Principal_is owner; rights = []; restrictions = [] };
+  let fs = File_server.create w.W.net ~me:fs_name ~my_key:fs_key ~acl () in
+  File_server.install fs;
+  File_server.put_direct fs ~path:"report.txt" "contents";
+  File_server.put_direct fs ~path:"secret.txt" "hidden";
+  fs_name
+
+let tgs_world () =
+  let w = W.create ~seed:"tgs proxy tests" () in
+  let alice, _ = W.enrol w "alice" in
+  let fs1 = make_fileserver w alice "fs1" in
+  let fs2 = make_fileserver w alice "fs2" in
+  { w; alice; fs1; fs2 }
+
+let read_only_report = [ R.Authorized [ { R.target = "report.txt"; ops = [ "read" ] } ] ]
+
+let test_tgs_proxy_spans_servers () =
+  let tw = tgs_world () in
+  let tgt = W.login tw.w tw.alice in
+  (* Alice grants a TGS proxy restricted to reading report.txt; the grantee
+     can mint service tickets for ANY server, all carrying the
+     restriction. *)
+  let proxy_tgt =
+    Result.get_ok
+      (Tgs_proxy.grant tw.w.W.net ~kdc:tw.w.W.kdc_name ~tgt ~restrictions:read_only_report ())
+  in
+  Alcotest.(check int) "restrictions visible" 1 (List.length (Tgs_proxy.restrictions_of proxy_tgt));
+  List.iter
+    (fun fs ->
+      let creds =
+        Result.get_ok (Tgs_proxy.use tw.w.W.net ~kdc:tw.w.W.kdc_name ~proxy_tgt ~service:fs)
+      in
+      (match File_server.read tw.w.W.net ~creds ~path:"report.txt" () with
+      | Ok content -> Alcotest.(check string) "reads report" "contents" content
+      | Error e -> Alcotest.fail e);
+      (match File_server.read tw.w.W.net ~creds ~path:"secret.txt" () with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "restriction did not carry to the end-server");
+      match File_server.write tw.w.W.net ~creds ~path:"report.txt" "defaced" with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "write allowed through a read-only TGS proxy")
+    [ tw.fs1; tw.fs2 ]
+
+let test_tgs_proxy_cannot_widen () =
+  let tw = tgs_world () in
+  let tgt = W.login tw.w tw.alice in
+  let proxy_tgt =
+    Result.get_ok
+      (Tgs_proxy.grant tw.w.W.net ~kdc:tw.w.W.kdc_name ~tgt ~restrictions:read_only_report ())
+  in
+  (* The grantee re-derives through the TGS "adding" a permissive
+     restriction; the original must still bind (restrictions are unioned,
+     and check_all requires every one to pass). *)
+  let widened =
+    Result.get_ok
+      (Tgs_proxy.grant tw.w.W.net ~kdc:tw.w.W.kdc_name ~tgt:proxy_tgt
+         ~restrictions:[ R.Authorized [ { R.target = "secret.txt"; ops = [] } ] ]
+         ())
+  in
+  let creds =
+    Result.get_ok (Tgs_proxy.use tw.w.W.net ~kdc:tw.w.W.kdc_name ~proxy_tgt:widened ~service:tw.fs1)
+  in
+  (match File_server.read tw.w.W.net ~creds ~path:"secret.txt" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "grantee widened a TGS proxy");
+  (* Even the originally-allowed file is now blocked: the two Authorized
+     restrictions intersect to nothing that satisfies both. *)
+  match File_server.read tw.w.W.net ~creds ~path:"report.txt" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "intersection semantics violated"
+
+let test_tgs_proxy_transfer_encoding () =
+  let tw = tgs_world () in
+  let tgt = W.login tw.w tw.alice in
+  let proxy_tgt =
+    Result.get_ok
+      (Tgs_proxy.grant tw.w.W.net ~kdc:tw.w.W.kdc_name ~tgt ~restrictions:read_only_report ())
+  in
+  match Ticket.credentials_of_wire (Ticket.credentials_to_wire proxy_tgt) with
+  | Error e -> Alcotest.fail e
+  | Ok creds' ->
+      let creds =
+        Result.get_ok (Tgs_proxy.use tw.w.W.net ~kdc:tw.w.W.kdc_name ~proxy_tgt:creds' ~service:tw.fs1)
+      in
+      (match File_server.read tw.w.W.net ~creds ~path:"report.txt" () with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+
+let test_transport_restrictions_on_accounting () =
+  (* A TGS proxy with a spending quota: the grantee can move small amounts
+     from alice's account but not large ones. *)
+  let w = W.create ~seed:"tgs accounting" () in
+  let alice, _ = W.enrol w "alice" in
+  let bank_p, bank_key = W.enrol w "bank" in
+  let bank_rsa = Crypto.Rsa.generate (Sim.Net.drbg w.W.net) ~bits:512 in
+  let bank =
+    Result.get_ok
+      (Accounting_server.create w.W.net ~me:bank_p ~my_key:bank_key ~kdc:w.W.kdc_name
+         ~signing_key:bank_rsa
+         ~lookup:(fun p -> Directory.public w.W.dir p)
+         ())
+  in
+  Accounting_server.install bank;
+  let tgt = W.login w alice in
+  let creds_direct = W.credentials_for w ~tgt bank_p in
+  Result.get_ok (Accounting_server.open_account w.W.net ~creds:creds_direct ~name:"alice");
+  Result.get_ok (Accounting_server.open_account w.W.net ~creds:creds_direct ~name:"petty-cash");
+  ignore (Ledger.mint (Accounting_server.ledger bank) ~name:"alice" ~currency:"usd" 1000);
+  let proxy_tgt =
+    Result.get_ok
+      (Tgs_proxy.grant w.W.net ~kdc:w.W.kdc_name ~tgt
+         ~restrictions:[ R.Quota ("usd", 50) ] ())
+  in
+  let creds =
+    Result.get_ok (Tgs_proxy.use w.W.net ~kdc:w.W.kdc_name ~proxy_tgt ~service:bank_p)
+  in
+  (match
+     Accounting_server.transfer w.W.net ~creds ~from_:"alice" ~to_:"petty-cash" ~currency:"usd"
+       ~amount:30
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match
+    Accounting_server.transfer w.W.net ~creds ~from_:"alice" ~to_:"petty-cash" ~currency:"usd"
+      ~amount:51
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "quota on TGS proxy ignored by the accounting server"
+
+(* --- cross-realm --- *)
+
+type realms = {
+  wa : W.world; (* realm A, with its own KDC *)
+  wb : W.world;
+  alice_a : Principal.t; (* alice@A *)
+  fs_b : Principal.t; (* file server in realm B *)
+}
+
+(* Two realms sharing one simulated network: build B's KDC on A's net. *)
+let two_realms () =
+  let wa = W.create ~seed:"realm A" ~realm:"realm-a" () in
+  let net = wa.W.net in
+  let dir_b = Directory.create () in
+  let kdc_b_name = Principal.make ~realm:"realm-b" "kdc" in
+  Directory.add_symmetric dir_b kdc_b_name (Sim.Net.fresh_key net);
+  let kdc_b = Kdc.create net ~name:kdc_b_name ~directory:dir_b () in
+  Kdc.install kdc_b;
+  Kdc.federate wa.W.kdc kdc_b;
+  let alice_a, _ = W.enrol wa "alice" in
+  (* A file server in realm B whose ACL names alice@A. *)
+  let fs_b = Principal.make ~realm:"realm-b" "fileserver" in
+  let fs_key = Sim.Net.fresh_key net in
+  Directory.add_symmetric dir_b fs_b fs_key;
+  let acl = Acl.create () in
+  Acl.add acl ~target:"*" { Acl.subject = Acl.Principal_is alice_a; rights = [ "read" ]; restrictions = [] };
+  let fs = File_server.create net ~me:fs_b ~my_key:fs_key ~acl () in
+  File_server.install fs;
+  File_server.put_direct fs ~path:"doc" "cross-realm data";
+  let wb = { wa with W.dir = dir_b; W.kdc = kdc_b; W.kdc_name = kdc_b_name; W.realm = "realm-b" } in
+  { wa; wb; alice_a; fs_b }
+
+let test_cross_realm_access () =
+  let r = two_realms () in
+  let tgt_a = W.login r.wa r.alice_a in
+  (* Cross-realm TGT: A's TGS issues a ticket for B's KDC. *)
+  let cross_tgt =
+    match
+      Kdc.Client.derive r.wa.W.net ~kdc:r.wa.W.kdc_name ~tgt:tgt_a ~target:r.wb.W.kdc_name ()
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "names B's KDC" true
+    (Principal.equal cross_tgt.Ticket.cred_service r.wb.W.kdc_name);
+  (* Present it to B's TGS for a service ticket in realm B. *)
+  let creds =
+    match
+      Kdc.Client.derive r.wa.W.net ~kdc:r.wb.W.kdc_name ~tgt:cross_tgt ~target:r.fs_b ()
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  match File_server.read r.wa.W.net ~creds ~path:"doc" () with
+  | Ok content -> Alcotest.(check string) "read across realms" "cross-realm data" content
+  | Error e -> Alcotest.fail e
+
+let test_cross_realm_requires_trust () =
+  (* Without federation, A's TGS refuses to mint a ticket for B's KDC. *)
+  let wa = W.create ~seed:"lonely realm" ~realm:"realm-a" () in
+  let alice, _ = W.enrol wa "alice" in
+  let tgt = W.login wa alice in
+  let foreign_kdc = Principal.make ~realm:"realm-b" "kdc" in
+  match Kdc.Client.derive wa.W.net ~kdc:wa.W.kdc_name ~tgt ~target:foreign_kdc () with
+  | Error e -> Alcotest.(check bool) "mentions trust" true (e <> "")
+  | Ok _ -> Alcotest.fail "ticket issued without a trust path"
+
+let test_cross_realm_restrictions_survive () =
+  (* Restrictions placed in realm A bind in realm B: additive across the
+     boundary. *)
+  let r = two_realms () in
+  let tgt_a = W.login r.wa r.alice_a in
+  let restricted =
+    Result.get_ok
+      (Tgs_proxy.grant r.wa.W.net ~kdc:r.wa.W.kdc_name ~tgt:tgt_a
+         ~restrictions:[ R.Authorized [ { R.target = "other"; ops = [ "read" ] } ] ]
+         ())
+  in
+  let cross =
+    Result.get_ok
+      (Kdc.Client.derive r.wa.W.net ~kdc:r.wa.W.kdc_name ~tgt:restricted
+         ~target:r.wb.W.kdc_name ())
+  in
+  let creds =
+    Result.get_ok (Kdc.Client.derive r.wa.W.net ~kdc:r.wb.W.kdc_name ~tgt:cross ~target:r.fs_b ())
+  in
+  match File_server.read r.wa.W.net ~creds ~path:"doc" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "restriction dropped at the realm boundary"
+
+let test_cross_realm_ticket_not_tgt_elsewhere () =
+  (* A service ticket for B's file server is not accepted by B's TGS as a
+     TGT. *)
+  let r = two_realms () in
+  let tgt_a = W.login r.wa r.alice_a in
+  let cross =
+    Result.get_ok
+      (Kdc.Client.derive r.wa.W.net ~kdc:r.wa.W.kdc_name ~tgt:tgt_a ~target:r.wb.W.kdc_name ())
+  in
+  let service_creds =
+    Result.get_ok (Kdc.Client.derive r.wa.W.net ~kdc:r.wb.W.kdc_name ~tgt:cross ~target:r.fs_b ())
+  in
+  match
+    Kdc.Client.derive r.wa.W.net ~kdc:r.wb.W.kdc_name ~tgt:service_creds ~target:r.fs_b ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "service ticket worked as a TGT"
+
+let test_cross_realm_check_clearing () =
+  (* Accounting across administrative domains: carol banks in realm A, the
+     shop banks in realm B; the shop's bank collects from the drawee through
+     the federation (its granter walks the cross-realm TGS path). *)
+  let r = two_realms () in
+  let net = r.wa.W.net in
+  let drbg = Sim.Net.drbg net in
+  (* Shared public-key directory so both banks can verify signatures. *)
+  let pk_dir = Directory.create () in
+  let lookup p = Directory.public pk_dir p in
+  let carol, _ = W.enrol r.wa "carol" in
+  let carol_rsa = Crypto.Rsa.generate drbg ~bits:512 in
+  Directory.add_public pk_dir carol carol_rsa.Crypto.Rsa.pub;
+  (* Bank in realm A (drawee). *)
+  let bank_a = Principal.make ~realm:"realm-a" "bank" in
+  let bank_a_key = Sim.Net.fresh_key net in
+  Directory.add_symmetric r.wa.W.dir bank_a bank_a_key;
+  let bank_a_rsa = Crypto.Rsa.generate drbg ~bits:512 in
+  Directory.add_public pk_dir bank_a bank_a_rsa.Crypto.Rsa.pub;
+  let drawee =
+    Result.get_ok
+      (Accounting_server.create net ~me:bank_a ~my_key:bank_a_key ~kdc:r.wa.W.kdc_name
+         ~signing_key:bank_a_rsa ~lookup ())
+  in
+  Accounting_server.install drawee;
+  (* Bank in realm B (the shop's). *)
+  let bank_b = Principal.make ~realm:"realm-b" "bank" in
+  let bank_b_key = Sim.Net.fresh_key net in
+  Directory.add_symmetric r.wb.W.dir bank_b bank_b_key;
+  let bank_b_rsa = Crypto.Rsa.generate drbg ~bits:512 in
+  Directory.add_public pk_dir bank_b bank_b_rsa.Crypto.Rsa.pub;
+  let payee_bank =
+    Result.get_ok
+      (Accounting_server.create net ~me:bank_b ~my_key:bank_b_key ~kdc:r.wb.W.kdc_name
+         ~signing_key:bank_b_rsa ~lookup ())
+  in
+  Accounting_server.install payee_bank;
+  (* Shop lives in realm B. *)
+  let shop = Principal.make ~realm:"realm-b" "shop" in
+  let shop_key = Sim.Net.fresh_key net in
+  Directory.add_symmetric r.wb.W.dir shop shop_key;
+  let shop_rsa = Crypto.Rsa.generate drbg ~bits:512 in
+  Directory.add_public pk_dir shop shop_rsa.Crypto.Rsa.pub;
+  (* Fund carol at the realm-A bank. *)
+  let tgt_c = W.login r.wa carol in
+  let creds_ca = W.credentials_for r.wa ~tgt:tgt_c bank_a in
+  Result.get_ok (Accounting_server.open_account net ~creds:creds_ca ~name:"carol");
+  ignore (Ledger.mint (Accounting_server.ledger drawee) ~name:"carol" ~currency:"usd" 300);
+  (* Shop account at the realm-B bank. *)
+  let tgt_s =
+    match
+      Kdc.Client.authenticate net ~kdc:r.wb.W.kdc_name ~client:shop ~client_key:shop_key
+        ~service:r.wb.W.kdc_name ()
+    with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  let creds_sb =
+    Result.get_ok (Kdc.Client.derive net ~kdc:r.wb.W.kdc_name ~tgt:tgt_s ~target:bank_b ())
+  in
+  Result.get_ok (Accounting_server.open_account net ~creds:creds_sb ~name:"shop");
+  (* The purchase. *)
+  let now = W.now r.wa in
+  let check =
+    Check.write ~drbg ~now ~expires:(now + (24 * W.hour)) ~payor:carol ~payor_key:carol_rsa
+      ~account:(Accounting_server.account drawee "carol") ~payee:shop ~currency:"usd"
+      ~amount:120 ()
+  in
+  (match
+     Accounting_server.deposit net ~creds:creds_sb ~endorser_key:shop_rsa ~check
+       ~to_account:"shop"
+   with
+  | Ok amount -> Alcotest.(check int) "cleared across realms" 120 amount
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "carol debited in realm A" 180
+    (Ledger.balance (Accounting_server.ledger drawee) ~name:"carol" ~currency:"usd");
+  Alcotest.(check int) "shop credited in realm B" 120
+    (Ledger.balance (Accounting_server.ledger payee_bank) ~name:"shop" ~currency:"usd")
+
+let () =
+  Alcotest.run "federation"
+    [ ( "tgs-proxy",
+        [ ("spans end-servers", `Quick, test_tgs_proxy_spans_servers);
+          ("cannot widen", `Quick, test_tgs_proxy_cannot_widen);
+          ("transfer encoding", `Quick, test_tgs_proxy_transfer_encoding);
+          ("quota binds accounting ops", `Slow, test_transport_restrictions_on_accounting) ] );
+      ( "cross-realm",
+        [ ("access across realms", `Quick, test_cross_realm_access);
+          ("requires trust", `Quick, test_cross_realm_requires_trust);
+          ("restrictions survive", `Quick, test_cross_realm_restrictions_survive);
+          ("service ticket is not a TGT", `Quick, test_cross_realm_ticket_not_tgt_elsewhere);
+          ("check clears across realms", `Slow, test_cross_realm_check_clearing) ] ) ]

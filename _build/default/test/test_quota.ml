@@ -1,0 +1,198 @@
+(* Resource quotas via standing debit authorities (Section 4): cumulative
+   enforcement, release on free, isolation between users, and conservation
+   of the resource currency. *)
+
+module W = Testkit
+
+let blocks = Disk_server.blocks_currency
+
+type qw = {
+  w : W.world;
+  alice : Principal.t;
+  alice_rsa : Crypto.Rsa.private_;
+  bob : Principal.t;
+  bob_rsa : Crypto.Rsa.private_;
+  bank : Accounting_server.t;
+  bank_name : Principal.t;
+  disk : Disk_server.t;
+  disk_name : Principal.t;
+}
+
+let quota_world ?(seed = "quota tests") () =
+  let w = W.create ~seed () in
+  let drbg = Sim.Net.drbg w.W.net in
+  let alice, _ = W.enrol w "alice" in
+  let bob, _ = W.enrol w "bob" in
+  let bank_p, bank_key = W.enrol w "bank" in
+  let disk_p, disk_key = W.enrol w "disk" in
+  let alice_rsa = Crypto.Rsa.generate drbg ~bits:512 in
+  let bob_rsa = Crypto.Rsa.generate drbg ~bits:512 in
+  let bank_rsa = Crypto.Rsa.generate drbg ~bits:512 in
+  Directory.add_public w.W.dir alice alice_rsa.Crypto.Rsa.pub;
+  Directory.add_public w.W.dir bob bob_rsa.Crypto.Rsa.pub;
+  Directory.add_public w.W.dir bank_p bank_rsa.Crypto.Rsa.pub;
+  let bank =
+    Result.get_ok
+      (Accounting_server.create w.W.net ~me:bank_p ~my_key:bank_key ~kdc:w.W.kdc_name
+         ~signing_key:bank_rsa
+         ~lookup:(fun p -> Directory.public w.W.dir p)
+         ())
+  in
+  Accounting_server.install bank;
+  (* Accounts: alice and bob each provisioned with block quota; the disk
+     server's escrow. *)
+  let open_funded who blocks_amount =
+    let tgt = W.login w who in
+    let creds = W.credentials_for w ~tgt bank_p in
+    let name = who.Principal.name in
+    Result.get_ok (Accounting_server.open_account w.W.net ~creds ~name);
+    if blocks_amount > 0 then
+      Result.get_ok (Ledger.mint (Accounting_server.ledger bank) ~name ~currency:blocks blocks_amount)
+  in
+  open_funded alice 10;
+  open_funded bob 4;
+  open_funded disk_p 0;
+  let disk =
+    Result.get_ok
+      (Disk_server.create w.W.net ~me:disk_p ~my_key:disk_key ~kdc:w.W.kdc_name ~bank:bank_p
+         ~escrow_account:"disk" ())
+  in
+  Disk_server.install disk;
+  { w; alice; alice_rsa; bob; bob_rsa; bank; bank_name = bank_p; disk; disk_name = disk_p }
+
+let attach qw who who_rsa limit =
+  let now = W.now qw.w in
+  let authority =
+    Standing.grant ~drbg:(Sim.Net.drbg qw.w.W.net) ~now ~expires:(now + (24 * W.hour))
+      ~owner:who ~owner_key:who_rsa
+      ~account:(Accounting_server.account qw.bank who.Principal.name)
+      ~holder:qw.disk_name ~currency:blocks ~limit ()
+  in
+  let tgt = W.login qw.w who in
+  let creds = W.credentials_for qw.w ~tgt qw.disk_name in
+  (match Disk_server.attach qw.w.W.net ~creds ~authority with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  creds
+
+let balance qw name = Ledger.balance (Accounting_server.ledger qw.bank) ~name ~currency:blocks
+
+let test_write_charges_blocks () =
+  let qw = quota_world () in
+  let creds = attach qw qw.alice qw.alice_rsa 10 in
+  (match Disk_server.write_file qw.w.W.net ~creds ~path:"a.txt" (String.make 1000 'x') with
+  | Ok blocks_charged -> Alcotest.(check int) "two blocks" 2 blocks_charged
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "alice quota drawn" 8 (balance qw "alice");
+  Alcotest.(check int) "escrow holds them" 2 (balance qw "disk");
+  (match Disk_server.read_file qw.w.W.net ~creds ~path:"a.txt" with
+  | Ok c -> Alcotest.(check int) "content stored" 1000 (String.length c)
+  | Error e -> Alcotest.fail e);
+  match Disk_server.usage qw.w.W.net ~creds with
+  | Ok n -> Alcotest.(check int) "usage" 2 n
+  | Error e -> Alcotest.fail e
+
+let test_quota_exhaustion () =
+  let qw = quota_world () in
+  let creds = attach qw qw.alice qw.alice_rsa 3 in
+  (* The authority caps cumulative draw at 3 blocks even though the account
+     holds 10. *)
+  (match Disk_server.write_file qw.w.W.net ~creds ~path:"one" (String.make 600 'a') with
+  | Ok n -> Alcotest.(check int) "2 blocks" 2 n
+  | Error e -> Alcotest.fail e);
+  (match Disk_server.write_file qw.w.W.net ~creds ~path:"two" (String.make 600 'b') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "exceeded the authority's cumulative quota");
+  (* A one-block file still fits. *)
+  (match Disk_server.write_file qw.w.W.net ~creds ~path:"small" "hi" with
+  | Ok n -> Alcotest.(check int) "1 block" 1 n
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "7 left in account" 7 (balance qw "alice")
+
+let test_delete_releases () =
+  let qw = quota_world () in
+  let creds = attach qw qw.alice qw.alice_rsa 4 in
+  ignore (Result.get_ok (Disk_server.write_file qw.w.W.net ~creds ~path:"f" (String.make 1500 'z')));
+  Alcotest.(check int) "3 drawn" 7 (balance qw "alice");
+  (match Disk_server.delete_file qw.w.W.net ~creds ~path:"f" with
+  | Ok n -> Alcotest.(check int) "3 released" 3 n
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "all back" 10 (balance qw "alice");
+  Alcotest.(check int) "escrow empty" 0 (balance qw "disk");
+  (* Released quota is usable again. *)
+  match Disk_server.write_file qw.w.W.net ~creds ~path:"g" (String.make 1900 'q') with
+  | Ok n -> Alcotest.(check int) "4 blocks fit again" 4 n
+  | Error e -> Alcotest.fail e
+
+let test_overwrite_releases_first () =
+  let qw = quota_world () in
+  let creds = attach qw qw.alice qw.alice_rsa 5 in
+  ignore (Result.get_ok (Disk_server.write_file qw.w.W.net ~creds ~path:"f" (String.make 2000 'x')));
+  (* Overwriting with a smaller file should end up charging only the new
+     size. *)
+  (match Disk_server.write_file qw.w.W.net ~creds ~path:"f" "tiny" with
+  | Ok n -> Alcotest.(check int) "1 block now" 1 n
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "account reflects 1 block" 9 (balance qw "alice")
+
+let test_user_isolation () =
+  let qw = quota_world () in
+  let creds_a = attach qw qw.alice qw.alice_rsa 10 in
+  let creds_b = attach qw qw.bob qw.bob_rsa 4 in
+  ignore (Result.get_ok (Disk_server.write_file qw.w.W.net ~creds:creds_a ~path:"alice.txt" "aa"));
+  ignore (Result.get_ok (Disk_server.write_file qw.w.W.net ~creds:creds_b ~path:"bob.txt" "bb"));
+  (* Bob cannot read or delete alice's file. *)
+  (match Disk_server.read_file qw.w.W.net ~creds:creds_b ~path:"alice.txt" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bob read alice's file");
+  (match Disk_server.delete_file qw.w.W.net ~creds:creds_b ~path:"alice.txt" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bob deleted alice's file");
+  (* Charges land on the right accounts. *)
+  Alcotest.(check int) "alice" 9 (balance qw "alice");
+  Alcotest.(check int) "bob" 3 (balance qw "bob")
+
+let test_forged_authority_rejected () =
+  let qw = quota_world () in
+  (* Bob forges an authority against alice's account, signed with his own
+     key. *)
+  let now = W.now qw.w in
+  let forged =
+    Standing.grant ~drbg:(Sim.Net.drbg qw.w.W.net) ~now ~expires:(now + W.hour) ~owner:qw.alice
+      ~owner_key:qw.bob_rsa
+      ~account:(Accounting_server.account qw.bank "alice")
+      ~holder:qw.disk_name ~currency:blocks ~limit:10 ()
+  in
+  let tgt = W.login qw.w qw.bob in
+  let creds = W.credentials_for qw.w ~tgt qw.disk_name in
+  (match Disk_server.attach qw.w.W.net ~creds ~authority:forged with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Attachment is local; the accounting server rejects the draw. *)
+  match Disk_server.write_file qw.w.W.net ~creds ~path:"steal" "data" with
+  | Error _ -> Alcotest.(check int) "alice untouched" 10 (balance qw "alice")
+  | Ok _ -> Alcotest.fail "forged authority drew from alice"
+
+let test_conservation () =
+  let qw = quota_world () in
+  let creds = attach qw qw.alice qw.alice_rsa 10 in
+  let total () =
+    balance qw "alice" + balance qw "bob" + balance qw "disk"
+  in
+  let t0 = total () in
+  ignore (Disk_server.write_file qw.w.W.net ~creds ~path:"a" (String.make 700 'a'));
+  ignore (Disk_server.write_file qw.w.W.net ~creds ~path:"b" (String.make 5000 'b'));
+  ignore (Disk_server.delete_file qw.w.W.net ~creds ~path:"a");
+  ignore (Disk_server.write_file qw.w.W.net ~creds ~path:"c" "ccc");
+  Alcotest.(check int) "blocks conserved" t0 (total ())
+
+let () =
+  Alcotest.run "quota"
+    [ ( "disk quotas",
+        [ ("write charges blocks", `Slow, test_write_charges_blocks);
+          ("cumulative quota exhausts", `Slow, test_quota_exhaustion);
+          ("delete releases", `Slow, test_delete_releases);
+          ("overwrite releases first", `Slow, test_overwrite_releases_first);
+          ("user isolation", `Slow, test_user_isolation);
+          ("forged authority rejected", `Slow, test_forged_authority_rejected);
+          ("conservation", `Slow, test_conservation) ] ) ]

@@ -1,0 +1,287 @@
+(* Restriction semantics (paper Section 7) and the additive-propagation
+   rules (Section 7.9). *)
+
+module R = Restriction
+
+let realm = "r"
+let p name = Principal.make ~realm name
+let alice = p "alice"
+let bob = p "bob"
+let carol = p "carol"
+let server = p "server"
+let other_server = p "other"
+let gserver = p "groups"
+let admins = Principal.Group.make ~server:gserver "admins"
+let ops = Principal.Group.make ~server:gserver "operators"
+
+let restriction = Alcotest.testable R.pp R.equal
+
+let base_req = R.request ~server ~time:100 ~operation:"read" ~target:"file1" ()
+
+let check_ok r req = Alcotest.(check bool) "passes" true (R.check r req = Ok ())
+let check_fails r req = Alcotest.(check bool) "fails" true (Result.is_error (R.check r req))
+
+let test_grantee () =
+  let r = R.Grantee ([ alice; bob ], 1) in
+  check_fails r base_req;
+  check_ok r { base_req with R.presenters = [ alice ] };
+  check_ok r { base_req with R.presenters = [ bob; carol ] };
+  check_fails r { base_req with R.presenters = [ carol ] };
+  (* Quorum of two: separation of privilege. *)
+  let r2 = R.Grantee ([ alice; bob ], 2) in
+  check_fails r2 { base_req with R.presenters = [ alice ] };
+  check_ok r2 { base_req with R.presenters = [ alice; bob ] }
+
+let test_for_use_by_group () =
+  let r = R.For_use_by_group ([ admins; ops ], 1) in
+  check_fails r base_req;
+  check_ok r { base_req with R.groups_asserted = [ admins ] };
+  let disjoint = R.For_use_by_group ([ admins; ops ], 2) in
+  check_fails disjoint { base_req with R.groups_asserted = [ admins ] };
+  check_ok disjoint { base_req with R.groups_asserted = [ admins; ops ] }
+
+let test_issued_for () =
+  let r = R.Issued_for [ server ] in
+  check_ok r base_req;
+  check_fails r { base_req with R.server = other_server }
+
+let test_quota () =
+  let r = R.Quota ("pages", 10) in
+  check_ok r base_req;
+  check_ok r { base_req with R.spend = Some ("pages", 10) };
+  check_fails r { base_req with R.spend = Some ("pages", 11) };
+  (* A different currency is not constrained by this quota. *)
+  check_ok r { base_req with R.spend = Some ("cpu", 1000) }
+
+let test_authorized () =
+  let r = R.Authorized [ { R.target = "file1"; ops = [ "read" ] } ] in
+  check_ok r base_req;
+  check_fails r { base_req with R.operation = "write" };
+  check_fails r { base_req with R.target = "file2" };
+  (* Empty ops list authorizes all operations on the object. *)
+  let all_ops = R.Authorized [ { R.target = "file1"; ops = [] } ] in
+  check_ok all_ops { base_req with R.operation = "delete" };
+  check_fails (R.Authorized []) base_req
+
+let test_group_membership () =
+  let r = R.Group_membership [ "admins" ] in
+  check_ok r base_req;
+  check_ok r { base_req with R.claimed_memberships = [ "admins" ] };
+  check_fails r { base_req with R.claimed_memberships = [ "admins"; "wheel" ] }
+
+let test_accept_once () =
+  let r = R.Accept_once "check-42" in
+  check_ok r base_req;
+  check_fails r { base_req with R.accept_once_seen = (fun id -> id = "check-42") };
+  check_ok r { base_req with R.accept_once_seen = (fun id -> id = "check-43") }
+
+let test_limit_restriction () =
+  let inner = R.Authorized [ { R.target = "file1"; ops = [ "read" ] } ] in
+  let r = R.Limit_restriction ([ server ], [ inner ]) in
+  (* Enforced on the named server... *)
+  check_ok r base_req;
+  check_fails r { base_req with R.operation = "write" };
+  (* ...ignored elsewhere. *)
+  check_ok r { base_req with R.server = other_server; R.operation = "write" }
+
+let test_unknown_fails_closed () =
+  check_fails (R.Unknown "hologram") base_req;
+  (* An unknown restriction arriving off the wire must also fail. *)
+  match R.of_wire (Wire.L [ Wire.S "hologram"; Wire.I 3 ]) with
+  | Ok r -> check_fails r base_req
+  | Error e -> Alcotest.fail e
+
+let test_check_all () =
+  let rs = [ R.Issued_for [ server ]; R.Quota ("pages", 5) ] in
+  Alcotest.(check bool) "all pass" true (R.check_all rs base_req = Ok ());
+  Alcotest.(check bool) "one fails" true
+    (Result.is_error (R.check_all rs { base_req with R.spend = Some ("pages", 6) }));
+  Alcotest.(check bool) "empty list passes" true (R.check_all [] base_req = Ok ())
+
+let all_restrictions =
+  [ R.Grantee ([ alice; bob ], 2);
+    R.For_use_by_group ([ admins ], 1);
+    R.Issued_for [ server; other_server ];
+    R.Quota ("dollars", 100);
+    R.Authorized [ { R.target = "obj"; ops = [ "read"; "write" ] }; { R.target = "x"; ops = [] } ];
+    R.Group_membership [ "a"; "b" ];
+    R.Accept_once "id-1";
+    R.Limit_restriction ([ server ], [ R.Quota ("cpu", 1) ]);
+    R.Unknown "mystery" ]
+
+let test_wire_roundtrip () =
+  List.iter
+    (fun r ->
+      match R.of_wire (R.to_wire r) with
+      | Ok r' -> Alcotest.check restriction "roundtrip" r r'
+      | Error e -> Alcotest.fail e)
+    all_restrictions;
+  match R.list_of_wire (R.list_to_wire all_restrictions) with
+  | Ok rs -> Alcotest.(check int) "list roundtrip" (List.length all_restrictions) (List.length rs)
+  | Error e -> Alcotest.fail e
+
+let test_wire_rejects_garbage () =
+  Alcotest.(check bool) "int" true (Result.is_error (R.of_wire (Wire.I 3)));
+  Alcotest.(check bool) "bad quorum" true
+    (Result.is_error (R.of_wire (Wire.L [ Wire.S "grantee"; Wire.L []; Wire.I 0 ])));
+  Alcotest.(check bool) "negative quota" true
+    (Result.is_error (R.of_wire (Wire.L [ Wire.S "quota"; Wire.S "c"; Wire.I (-1) ])))
+
+let test_propagate_keeps_everything () =
+  let rs = [ R.Quota ("pages", 5); R.Accept_once "x" ] in
+  let out = R.propagate ~issued_for:[ server ] rs in
+  Alcotest.(check int) "issued-for prepended" (List.length rs + 1) (List.length out);
+  (match out with
+  | R.Issued_for [ s ] :: rest ->
+      Alcotest.(check bool) "server" true (Principal.equal s server);
+      Alcotest.(check bool) "rest preserved" true (List.for_all2 R.equal rest rs)
+  | _ -> Alcotest.fail "expected Issued_for head")
+
+let test_propagate_elides_unreachable_limit () =
+  let limited = R.Limit_restriction ([ other_server ], [ R.Quota ("cpu", 1) ]) in
+  let out = R.propagate ~issued_for:[ server ] [ limited; R.Quota ("pages", 5) ] in
+  Alcotest.(check bool) "limit elided" true
+    (not (List.exists (function R.Limit_restriction _ -> true | _ -> false) out));
+  (* But kept when the derived proxy can reach the limited server. *)
+  let out2 = R.propagate ~issued_for:[ other_server ] [ limited ] in
+  Alcotest.(check bool) "limit kept" true
+    (List.exists (function R.Limit_restriction _ -> true | _ -> false) out2)
+
+let test_propagate_empty_raises () =
+  Alcotest.(check_raises "empty"
+      (Invalid_argument "Restriction.propagate: issued_for must be non-empty") (fun () ->
+        ignore (R.propagate ~issued_for:[] [])))
+
+(* --- properties --- *)
+
+let gen_principal =
+  QCheck.Gen.(map (fun i -> p (Printf.sprintf "p%d" i)) (int_bound 20))
+
+let gen_restriction =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [ map2 (fun ps q -> R.Grantee (ps, 1 + q))
+                (list_size (int_range 1 3) gen_principal) (int_bound 2);
+              map (fun ss -> R.Issued_for ss) (list_size (int_range 1 3) gen_principal);
+              map2 (fun c v -> R.Quota (c, v)) (oneofl [ "usd"; "pages"; "cpu" ]) (int_bound 1000);
+              map (fun id -> R.Accept_once id) string_small;
+              map (fun gs -> R.Group_membership gs) (list_size (int_bound 3) string_small);
+              map
+                (fun ts -> R.Authorized (List.map (fun t -> { R.target = t; ops = [] }) ts))
+                (list_size (int_bound 3) string_small) ]
+        in
+        if n <= 0 then leaf
+        else
+          frequency
+            [ (4, leaf);
+              ( 1,
+                map2
+                  (fun ss rs -> R.Limit_restriction (ss, rs))
+                  (list_size (int_range 1 2) gen_principal)
+                  (list_size (int_bound 2) (self (n / 2))) ) ]))
+
+let arb_restriction = QCheck.make ~print:(Format.asprintf "%a" R.pp) gen_restriction
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"restriction wire roundtrip" ~count:300 arb_restriction (fun r ->
+      match R.of_wire (R.to_wire r) with Ok r' -> R.equal r r' | Error _ -> false)
+
+let prop_check_total =
+  QCheck.Test.make ~name:"check never raises" ~count:300 arb_restriction (fun r ->
+      match R.check r base_req with Ok () | Error _ -> true)
+
+let prop_propagate_monotone =
+  QCheck.Test.make ~name:"propagate never invents permissions" ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_bound 5) arb_restriction) (fun rs ->
+      let out = R.propagate ~issued_for:[ server ] rs in
+      (* Every propagated restriction other than the new Issued_for was in
+         the input: propagation can only drop (unreachable limits), never
+         add or alter. *)
+      List.for_all
+        (fun r ->
+          match r with
+          | R.Issued_for [ s ] when Principal.equal s server -> true
+          | _ -> List.exists (R.equal r) rs)
+        out)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_wire_roundtrip; prop_check_total; prop_propagate_monotone ]
+
+(* --- combination matrix: limit-restriction wrapping each type, quorum
+   edges, unsatisfiable forms --- *)
+
+let test_limit_wraps_each_type () =
+  (* Every restriction type behaves identically inside a limit-restriction
+     scoped to the evaluating server, and is ignored when scoped away. *)
+  let wrapped r = R.Limit_restriction ([ server ], [ r ]) in
+  let away r = R.Limit_restriction ([ other_server ], [ r ]) in
+  let failing_reqs =
+    [ (R.Grantee ([ alice ], 1), base_req);
+      (R.For_use_by_group ([ admins ], 1), base_req);
+      (R.Issued_for [ other_server ], base_req);
+      (R.Quota ("pages", 1), { base_req with R.spend = Some ("pages", 2) });
+      (R.Authorized [ { R.target = "other"; ops = [] } ], base_req);
+      (R.Group_membership [ "a" ], { base_req with R.claimed_memberships = [ "b" ] });
+      (R.Accept_once "id", { base_req with R.accept_once_seen = (fun _ -> true) });
+      (R.Unknown "x", base_req) ]
+  in
+  List.iter
+    (fun (r, req) ->
+      check_fails (wrapped r) req;
+      check_ok (away r) req)
+    failing_reqs
+
+let test_nested_limit () =
+  (* limit(server, [limit(other, [unknown])]) — the inner limit is scoped
+     away, so the whole thing passes; flip the scopes and it fails. *)
+  let inner_away = R.Limit_restriction ([ server ], [ R.Limit_restriction ([ other_server ], [ R.Unknown "x" ]) ]) in
+  check_ok inner_away base_req;
+  let inner_here = R.Limit_restriction ([ server ], [ R.Limit_restriction ([ server ], [ R.Unknown "x" ]) ]) in
+  check_fails inner_here base_req
+
+let test_quorum_edges () =
+  (* A quorum larger than the list is unsatisfiable. *)
+  check_fails (R.Grantee ([ alice ], 2)) { base_req with R.presenters = [ alice ] };
+  check_fails (R.For_use_by_group ([ admins ], 2)) { base_req with R.groups_asserted = [ admins ] };
+  (* Duplicate presenters do not double-count toward the quorum. *)
+  check_fails
+    (R.Grantee ([ alice; bob ], 2))
+    { base_req with R.presenters = [ alice; alice ] }
+
+let test_unsatisfiable_forms () =
+  (* Empty lists are deny-all, not allow-all. *)
+  check_fails (R.Grantee ([], 1)) { base_req with R.presenters = [ alice ] };
+  check_fails (R.Issued_for []) base_req;
+  check_fails (R.Authorized []) base_req;
+  (* An empty group-membership restriction forbids asserting anything. *)
+  check_fails (R.Group_membership []) { base_req with R.claimed_memberships = [ "a" ] };
+  check_ok (R.Group_membership []) base_req
+
+let () =
+  Alcotest.run "restriction"
+    [ ( "check",
+        [ ("grantee", `Quick, test_grantee);
+          ("for-use-by-group", `Quick, test_for_use_by_group);
+          ("issued-for", `Quick, test_issued_for);
+          ("quota", `Quick, test_quota);
+          ("authorized", `Quick, test_authorized);
+          ("group-membership", `Quick, test_group_membership);
+          ("accept-once", `Quick, test_accept_once);
+          ("limit-restriction", `Quick, test_limit_restriction);
+          ("unknown fails closed", `Quick, test_unknown_fails_closed);
+          ("check_all", `Quick, test_check_all);
+          ("limit wraps each type", `Quick, test_limit_wraps_each_type);
+          ("nested limit", `Quick, test_nested_limit);
+          ("quorum edges", `Quick, test_quorum_edges);
+          ("unsatisfiable forms", `Quick, test_unsatisfiable_forms) ] );
+      ( "wire",
+        [ ("roundtrip", `Quick, test_wire_roundtrip);
+          ("rejects garbage", `Quick, test_wire_rejects_garbage) ] );
+      ( "propagate",
+        [ ("keeps everything", `Quick, test_propagate_keeps_everything);
+          ("elides unreachable limits", `Quick, test_propagate_elides_unreachable_limit);
+          ("empty raises", `Quick, test_propagate_empty_raises) ] );
+      ("properties", props) ]

@@ -1,0 +1,123 @@
+(* Simulator substrate: clock, metrics, trace, network with adversary tap. *)
+
+module Clock = Sim.Clock
+module Metrics = Sim.Metrics
+module Trace = Sim.Trace
+module Net = Sim.Net
+
+let test_clock () =
+  let c = Clock.create () in
+  Alcotest.(check int) "starts at 0" 0 (Clock.now c);
+  Clock.advance c 100;
+  Clock.advance c 50;
+  Alcotest.(check int) "advances" 150 (Clock.now c);
+  Alcotest.(check_raises "negative" (Invalid_argument "Clock.advance: negative step")
+      (fun () -> Clock.advance c (-1)));
+  let c2 = Clock.create ~start:1000 () in
+  Alcotest.(check int) "custom start" 1000 (Clock.now c2)
+
+let test_metrics () =
+  let m = Metrics.create () in
+  Alcotest.(check int) "missing is 0" 0 (Metrics.get m "x");
+  Metrics.incr m "x";
+  Metrics.add m "x" 4;
+  Metrics.add m "y" 10;
+  Alcotest.(check int) "x" 5 (Metrics.get m "x");
+  Alcotest.(check (list (pair string int))) "sorted list" [ ("x", 5); ("y", 10) ] (Metrics.to_list m);
+  let before = Metrics.snapshot m in
+  Metrics.add m "x" 2;
+  Metrics.incr m "z";
+  Alcotest.(check (list (pair string int))) "diff"
+    [ ("x", 2); ("z", 1) ]
+    (List.sort compare (Metrics.diff ~before ~after:(Metrics.snapshot m)));
+  Metrics.reset m;
+  Alcotest.(check int) "reset" 0 (Metrics.get m "x")
+
+let test_trace () =
+  let t = Trace.create () in
+  Trace.record t ~time:1 ~actor:"kdc" "issued ticket for alice";
+  Trace.record t ~time:2 ~actor:"fileserver" "granted read";
+  Alcotest.(check int) "two entries" 2 (List.length (Trace.entries t));
+  (match Trace.find t ~actor:"kdc" ~substring:"alice" with
+  | Some e -> Alcotest.(check int) "time" 1 e.Trace.time
+  | None -> Alcotest.fail "expected to find entry");
+  Alcotest.(check bool) "no match" true (Trace.find t ~actor:"kdc" ~substring:"bob" = None);
+  Trace.clear t;
+  Alcotest.(check int) "cleared" 0 (List.length (Trace.entries t))
+
+let echo_net () =
+  let net = Net.create ~seed:"test" ~default_latency_us:100 () in
+  Net.register net ~name:"server" (fun req -> "echo:" ^ req);
+  net
+
+let test_rpc_basic () =
+  let net = echo_net () in
+  (match Net.rpc net ~src:"client" ~dst:"server" "hi" with
+  | Ok resp -> Alcotest.(check string) "response" "echo:hi" resp
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "2 messages" 2 (Metrics.get (Net.metrics net) "net.messages");
+  Alcotest.(check int) "bytes counted"
+    (String.length "hi" + String.length "echo:hi")
+    (Metrics.get (Net.metrics net) "net.bytes");
+  Alcotest.(check int) "latency applied both ways" 200 (Net.now net);
+  Alcotest.(check bool) "unknown node" true
+    (Result.is_error (Net.rpc net ~src:"client" ~dst:"nobody" "hi"))
+
+let test_rpc_latency_override () =
+  let net = echo_net () in
+  Net.set_latency net ~src:"client" ~dst:"server" 1000;
+  Net.set_latency net ~src:"server" ~dst:"client" 3000;
+  ignore (Net.rpc net ~src:"client" ~dst:"server" "x");
+  Alcotest.(check int) "asymmetric link" 4000 (Net.now net)
+
+let test_tap_drop_and_tamper () =
+  let net = echo_net () in
+  Net.set_tap net (fun ~dir ~src:_ ~dst:_ _ ->
+      match dir with `Request -> Net.Drop | `Response -> Net.Deliver);
+  Alcotest.(check bool) "dropped" true (Result.is_error (Net.rpc net ~src:"c" ~dst:"server" "x"));
+  Alcotest.(check int) "drop counted" 1 (Metrics.get (Net.metrics net) "net.dropped");
+  Net.set_tap net (fun ~dir ~src:_ ~dst:_ payload ->
+      match dir with `Request -> Net.Replace ("evil:" ^ payload) | `Response -> Net.Deliver);
+  (match Net.rpc net ~src:"c" ~dst:"server" "x" with
+  | Ok resp -> Alcotest.(check string) "tampered" "echo:evil:x" resp
+  | Error e -> Alcotest.fail e);
+  Net.clear_tap net;
+  match Net.rpc net ~src:"c" ~dst:"server" "x" with
+  | Ok resp -> Alcotest.(check string) "tap cleared" "echo:x" resp
+  | Error e -> Alcotest.fail e
+
+let test_tap_eavesdrop () =
+  let net = echo_net () in
+  let seen = ref [] in
+  Net.set_tap net (fun ~dir:_ ~src:_ ~dst:_ payload ->
+      seen := payload :: !seen;
+      Net.Deliver);
+  ignore (Net.rpc net ~src:"c" ~dst:"server" "secret");
+  Alcotest.(check (list string)) "observed both directions" [ "echo:secret"; "secret" ] !seen
+
+let test_fresh_material () =
+  let net = Net.create ~seed:"a" () in
+  let k1 = Net.fresh_key net and k2 = Net.fresh_key net in
+  Alcotest.(check int) "key size" 32 (String.length k1);
+  Alcotest.(check bool) "keys differ" true (k1 <> k2);
+  Alcotest.(check int) "nonce size" 12 (String.length (Net.fresh_nonce net));
+  let net' = Net.create ~seed:"a" () in
+  Alcotest.(check string) "seeded reproducibility" k1 (Net.fresh_key net')
+
+let test_unregister () =
+  let net = echo_net () in
+  Net.unregister net ~name:"server";
+  Alcotest.(check bool) "gone" true (Result.is_error (Net.rpc net ~src:"c" ~dst:"server" "x"))
+
+let () =
+  Alcotest.run "sim"
+    [ ("clock", [ ("advance", `Quick, test_clock) ]);
+      ("metrics", [ ("counters", `Quick, test_metrics) ]);
+      ("trace", [ ("audit log", `Quick, test_trace) ]);
+      ( "net",
+        [ ("rpc", `Quick, test_rpc_basic);
+          ("latency override", `Quick, test_rpc_latency_override);
+          ("adversary drop/tamper", `Quick, test_tap_drop_and_tamper);
+          ("adversary eavesdrop", `Quick, test_tap_eavesdrop);
+          ("fresh material", `Quick, test_fresh_material);
+          ("unregister", `Quick, test_unregister) ] ) ]

@@ -1,0 +1,99 @@
+(* Wire encoding: unit tests plus fuzz-style properties (decode must never
+   raise on arbitrary input, and decode . encode = id). *)
+
+let wire = Alcotest.testable Wire.pp Wire.equal
+
+let test_scalars () =
+  let roundtrip v =
+    match Wire.decode (Wire.encode v) with
+    | Ok v' -> Alcotest.check wire "roundtrip" v v'
+    | Error e -> Alcotest.fail e
+  in
+  List.iter roundtrip
+    [ Wire.I 0; Wire.I 1; Wire.I (-1); Wire.I max_int; Wire.I min_int;
+      Wire.S ""; Wire.S "hello"; Wire.S (String.make 1000 '\xff');
+      Wire.L []; Wire.L [ Wire.I 1; Wire.S "x"; Wire.L [ Wire.I 2 ] ] ]
+
+let test_canonical () =
+  (* Equal values encode to identical bytes (signatures depend on this). *)
+  let v = Wire.L [ Wire.I 42; Wire.S "abc"; Wire.L [ Wire.S "" ] ] in
+  Alcotest.(check string) "deterministic" (Wire.encode v) (Wire.encode v)
+
+let test_malformed () =
+  let bad input =
+    match Wire.decode input with
+    | Ok _ -> Alcotest.failf "expected decode failure for %S" input
+    | Error _ -> ()
+  in
+  bad "";
+  bad "\x99";
+  bad "\x01\x00";
+  bad "\x02\x00\x00\x00\x05ab";
+  bad "\x02\xff\xff\xff\xff";
+  bad "\x03\x00\x00\x00\x02\x01";
+  bad (Wire.encode (Wire.I 5) ^ "extra")
+
+let test_depth_bomb () =
+  (* A million-deep nested list must be rejected, not crash the decoder
+     with a stack overflow. *)
+  let depth = 1_000_000 in
+  let buf = Buffer.create (6 * depth) in
+  for _ = 1 to depth do
+    Buffer.add_string buf "\x03\x00\x00\x00\x01"
+  done;
+  Buffer.add_string buf (Wire.encode (Wire.I 0));
+  (match Wire.decode (Buffer.contents buf) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "depth bomb decoded");
+  (* Reasonable nesting still decodes. *)
+  let rec nest n v = if n = 0 then v else nest (n - 1) (Wire.L [ v ]) in
+  let deep_ok = nest 15 (Wire.I 7) in
+  match Wire.decode (Wire.encode deep_ok) with
+  | Ok v -> Alcotest.(check bool) "15 levels fine" true (Wire.equal v deep_ok)
+  | Error e -> Alcotest.fail e
+
+let test_accessors () =
+  let v = Wire.L [ Wire.I 7; Wire.S "s" ] in
+  Alcotest.(check (result int string)) "to_int" (Ok 7) (Result.bind (Wire.field v 0) Wire.to_int);
+  Alcotest.(check (result string string)) "to_string" (Ok "s")
+    (Result.bind (Wire.field v 1) Wire.to_string);
+  Alcotest.(check bool) "missing field" true (Result.is_error (Wire.field v 2));
+  Alcotest.(check bool) "wrong type" true (Result.is_error (Wire.to_int (Wire.S "x")));
+  Alcotest.(check bool) "field of scalar" true (Result.is_error (Wire.field (Wire.I 1) 0))
+
+let gen_wire =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 0 then oneof [ map (fun i -> Wire.I i) int; map (fun s -> Wire.S s) string_small ]
+        else
+          frequency
+            [ (2, map (fun i -> Wire.I i) int);
+              (2, map (fun s -> Wire.S s) string_small);
+              (1, map (fun l -> Wire.L l) (list_size (int_bound 5) (self (n / 2)))) ]))
+
+let arb_wire = QCheck.make ~print:(Format.asprintf "%a" Wire.pp) gen_wire
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"decode . encode = id" ~count:500 arb_wire (fun v ->
+      match Wire.decode (Wire.encode v) with Ok v' -> Wire.equal v v' | Error _ -> false)
+
+let prop_decode_total =
+  QCheck.Test.make ~name:"decode never raises" ~count:1000 QCheck.string (fun s ->
+      match Wire.decode s with Ok _ | Error _ -> true)
+
+let prop_encode_injective =
+  QCheck.Test.make ~name:"encode injective" ~count:300 (QCheck.pair arb_wire arb_wire)
+    (fun (a, b) -> Wire.equal a b || Wire.encode a <> Wire.encode b)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_decode_total; prop_encode_injective ]
+
+let () =
+  Alcotest.run "wire"
+    [ ( "wire",
+        [ ("scalar roundtrips", `Quick, test_scalars);
+          ("canonical", `Quick, test_canonical);
+          ("malformed inputs", `Quick, test_malformed);
+          ("depth bomb rejected", `Quick, test_depth_bomb);
+          ("accessors", `Quick, test_accessors) ] );
+      ("properties", props) ]

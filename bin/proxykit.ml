@@ -188,6 +188,46 @@ let inspect hex =
           | Error _ -> ());
           0)
 
+(* --- chaos --- *)
+
+let chaos seed ops drop duplicate jitter no_crash retries timeout =
+  let cfg =
+    {
+      Chaos.seed;
+      ops;
+      drop;
+      duplicate;
+      jitter_us = jitter;
+      crash_drawee = not no_crash;
+      retries;
+      timeout_us = timeout;
+    }
+  in
+  Printf.printf
+    "chaos run: seed %S, %d ops, drop %.0f%%, duplicate %.0f%%, jitter <=%d us,%s %d retries\n%!"
+    seed ops (drop *. 100.) (duplicate *. 100.) jitter
+    (if no_crash then "" else " drawee crash window,")
+    retries;
+  let o = Chaos.run cfg in
+  Printf.printf "  goodput:            %d/%d operations succeeded\n" o.Chaos.succeeded
+    o.Chaos.attempted;
+  Printf.printf "  faults injected:    %d dropped, %d duplicated\n" o.Chaos.faults_dropped
+    o.Chaos.faults_duplicated;
+  Printf.printf "  retransmissions:    %d (%d calls gave up, %d absorbed by response caches)\n"
+    o.Chaos.retries_used o.Chaos.gave_up o.Chaos.dedups;
+  (match o.Chaos.latency with
+  | Some d ->
+      Printf.printf "  latency per call:   mean %.0f us, max %d us\n" (Sim.Metrics.mean d)
+        d.Sim.Metrics.max
+  | None -> ());
+  Printf.printf "  checks redeemed:    %d (each at most once: %s)\n"
+    (List.length o.Chaos.redemptions)
+    (if o.Chaos.double_redemptions = 0 then "yes" else "NO");
+  (match o.Chaos.conserved with
+  | Ok () -> print_endline "  value conserved:    yes"
+  | Error e -> Printf.printf "  value conserved:    NO -- %s\n" e);
+  if o.Chaos.double_redemptions = 0 && Result.is_ok o.Chaos.conserved then 0 else 1
+
 (* --- cmdliner wiring --- *)
 
 let selftest_cmd =
@@ -234,13 +274,45 @@ let bench_cmd =
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all)") in
   let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit") in
   Cmd.v
-    (Cmd.info "bench" ~doc:"Regenerate the paper's experiment tables (f1..f6, c3, a1..a3)")
+    (Cmd.info "bench" ~doc:"Regenerate the paper's experiment tables (f1..f6, c3, c4, a1..a3)")
     Term.(const bench $ list_only $ ids)
+
+let chaos_cmd =
+  let seed =
+    Arg.(value & opt string "chaos" & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed")
+  in
+  let ops = Arg.(value & opt int 40 & info [ "ops" ] ~docv:"N" ~doc:"Workload operations") in
+  let drop =
+    Arg.(value & opt float 0.15 & info [ "drop" ] ~docv:"P" ~doc:"Per-message drop probability")
+  in
+  let duplicate =
+    Arg.(value & opt float 0.10
+         & info [ "duplicate" ] ~docv:"P" ~doc:"Per-message duplication probability")
+  in
+  let jitter =
+    Arg.(value & opt int 2_000 & info [ "jitter" ] ~docv:"US" ~doc:"Max extra latency (us)")
+  in
+  let no_crash =
+    Arg.(value & flag & info [ "no-crash" ] ~doc:"Skip the drawee-bank crash window")
+  in
+  let retries =
+    Arg.(value & opt int 8 & info [ "retries" ] ~docv:"N" ~doc:"Client retransmission budget")
+  in
+  let timeout =
+    Arg.(value & opt int 10_000 & info [ "timeout" ] ~docv:"US" ~doc:"Client timeout (us)")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the two-bank accounting workload under seeded fault injection and check the \
+          robustness invariants (value conservation, at-most-once redemption); exits non-zero \
+          on violation")
+    Term.(const chaos $ seed $ ops $ drop $ duplicate $ jitter $ no_crash $ retries $ timeout)
 
 let main =
   Cmd.group
     (Cmd.info "proxykit" ~version:"1.0.0"
        ~doc:"Restricted proxies for distributed authorization and accounting (Neuman, ICDCS '93)")
-    [ selftest_cmd; demo_cmd; keygen_cmd; inspect_cmd; bench_cmd ]
+    [ selftest_cmd; demo_cmd; keygen_cmd; inspect_cmd; bench_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval' main)

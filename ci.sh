@@ -1,0 +1,26 @@
+#!/bin/sh
+# CI entry point: build, full test suite, then a fixed-seed chaos smoke
+# matrix (the robustness invariants — value conservation and at-most-once
+# check redemption — must hold under every configuration; proxykit chaos
+# exits non-zero on violation).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== build =="
+dune build
+
+echo "== tests =="
+dune runtest
+
+echo "== chaos smoke matrix =="
+run_chaos () {
+    echo "-- proxykit chaos $*"
+    dune exec --no-build bin/proxykit.exe -- chaos "$@"
+}
+run_chaos --seed ci-calm   --drop 0.05 --duplicate 0.05 --no-crash
+run_chaos --seed ci-storm  --drop 0.25 --duplicate 0.10
+run_chaos --seed ci-dupes  --drop 0.10 --duplicate 0.25 --no-crash
+run_chaos --seed ci-crashy --drop 0.15 --duplicate 0.10 --retries 10
+
+echo "== OK =="

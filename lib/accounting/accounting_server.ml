@@ -10,14 +10,15 @@ type t = {
   granter : Granter.t;
   guard : Guard.t;
   routes : (string, Principal.t) Hashtbl.t;
+  collect_retry : Sim.Retry.policy option;
   proxy_lifetime_us : int;
   drawn : (string, int) Hashtbl.t;
       (* cumulative draw per standing authority: key is the proxy chain's
          serial path plus the currency *)
 }
 
-let create net ~me ~my_key ~kdc ~signing_key ~lookup ?(proxy_lifetime_us = 24 * 3600 * 1_000_000)
-    () =
+let create net ~me ~my_key ~kdc ~signing_key ~lookup ?collect_retry
+    ?(proxy_lifetime_us = 24 * 3600 * 1_000_000) () =
   match Granter.create net ~me ~my_key ~kdc with
   | Error e -> Error e
   | Ok granter ->
@@ -34,6 +35,7 @@ let create net ~me ~my_key ~kdc ~signing_key ~lookup ?(proxy_lifetime_us = 24 * 
           granter;
           guard;
           routes = Hashtbl.create 4;
+          collect_retry;
           proxy_lifetime_us;
           drawn = Hashtbl.create 16;
         }
@@ -120,9 +122,20 @@ let forward_collect t (check : Check.t) =
       match Granter.credentials_for t.granter hop with
       | Error e -> Error e
       | Ok creds -> (
-          match
-            Secure_rpc.call t.net ~creds (Wire.L [ Wire.S "collect"; Check.to_wire endorsed ])
-          with
+          (* The inter-bank hop retries under its configured policy: a lost
+             collect response would otherwise strand money debited at the
+             drawee but never credited downstream. Retransmissions reuse the
+             same authenticator, so the remote response cache makes the
+             collect fire exactly once. *)
+          let call payload =
+            match t.collect_retry with
+            | None -> Secure_rpc.call t.net ~creds payload
+            | Some p ->
+                Secure_rpc.call t.net ~creds ~retries:p.Sim.Retry.retries
+                  ~timeout_us:p.Sim.Retry.timeout_us ~backoff:p.Sim.Retry.bo
+                  payload
+          in
+          match call (Wire.L [ Wire.S "collect"; Check.to_wire endorsed ]) with
           | Error e -> Error e
           | Ok reply -> Result.bind (Wire.to_int reply) (fun amount -> Ok amount)))
 
@@ -307,29 +320,39 @@ let install t =
 
 (* --- client side --- *)
 
-let open_account net ~creds ~name =
-  match Secure_rpc.call net ~creds (Wire.L [ Wire.S "open-account"; Wire.S name ]) with
+(* All client operations accept a retry policy: a retransmission reuses the
+   same authenticator, so the server's response cache guarantees the ledger
+   mutation happens exactly once however often the message is re-sent. *)
+
+let open_account ?(retries = 0) ?timeout_us ?backoff net ~creds ~name =
+  match
+    Secure_rpc.call net ~creds ~retries ?timeout_us ?backoff
+      (Wire.L [ Wire.S "open-account"; Wire.S name ])
+  with
   | Ok _ -> Ok ()
   | Error e -> Error e
 
-let balance net ~creds ~name ~currency =
+let balance ?(retries = 0) ?timeout_us ?backoff net ~creds ~name ~currency =
   let open Wire in
-  match Secure_rpc.call net ~creds (Wire.L [ Wire.S "balance"; Wire.S name; Wire.S currency ]) with
+  match
+    Secure_rpc.call net ~creds ~retries ?timeout_us ?backoff
+      (Wire.L [ Wire.S "balance"; Wire.S name; Wire.S currency ])
+  with
   | Error e -> Error e
   | Ok reply ->
       let* available = Result.bind (field reply 0) to_int in
       let* held = Result.bind (field reply 1) to_int in
       Ok (available, held)
 
-let transfer net ~creds ~from_ ~to_ ~currency ~amount =
+let transfer ?(retries = 0) ?timeout_us ?backoff net ~creds ~from_ ~to_ ~currency ~amount =
   match
-    Secure_rpc.call net ~creds
+    Secure_rpc.call net ~creds ~retries ?timeout_us ?backoff
       (Wire.L [ Wire.S "transfer"; Wire.S from_; Wire.S to_; Wire.S currency; Wire.I amount ])
   with
   | Ok _ -> Ok ()
   | Error e -> Error e
 
-let deposit net ~creds ~endorser_key ~check ~to_account =
+let deposit ?(retries = 0) ?timeout_us ?backoff net ~creds ~endorser_key ~check ~to_account =
   let now = Sim.Net.now net in
   let bank = creds.Ticket.cred_service in
   match
@@ -339,7 +362,7 @@ let deposit net ~creds ~endorser_key ~check ~to_account =
   | Error e -> Error e
   | Ok endorsed -> (
       match
-        Secure_rpc.call net ~creds
+        Secure_rpc.call net ~creds ~retries ?timeout_us ?backoff
           (Wire.L [ Wire.S "deposit"; Check.to_wire endorsed; Wire.S to_account ])
       with
       | Error e -> Error e

@@ -24,12 +24,16 @@ val create :
   kdc:Principal.t ->
   signing_key:Crypto.Rsa.private_ ->
   lookup:(Principal.t -> Crypto.Rsa.public option) ->
+  ?collect_retry:Sim.Retry.policy ->
   ?proxy_lifetime_us:int ->
   unit ->
   (t, string) result
 (** [signing_key] signs endorsements, certification proxies, and cashier's
     checks; [lookup] resolves account owners' and peer servers' public
-    keys. *)
+    keys. [collect_retry] governs the inter-bank [collect] hop during check
+    clearing: without it a transiently lost collect response strands money
+    debited at the drawee; with it the hop retransmits (same authenticator,
+    so the remote response cache fires the collect exactly once). *)
 
 val install : t -> unit
 val me : t -> Principal.t
@@ -43,16 +47,26 @@ val set_route : t -> drawee:Principal.t -> next_hop:Principal.t -> unit
 (** Forward checks drawn on [drawee] via [next_hop] (default: directly). *)
 
 (** {2 Client operations} — each an authenticated exchange. [creds] are the
-    caller's credentials for the accounting server. *)
+    caller's credentials for the accounting server. Every operation accepts
+    [?retries]/[?timeout_us]/[?backoff] (see {!Secure_rpc.call}): a
+    retransmission reuses the same authenticator, so the server's response
+    cache makes the ledger mutation exactly-once however often the message
+    is re-sent. *)
 
-val open_account : Sim.Net.t -> creds:Ticket.credentials -> name:string -> (unit, string) result
+val open_account :
+  ?retries:int -> ?timeout_us:int -> ?backoff:Sim.Retry.backoff ->
+  Sim.Net.t -> creds:Ticket.credentials ->
+  name:string -> (unit, string) result
 
 val balance :
-  Sim.Net.t -> creds:Ticket.credentials -> name:string -> currency:string ->
+  ?retries:int -> ?timeout_us:int -> ?backoff:Sim.Retry.backoff ->
+  Sim.Net.t -> creds:Ticket.credentials ->
+  name:string -> currency:string ->
   (int * int, string) result
 (** Owner only; returns (available, held). *)
 
 val transfer :
+  ?retries:int -> ?timeout_us:int -> ?backoff:Sim.Retry.backoff ->
   Sim.Net.t ->
   creds:Ticket.credentials ->
   from_:string ->
@@ -64,6 +78,7 @@ val transfer :
     movement travels by check). *)
 
 val deposit :
+  ?retries:int -> ?timeout_us:int -> ?backoff:Sim.Retry.backoff ->
   Sim.Net.t ->
   creds:Ticket.credentials ->
   endorser_key:Crypto.Rsa.private_ ->

@@ -91,6 +91,15 @@ let release_hold t ~name ~id =
   Result.bind (take_hold t ~name ~id) (fun (currency, amount) ->
       credit t ~name ~currency amount)
 
+let currencies t =
+  let seen = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ a ->
+      Hashtbl.iter (fun c _ -> Hashtbl.replace seen c ()) a.balances;
+      Hashtbl.iter (fun _ (c, _) -> Hashtbl.replace seen c ()) a.holds)
+    t.accounts;
+  Hashtbl.fold (fun c () acc -> c :: acc) seen [] |> List.sort compare
+
 let total t ~currency =
   Hashtbl.fold
     (fun name _ acc -> acc + balance t ~name ~currency + held t ~name ~currency)

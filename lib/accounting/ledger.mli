@@ -50,5 +50,8 @@ val release_hold : t -> name:string -> id:string -> (unit, string) result
 
 val find_hold : t -> name:string -> id:string -> (string * int) option
 
+val currencies : t -> string list
+(** Every currency with a balance or hold anywhere in the ledger, sorted. *)
+
 val total : t -> currency:string -> int
 (** available + held across all accounts: the conserved quantity. *)

@@ -919,6 +919,45 @@ let a2 () =
     [ "limit-restrictions"; "naive count"; "naive bytes"; "elided count"; "elided bytes" ]
     rows
 
+(* ------------------------------------------------------------------ *)
+(* C4: resilience under chaos (drop rate vs goodput/latency/retries)  *)
+(* ------------------------------------------------------------------ *)
+
+let c4 () =
+  section "C4: accounting workload under fault injection";
+  Printf.printf
+    "Two-bank marketplace workload (%d ops) under a seeded fault plan; each row\n\
+     is one chaos run. Goodput = operations whose caller saw success; latency is\n\
+     virtual per-logical-call time including timeouts, backoff, and retries.\n"
+    Chaos.default.Chaos.ops;
+  let row drop =
+    let cfg =
+      { Chaos.default with seed = Printf.sprintf "c4-%.2f" drop; drop; crash_drawee = false }
+    in
+    let o = Chaos.run cfg in
+    let lat_mean, lat_max =
+      match o.Chaos.latency with
+      | None -> ("n/a", "n/a")
+      | Some d ->
+          ( Printf.sprintf "%.0f us" (Sim.Metrics.mean d),
+            Printf.sprintf "%d us" d.Sim.Metrics.max )
+    in
+    [ Printf.sprintf "%.0f%%" (drop *. 100.);
+      Printf.sprintf "%d/%d" o.Chaos.succeeded o.Chaos.attempted;
+      string_of_int o.Chaos.retries_used;
+      string_of_int o.Chaos.gave_up;
+      string_of_int o.Chaos.dedups;
+      lat_mean;
+      lat_max;
+      (match o.Chaos.conserved with Ok () -> "yes" | Error _ -> "NO");
+      string_of_int o.Chaos.double_redemptions ]
+  in
+  let rows = List.map row [ 0.0; 0.05; 0.15; 0.25; 0.35 ] in
+  print_table "C4: goodput/latency/retries vs per-message drop rate"
+    [ "drop"; "goodput"; "retries"; "gave up"; "dedup"; "mean latency"; "max latency";
+      "conserved"; "double-redeem" ]
+    rows
+
 (* The experiment registry: ids as used in DESIGN.md / EXPERIMENTS.md. *)
 let all =
   [ ("f1", "Fig 1: proxy grant/verify vs restriction count", fig1);
@@ -928,6 +967,7 @@ let all =
     ("f5", "Fig 5: check clearing vs intermediaries; Amoeba", fig5);
     ("f6", "Fig 6: conventional vs hybrid vs public-key", fig6);
     ("c3", "Sec 5: delegation and narrowing vs DSSA/ECMA", c3);
+    ("c4", "chaos: goodput/latency/retries vs drop rate", c4);
     ("a1", "ablation: accept-once replay cache", a1);
     ("a2", "ablation: limit-restriction elision", a2);
     ("a3", "Sec 6.3: TGS proxies vs per-server capabilities", a3) ]

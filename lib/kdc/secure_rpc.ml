@@ -8,9 +8,14 @@ let err msg = Wire.encode (Wire.L [ Wire.S "err"; Wire.S msg ])
 
 let serve net ~me ~my_key ?(max_skew_us = 5 * 60 * 1_000_000) handler =
   let metrics = Sim.Net.metrics net in
-  (* Replay cache over authenticator blobs: within the freshness window an
-     identical authenticator is a replay. *)
-  let seen_auths : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  (* Response cache over authenticator blobs: within the freshness window an
+     identical authenticator is a retransmission (or a replay), and the
+     handler must not run again — accept-once restrictions, check-number
+     redemption, and ledger mutations fire exactly once under at-least-once
+     delivery. The duplicate gets the original sealed response back: useless
+     to an eavesdropping replayer (sealed under the session key), and
+     exactly what a retrying legitimate client needs. *)
+  let seen_auths : (string, int * string) Hashtbl.t = Hashtbl.create 64 in
   let handle request =
     let now = Sim.Net.now net in
     let open Wire in
@@ -48,13 +53,10 @@ let serve net ~me ~my_key ?(max_skew_us = 5 * 60 * 1_000_000) handler =
                   else begin
                     let auth_id = Crypto.Sha256.digest auth_blob in
                     match Hashtbl.find_opt seen_auths auth_id with
-                    | Some _ -> err "authenticator replayed"
+                    | Some (_, cached_reply) ->
+                        Sim.Metrics.incr metrics "rpc.dedup";
+                        cached_reply
                     | None ->
-                        Hashtbl.replace seen_auths auth_id (now + max_skew_us);
-                        (* Opportunistic purge keeps the cache bounded. *)
-                        Hashtbl.iter
-                          (fun k expiry -> if expiry <= now then Hashtbl.remove seen_auths k)
-                          (Hashtbl.copy seen_auths);
                         let ctx =
                           {
                             rpc_client = ticket.Ticket.client;
@@ -79,13 +81,19 @@ let serve net ~me ~my_key ?(max_skew_us = 5 * 60 * 1_000_000) handler =
                             (Crypto.Aead.seal ~key:reply_key ~ad:"secure-rpc-resp"
                                ~nonce:(Sim.Net.fresh_nonce net) (Wire.encode body))
                         in
-                        Wire.encode (Wire.L [ Wire.S "sealed"; Wire.S sealed ])
+                        let reply = Wire.encode (Wire.L [ Wire.S "sealed"; Wire.S sealed ]) in
+                        Hashtbl.replace seen_auths auth_id (now + max_skew_us, reply);
+                        (* Opportunistic purge keeps the cache bounded. *)
+                        Hashtbl.iter
+                          (fun k (expiry, _) -> if expiry <= now then Hashtbl.remove seen_auths k)
+                          (Hashtbl.copy seen_auths);
+                        reply
                   end
             end)
   in
   Sim.Net.register net ~name:(Principal.to_string me) handle
 
-let call net ~creds ?subkey payload =
+let call net ~creds ?subkey ?(retries = 0) ?timeout_us ?backoff payload =
   let open Wire in
   let authenticator =
     {
@@ -105,7 +113,22 @@ let call net ~creds ?subkey payload =
   in
   let src = Principal.to_string creds.Ticket.cred_client in
   let dst = Principal.to_string creds.Ticket.cred_service in
-  match Sim.Net.rpc net ~src ~dst request with
+  (* Retransmissions reuse the exact request bytes: the same authenticator
+     keys the server's response cache, so a retried request is answered from
+     that cache instead of re-running the handler (or being rejected as a
+     replay). Only transient transport failures retry; in-band service
+     errors return immediately. *)
+  let exchange =
+    if retries = 0 && timeout_us = None && backoff = None then fun () ->
+      Sim.Net.rpc net ~src ~dst request
+    else begin
+      let p = Sim.Retry.policy ~retries ?timeout_us ?backoff () in
+      fun () ->
+        Sim.Retry.run ~clock:(Sim.Net.clock net) ~drbg:(Sim.Net.drbg net)
+          ~metrics:(Sim.Net.metrics net) p (fun () -> Sim.Net.rpc net ~src ~dst request)
+    end
+  in
+  match exchange () with
   | Error e -> Error e
   | Ok reply -> (
       let* v = Wire.decode reply in

@@ -23,15 +23,28 @@ val serve :
   unit
 (** Register the service on the network. The handler sees only
     authenticated requests; ticket/authenticator failures are answered with
-    in-band errors before it runs. Authenticator replays within the skew
-    window are rejected via an internal cache. *)
+    in-band errors before it runs. A repeated authenticator within the skew
+    window — a client retransmission or an adversarial replay — does {e not}
+    re-run the handler: the original sealed response is returned from an
+    internal response cache, giving exactly-once handler execution under
+    at-least-once delivery. (A replayer gains nothing: the cached response
+    is sealed under the session key.) *)
 
 val call :
   Sim.Net.t ->
   creds:Ticket.credentials ->
   ?subkey:string ->
+  ?retries:int ->
+  ?timeout_us:int ->
+  ?backoff:Sim.Retry.backoff ->
   Wire.t ->
   (Wire.t, string) result
 (** One authenticated exchange with the service named by
     [creds.cred_service]. The response is decrypted and authenticated; a
-    tampered or substituted response surfaces as [Error]. *)
+    tampered or substituted response surfaces as [Error].
+
+    With [retries > 0] (or an explicit [timeout_us]/[backoff]), transient
+    transport failures are retried under {!Sim.Retry}: each retransmission
+    reuses the {e same} request bytes, so the server's response cache
+    answers duplicates without re-running the handler. Defaults ([retries
+    = 0], no timeout) preserve the single-shot behaviour. *)

@@ -1,30 +1,55 @@
-type t = (string, int ref) Hashtbl.t
+type dist = { count : int; sum : int; max : int }
 
-let create () : t = Hashtbl.create 32
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  dists : (string, dist ref) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; dists = Hashtbl.create 8 }
 
 let cell t name =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.counters name with
   | Some r -> r
   | None ->
       let r = ref 0 in
-      Hashtbl.add t name r;
+      Hashtbl.add t.counters name r;
       r
 
 let add t name n = cell t name := !(cell t name) + n
 let incr t name = add t name 1
-let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
-let reset t = Hashtbl.reset t
+let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let observe t name v =
+  match Hashtbl.find_opt t.dists name with
+  | Some r -> r := { count = !r.count + 1; sum = !r.sum + v; max = max !r.max v }
+  | None -> Hashtbl.add t.dists name (ref { count = 1; sum = v; max = v })
+
+let dist t name = Option.map ( ! ) (Hashtbl.find_opt t.dists name)
+
+let mean d = if d.count = 0 then 0. else float_of_int d.sum /. float_of_int d.count
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.dists
+
+let sorted l = List.sort (fun (a, _) (b, _) -> String.compare a b) l
 
 let to_list t =
-  Hashtbl.fold (fun k r acc -> if !r <> 0 then (k, !r) :: acc else acc) t []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  Hashtbl.fold (fun k r acc -> if !r <> 0 then (k, !r) :: acc else acc) t.counters []
+  |> sorted
 
-let snapshot = to_list
+(* Unlike [to_list], snapshots keep zero-valued counters: a counter that was
+   live in [before] and is 0 in [after] must still show up in [diff]. *)
+let snapshot t = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters [] |> sorted
 
 let diff ~before ~after =
-  let base = List.to_seq before |> Hashtbl.of_seq in
-  List.filter_map
-    (fun (k, v) ->
-      let prev = match Hashtbl.find_opt base k with Some p -> p | None -> 0 in
-      if v - prev <> 0 then Some (k, v - prev) else None)
-    after
+  let keys = Hashtbl.create 32 in
+  List.iter (fun (k, _) -> Hashtbl.replace keys k ()) before;
+  List.iter (fun (k, _) -> Hashtbl.replace keys k ()) after;
+  let value l k = Option.value (List.assoc_opt k l) ~default:0 in
+  Hashtbl.fold
+    (fun k () acc ->
+      let d = value after k - value before k in
+      if d <> 0 then (k, d) :: acc else acc)
+    keys []
+  |> sorted

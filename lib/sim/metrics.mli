@@ -1,9 +1,13 @@
-(** Named counters.
+(** Named counters and distributions.
 
     The benches report protocol costs as counted quantities — messages,
     bytes, signatures, MAC operations — rather than wall-clock noise, so
     every interesting operation in the stack increments a counter here.
-    Counter names are dotted paths, e.g. ["net.messages"], ["rsa.verify"]. *)
+    Counter names are dotted paths, e.g. ["net.messages"], ["rsa.verify"].
+
+    Distribution cells ({!observe}) record count/sum/max of a sampled value
+    — e.g. per-RPC latency including retries — where a plain running total
+    would hide the shape. *)
 
 type t
 
@@ -13,10 +17,23 @@ val add : t -> string -> int -> unit
 val get : t -> string -> int
 (** Missing counters read as 0. *)
 
+type dist = { count : int; sum : int; max : int }
+
+val observe : t -> string -> int -> unit
+(** Record one sample into the named distribution cell. *)
+
+val dist : t -> string -> dist option
+val mean : dist -> float
+
 val reset : t -> unit
+
 val to_list : t -> (string * int) list
-(** All non-zero counters, sorted by name. *)
+(** All non-zero counters, sorted by name (display form). *)
 
 val snapshot : t -> (string * int) list
+(** All counters {e including zeros}, sorted by name — the form [diff]
+    wants, so a counter reset to 0 between snapshots still shows up. *)
+
 val diff : before:(string * int) list -> after:(string * int) list -> (string * int) list
-(** Per-counter deltas (non-zero only), for measuring a single operation. *)
+(** Per-counter deltas over the union of keys (non-zero deltas only), for
+    measuring a single operation. *)

@@ -13,6 +13,8 @@ type t = {
   latency : (string * string, int) Hashtbl.t;
   default_latency_us : int;
   mutable tap : (dir:[ `Request | `Response ] -> src:string -> dst:string -> string -> tap_action) option;
+  mutable fault : Fault.runtime option;
+  down : (string, unit) Hashtbl.t;
 }
 
 let create ?(seed = "proxykit") ?(default_latency_us = 500) () =
@@ -25,6 +27,8 @@ let create ?(seed = "proxykit") ?(default_latency_us = 500) () =
     latency = Hashtbl.create 16;
     default_latency_us;
     tap = None;
+    fault = None;
+    down = Hashtbl.create 4;
   }
 
 let clock t = t.clock
@@ -48,37 +52,127 @@ let link_latency t src dst =
 let set_tap t f = t.tap <- Some f
 let clear_tap t = t.tap <- None
 
+let install_fault_plan t plan = t.fault <- Some (Fault.runtime plan)
+let clear_fault_plan t = t.fault <- None
+
+let set_down t ~name = Hashtbl.replace t.down name ()
+let set_up t ~name = Hashtbl.remove t.down name
+
+let is_down t name =
+  Hashtbl.mem t.down name
+  || (match t.fault with Some rt -> Fault.node_down rt ~now:(Clock.now t.clock) name | None -> false)
+
+let partitioned t src dst =
+  match t.fault with
+  | Some rt -> Fault.partitioned rt ~now:(Clock.now t.clock) ~src ~dst
+  | None -> false
+
+(* Transport errors a client may safely retry by retransmitting the same
+   bytes: the failure is environmental, not a verdict from the service. *)
+let err_request_dropped = "request dropped"
+let err_response_dropped = "response dropped"
+let err_partitioned = "network partitioned"
+let err_node_down = "node down"
+
+let transient_error = function
+  | e when e = err_request_dropped -> true
+  | e when e = err_response_dropped -> true
+  | e when e = err_partitioned -> true
+  | e when e = err_node_down -> true
+  | _ -> false
+
+(* One message over one link: metered, clocked, through the adversary tap
+   first (the attacker acts at the sender) and then the fault plan (the
+   environment loses, duplicates, or delays what the attacker let through).
+   Returns the delivered payload and whether the environment duplicated
+   it. *)
 let transmit t ~dir ~src ~dst payload =
   Metrics.incr t.metrics "net.messages";
   Metrics.add t.metrics "net.bytes" (String.length payload);
   Clock.advance t.clock (link_latency t src dst);
-  match t.tap with
-  | None -> Some payload
-  | Some tap -> (
-      match tap ~dir ~src ~dst payload with
-      | Deliver -> Some payload
-      | Replace payload' -> Some payload'
-      | Drop ->
-          Metrics.incr t.metrics "net.dropped";
-          None)
+  let tapped =
+    match t.tap with
+    | None -> Some payload
+    | Some tap -> (
+        match tap ~dir ~src ~dst payload with
+        | Deliver -> Some payload
+        | Replace payload' -> Some payload'
+        | Drop ->
+            Metrics.incr t.metrics "net.dropped";
+            None)
+  in
+  match tapped with
+  | None -> None
+  | Some payload' -> (
+      match t.fault with
+      | None -> Some (payload', false)
+      | Some rt ->
+          let o = Fault.transit rt ~dir ~src ~dst in
+          if o.Fault.o_jitter_us > 0 then begin
+            Metrics.add t.metrics "fault.jitter_us" o.Fault.o_jitter_us;
+            Clock.advance t.clock o.Fault.o_jitter_us
+          end;
+          if o.Fault.o_drop then begin
+            Metrics.incr t.metrics "fault.dropped";
+            None
+          end
+          else begin
+            if o.Fault.o_duplicate then Metrics.incr t.metrics "fault.duplicated";
+            Some (payload', o.Fault.o_duplicate)
+          end)
 
 let rpc t ~src ~dst request =
   match Hashtbl.find_opt t.nodes dst with
   | None ->
       Log.debug (fun m -> m "[%d] %s -> %s: unknown node" (Clock.now t.clock) src dst);
       Error (Printf.sprintf "unknown node %s" dst)
-  | Some handler -> (
-      Log.debug (fun m ->
-          m "[%d] %s -> %s: request (%d bytes)" (Clock.now t.clock) src dst
-            (String.length request));
-      match transmit t ~dir:`Request ~src ~dst request with
-      | None -> Error "request dropped"
-      | Some request' -> (
-          let response = handler request' in
-          match transmit t ~dir:`Response ~src:dst ~dst:src response with
-          | None -> Error "response dropped"
-          | Some response' ->
-              Log.debug (fun m ->
-                  m "[%d] %s <- %s: response (%d bytes)" (Clock.now t.clock) src dst
-                    (String.length response'));
-              Ok response'))
+  | Some handler ->
+      if is_down t dst then begin
+        (* The message travels; nothing answers. The caller's timeout (see
+           Retry) is what turns this silence into a client-side error. *)
+        Metrics.incr t.metrics "net.messages";
+        Metrics.add t.metrics "net.bytes" (String.length request);
+        Clock.advance t.clock (link_latency t src dst);
+        Metrics.incr t.metrics "fault.node_down";
+        Log.debug (fun m -> m "[%d] %s -> %s: node down" (Clock.now t.clock) src dst);
+        Error err_node_down
+      end
+      else if partitioned t src dst then begin
+        Metrics.incr t.metrics "net.messages";
+        Metrics.add t.metrics "net.bytes" (String.length request);
+        Clock.advance t.clock (link_latency t src dst);
+        Metrics.incr t.metrics "fault.partitioned";
+        Log.debug (fun m -> m "[%d] %s -> %s: partitioned" (Clock.now t.clock) src dst);
+        Error err_partitioned
+      end
+      else begin
+        Log.debug (fun m ->
+            m "[%d] %s -> %s: request (%d bytes)" (Clock.now t.clock) src dst
+              (String.length request));
+        match transmit t ~dir:`Request ~src ~dst request with
+        | None -> Error err_request_dropped
+        | Some (request', duplicated) -> (
+            let response = handler request' in
+            let response =
+              if duplicated then begin
+                (* At-least-once delivery: the duplicate copy also traverses
+                   the link and is processed; the client ends up reading the
+                   response to the later copy (the earlier one is modelled
+                   as superseded in its buffer). *)
+                Metrics.incr t.metrics "net.messages";
+                Metrics.add t.metrics "net.bytes" (String.length request');
+                Clock.advance t.clock (link_latency t src dst);
+                handler request'
+              end
+              else response
+            in
+            match transmit t ~dir:`Response ~src:dst ~dst:src response with
+            | None -> Error err_response_dropped
+            | Some (response', _dup) ->
+                (* A duplicated response is absorbed by the client: it was
+                   already counted by [transmit]. *)
+                Log.debug (fun m ->
+                    m "[%d] %s <- %s: response (%d bytes)" (Clock.now t.clock) src dst
+                      (String.length response'));
+                Ok response')
+      end

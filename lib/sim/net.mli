@@ -6,7 +6,9 @@
     numbers straight from {!Metrics}. An optional {e tap} models an active
     network adversary able to observe, tamper with, or drop traffic — the
     paper's eavesdropper who must not be able to steal capabilities off the
-    wire.
+    wire. An optional {e fault plan} ({!Fault}) models the environment:
+    seeded probabilistic drop/duplication/jitter, node crash windows, and
+    partitions. Tap and plan compose — the tap runs first.
 
     The environment bundle (clock, DRBG, metrics, trace) lives here too,
     since every service needs all four. *)
@@ -47,7 +49,32 @@ type tap_action =
 val set_tap : t -> (dir:[ `Request | `Response ] -> src:string -> dst:string -> string -> tap_action) -> unit
 val clear_tap : t -> unit
 
+val install_fault_plan : t -> Fault.plan -> unit
+(** Install (or replace) the fault plan. Its DRBG is freshly seeded from the
+    plan's own seed, so two installs of the same plan behave identically and
+    never perturb the environment DRBG. Counters:
+    ["fault.dropped"], ["fault.duplicated"], ["fault.jitter_us"],
+    ["fault.node_down"], ["fault.partitioned"]. *)
+
+val clear_fault_plan : t -> unit
+
+val set_down : t -> name:string -> unit
+(** Mark a node crashed by hand (fail-stop, state kept). Distinct from
+    {!unregister}: a down node exists but does not answer — {!rpc} returns
+    the transient ["node down"], not ["unknown node ..."]. *)
+
+val set_up : t -> name:string -> unit
+val is_down : t -> string -> bool
+(** Down by hand or inside a fault-plan crash window at the current time. *)
+
+val transient_error : string -> bool
+(** Is this {!rpc} error environmental (dropped/duplicated link, node down,
+    partition) — i.e. safe to retry by retransmitting the same bytes —
+    rather than a verdict from the service? *)
+
 val rpc : t -> src:string -> dst:string -> string -> (string, string) result
-(** One request/response exchange. [Error] covers unknown destination and
-    adversarial drops; service-level failures travel in-band in the
-    response. *)
+(** One request/response exchange. [Error] covers unknown destination,
+    adversarial drops, and injected faults; service-level failures travel
+    in-band in the response. Under a fault plan a duplicated request is
+    processed by the handler {e twice} (at-least-once delivery) and the
+    client reads the later response. *)

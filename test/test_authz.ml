@@ -41,7 +41,7 @@ let test_secure_rpc_wrong_service () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "ticket accepted by the wrong service"
 
-let test_secure_rpc_replay_rejected () =
+let test_secure_rpc_replay_absorbed () =
   let w = world () in
   let alice, _ = W.enrol w "alice" in
   let svc, svc_key = W.enrol w "svc" in
@@ -65,9 +65,13 @@ let test_secure_rpc_replay_rejected () =
   | Some raw -> (
       match Sim.Net.rpc w.W.net ~src:"mallory" ~dst:(Principal.to_string svc) raw with
       | Ok reply ->
-          (* The reply must be an in-band error, not a second execution. *)
+          (* The replay is answered from the response cache: the original
+             reply, sealed under the session key mallory does not hold — a
+             second execution never happens and nothing leaks. *)
           let tag = Result.get_ok (Result.bind (Wire.field (Result.get_ok (Wire.decode reply)) 0) Wire.to_string) in
-          Alcotest.(check string) "replay refused" "err" tag
+          Alcotest.(check string) "cached sealed reply" "sealed" tag;
+          Alcotest.(check int) "served from the response cache" 1
+            (Sim.Metrics.get (Sim.Net.metrics w.W.net) "rpc.dedup")
       | Error e -> Alcotest.fail e));
   Alcotest.(check int) "handler ran once" 1 !hits
 
@@ -594,7 +598,7 @@ let () =
     [ ( "secure-rpc",
         [ ("roundtrip", `Quick, test_secure_rpc_roundtrip);
           ("wrong service", `Quick, test_secure_rpc_wrong_service);
-          ("replay rejected", `Quick, test_secure_rpc_replay_rejected) ] );
+          ("replay absorbed, handler once", `Quick, test_secure_rpc_replay_absorbed) ] );
       ( "guard+capabilities",
         [ ("direct identity", `Quick, test_guard_direct_identity);
           ("capability flow", `Quick, test_capability_flow);

@@ -109,10 +109,164 @@ let test_unregister () =
   Net.unregister net ~name:"server";
   Alcotest.(check bool) "gone" true (Result.is_error (Net.rpc net ~src:"c" ~dst:"server" "x"))
 
+let test_metrics_dist () =
+  let m = Metrics.create () in
+  Alcotest.(check bool) "missing dist" true (Metrics.dist m "lat" = None);
+  Metrics.observe m "lat" 10;
+  Metrics.observe m "lat" 30;
+  Metrics.observe m "lat" 20;
+  (match Metrics.dist m "lat" with
+  | None -> Alcotest.fail "expected dist"
+  | Some d ->
+      Alcotest.(check int) "count" 3 d.Metrics.count;
+      Alcotest.(check int) "sum" 60 d.Metrics.sum;
+      Alcotest.(check int) "max" 30 d.Metrics.max;
+      Alcotest.(check (float 0.001)) "mean" 20.0 (Metrics.mean d));
+  Metrics.reset m;
+  Alcotest.(check bool) "reset clears dists" true (Metrics.dist m "lat" = None)
+
+(* Zero-valued counters must survive into snapshots and show up in diffs —
+   a counter that disappears between snapshots is a delta, not nothing. *)
+let test_metrics_diff_zeros () =
+  let m = Metrics.create () in
+  Metrics.add m "x" 5;
+  Metrics.add m "y" 0;
+  Alcotest.(check (list (pair string int))) "snapshot keeps zeros"
+    [ ("x", 5); ("y", 0) ] (Metrics.snapshot m);
+  Alcotest.(check (list (pair string int))) "to_list hides zeros" [ ("x", 5) ] (Metrics.to_list m);
+  let before = Metrics.snapshot m in
+  Metrics.reset m;
+  Metrics.add m "z" 2;
+  Alcotest.(check (list (pair string int))) "diff over the union of keys"
+    [ ("x", -5); ("z", 2) ]
+    (List.sort compare (Metrics.diff ~before ~after:(Metrics.snapshot m)))
+
+(* The hazard at the raw transport: the handler's side effect happens, then
+   the response is lost, and the client only sees an error. Resolving this
+   is Secure_rpc's job (retry + response cache — see test_chaos). *)
+let test_dropped_response_after_handler_ran () =
+  let net = Net.create ~seed:"hazard" () in
+  let handler_runs = ref 0 in
+  Net.register net ~name:"server" (fun req ->
+      incr handler_runs;
+      "done:" ^ req);
+  Net.set_tap net (fun ~dir ~src:_ ~dst:_ _ ->
+      match dir with `Response -> Net.Drop | `Request -> Net.Deliver);
+  (match Net.rpc net ~src:"c" ~dst:"server" "debit" with
+  | Ok _ -> Alcotest.fail "response should have been lost"
+  | Error e ->
+      Alcotest.(check string) "lost after processing" "response dropped" e;
+      Alcotest.(check bool) "retryable" true (Net.transient_error e));
+  Alcotest.(check int) "side effect happened anyway" 1 !handler_runs
+
+let test_fault_drop_and_duplicate () =
+  let net = Net.create ~seed:"faulty" () in
+  let handler_runs = ref 0 in
+  Net.register net ~name:"server" (fun req ->
+      incr handler_runs;
+      req);
+  Net.install_fault_plan net
+    (Sim.Fault.plan ~seed:"faulty" [ Sim.Fault.drop ~dir:`Request 1.0 ]);
+  (match Net.rpc net ~src:"c" ~dst:"server" "x" with
+  | Ok _ -> Alcotest.fail "should drop"
+  | Error e -> Alcotest.(check string) "request lost" "request dropped" e);
+  Alcotest.(check int) "handler never ran" 0 !handler_runs;
+  Alcotest.(check int) "counted" 1 (Metrics.get (Net.metrics net) "fault.dropped");
+  (* A certain duplicate: at-least-once delivery runs the handler twice. *)
+  Net.install_fault_plan net
+    (Sim.Fault.plan ~seed:"faulty" [ Sim.Fault.duplicate ~dir:`Request 1.0 ]);
+  (match Net.rpc net ~src:"c" ~dst:"server" "x" with
+  | Ok resp -> Alcotest.(check string) "still answers" "x" resp
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "handler ran twice" 2 !handler_runs;
+  Alcotest.(check int) "duplicate counted" 1 (Metrics.get (Net.metrics net) "fault.duplicated");
+  Net.clear_fault_plan net;
+  (match Net.rpc net ~src:"c" ~dst:"server" "x" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "plan cleared" 3 !handler_runs
+
+(* Two identically seeded plans over identical workloads behave identically,
+   and the plan's DRBG is independent of the environment's. *)
+let test_fault_determinism () =
+  let run () =
+    let net = Net.create ~seed:"env" () in
+    Net.register net ~name:"server" (fun req -> req);
+    Net.install_fault_plan net
+      (Sim.Fault.plan ~seed:"storm"
+         [ Sim.Fault.drop 0.4; Sim.Fault.duplicate 0.3; Sim.Fault.jitter 700 ]);
+    for i = 1 to 20 do
+      ignore (Net.rpc net ~src:"c" ~dst:"server" (string_of_int i))
+    done;
+    (Metrics.snapshot (Net.metrics net), Net.fresh_key net)
+  in
+  let m1, k1 = run () and m2, k2 = run () in
+  Alcotest.(check (list (pair string int))) "same metrics" m1 m2;
+  Alcotest.(check string) "environment DRBG untouched by the plan" k1 k2;
+  Alcotest.(check bool) "faults fired" true (List.assoc "fault.dropped" m1 > 0)
+
+(* Down is not gone: a crashed node exists but does not answer, and the
+   error is transient — unlike an unknown destination. *)
+let test_node_down_vs_unregistered () =
+  let net = echo_net () in
+  Net.set_down net ~name:"server";
+  Alcotest.(check bool) "down" true (Net.is_down net "server");
+  (match Net.rpc net ~src:"c" ~dst:"server" "x" with
+  | Ok _ -> Alcotest.fail "down node answered"
+  | Error e ->
+      Alcotest.(check string) "node down" "node down" e;
+      Alcotest.(check bool) "transient" true (Net.transient_error e));
+  Net.set_up net ~name:"server";
+  (match Net.rpc net ~src:"c" ~dst:"server" "x" with
+  | Ok resp -> Alcotest.(check string) "restarted with state" "echo:x" resp
+  | Error e -> Alcotest.fail e);
+  Net.unregister net ~name:"server";
+  match Net.rpc net ~src:"c" ~dst:"server" "x" with
+  | Ok _ -> Alcotest.fail "unknown node answered"
+  | Error e ->
+      Alcotest.(check string) "unknown" "unknown node server" e;
+      Alcotest.(check bool) "not transient" false (Net.transient_error e)
+
+let test_crash_window_and_partition () =
+  let net = echo_net () in
+  Net.install_fault_plan net
+    (Sim.Fault.plan ~seed:"win"
+       [ Sim.Fault.crash "server" ~at:1_000 ~until:5_000 ();
+         Sim.Fault.partition ~a:[ "c2" ] ~b:[ "server" ] ~at:0 () ]);
+  (* Before the window: up. (now = 0) *)
+  Alcotest.(check bool) "up before window" false (Net.is_down net "server");
+  (match Net.rpc net ~src:"c" ~dst:"server" "x" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* Inside the window. *)
+  Clock.advance (Net.clock net) 1_000;
+  Alcotest.(check bool) "down inside window" true (Net.is_down net "server");
+  (match Net.rpc net ~src:"c" ~dst:"server" "x" with
+  | Ok _ -> Alcotest.fail "crashed node answered"
+  | Error e -> Alcotest.(check string) "node down" "node down" e);
+  (* After: restarted, state intact. *)
+  Clock.advance (Net.clock net) 10_000;
+  Alcotest.(check bool) "restarts" false (Net.is_down net "server");
+  (match Net.rpc net ~src:"c" ~dst:"server" "x" with
+  | Ok resp -> Alcotest.(check string) "handler state survives" "echo:x" resp
+  | Error e -> Alcotest.fail e);
+  (* The partition never heals ([until] = None) and cuts only c2. *)
+  (match Net.rpc net ~src:"c2" ~dst:"server" "x" with
+  | Ok _ -> Alcotest.fail "partitioned rpc got through"
+  | Error e ->
+      Alcotest.(check string) "partitioned" "network partitioned" e;
+      Alcotest.(check bool) "transient" true (Net.transient_error e));
+  match Net.rpc net ~src:"c1" ~dst:"server" "x" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
 let () =
   Alcotest.run "sim"
     [ ("clock", [ ("advance", `Quick, test_clock) ]);
-      ("metrics", [ ("counters", `Quick, test_metrics) ]);
+      ( "metrics",
+        [ ("counters", `Quick, test_metrics);
+          ("distributions", `Quick, test_metrics_dist);
+          ("diff with zeros", `Quick, test_metrics_diff_zeros) ] );
       ("trace", [ ("audit log", `Quick, test_trace) ]);
       ( "net",
         [ ("rpc", `Quick, test_rpc_basic);
@@ -120,4 +274,10 @@ let () =
           ("adversary drop/tamper", `Quick, test_tap_drop_and_tamper);
           ("adversary eavesdrop", `Quick, test_tap_eavesdrop);
           ("fresh material", `Quick, test_fresh_material);
-          ("unregister", `Quick, test_unregister) ] ) ]
+          ("unregister", `Quick, test_unregister);
+          ("dropped response after handler ran", `Quick, test_dropped_response_after_handler_ran) ] );
+      ( "faults",
+        [ ("drop and duplicate", `Quick, test_fault_drop_and_duplicate);
+          ("seeded determinism", `Quick, test_fault_determinism);
+          ("node down vs unregistered", `Quick, test_node_down_vs_unregistered);
+          ("crash window and partition", `Quick, test_crash_window_and_partition) ] ) ]

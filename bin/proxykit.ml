@@ -277,6 +277,42 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Regenerate the paper's experiment tables (f1..f6, c3, c4, a1..a3)")
     Term.(const bench $ list_only $ ids)
 
+let bench_check baseline current =
+  match (Benchout.load baseline, Benchout.load current) with
+  | Error e, _ ->
+      Printf.eprintf "bench-check: %s: %s\n" baseline e;
+      1
+  | _, Error e ->
+      Printf.eprintf "bench-check: %s: %s\n" current e;
+      1
+  | Ok b, Ok c -> (
+      match Benchout.check ~baseline:b ~current:c with
+      | Ok () ->
+          Printf.printf "bench-check: OK — %s: %d row(s), logical metrics match baseline\n"
+            c.Benchout.id
+            (List.length c.Benchout.rows);
+          0
+      | Error msgs ->
+          Printf.eprintf "bench-check: %s: logical metrics diverged from baseline:\n"
+            c.Benchout.id;
+          List.iter (fun m -> Printf.eprintf "  - %s\n" m) msgs;
+          1)
+
+let bench_check_cmd =
+  let baseline =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BASELINE" ~doc:"Committed BENCH_*.json")
+  in
+  let current =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"CURRENT" ~doc:"Freshly generated BENCH_*.json")
+  in
+  Cmd.v
+    (Cmd.info "bench-check"
+       ~doc:
+         "Validate two BENCH_*.json artifacts and compare their logical (integer) metrics — \
+          ops, bytes, crypto-op counts — exactly; wall-times are never compared. Exits non-zero \
+          on schema errors or divergence.")
+    Term.(const bench_check $ baseline $ current)
+
 let chaos_cmd =
   let seed =
     Arg.(value & opt string "chaos" & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed")
@@ -313,6 +349,6 @@ let main =
   Cmd.group
     (Cmd.info "proxykit" ~version:"1.0.0"
        ~doc:"Restricted proxies for distributed authorization and accounting (Neuman, ICDCS '93)")
-    [ selftest_cmd; demo_cmd; keygen_cmd; inspect_cmd; bench_cmd; chaos_cmd ]
+    [ selftest_cmd; demo_cmd; keygen_cmd; inspect_cmd; bench_cmd; bench_check_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval' main)

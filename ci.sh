@@ -23,4 +23,18 @@ run_chaos --seed ci-storm  --drop 0.25 --duplicate 0.10
 run_chaos --seed ci-dupes  --drop 0.10 --duplicate 0.25 --no-crash
 run_chaos --seed ci-crashy --drop 0.15 --duplicate 0.10 --retries 10
 
+echo "== bench smoke (logical metrics vs committed baseline) =="
+# Reduced-iteration F1/F6 regenerate BENCH_*.json into a scratch dir;
+# bench-check validates the JSON schema and compares every integer metric
+# (ops, bytes, crypto-op counts) exactly against the committed baseline.
+# Wall-times are recorded in the artifacts but never gated.
+BENCH_SMOKE_DIR=$(mktemp -d)
+BENCH_FAST=1 BENCH_DIR="$BENCH_SMOKE_DIR" \
+    dune exec --no-build bin/proxykit.exe -- bench f1 f6
+dune exec --no-build bin/proxykit.exe -- bench-check \
+    bench/BENCH_F1.json "$BENCH_SMOKE_DIR/BENCH_F1.json"
+dune exec --no-build bin/proxykit.exe -- bench-check \
+    bench/BENCH_F6.json "$BENCH_SMOKE_DIR/BENCH_F6.json"
+rm -rf "$BENCH_SMOKE_DIR"
+
 echo "== OK =="

@@ -11,18 +11,36 @@ type t = {
   max_skew_us : int;
   acl : Acl.t;
   replay : Replay_cache.t;
+  verify_cache : Verify_cache.t;
 }
 
 let create net ~me ~my_key ?(lookup_pub = fun _ -> None) ?my_rsa
-    ?(max_skew_us = 5 * 60 * 1_000_000) ~acl () =
+    ?(max_skew_us = 5 * 60 * 1_000_000) ?verify_cache ~acl () =
   let decrypt =
     match my_rsa with None -> fun _ -> None | Some key -> Crypto.Rsa.decrypt key
   in
-  { net; me; my_key; lookup_pub; decrypt; max_skew_us; acl; replay = Replay_cache.create () }
+  let incr name () = Sim.Metrics.incr (Sim.Net.metrics net) name in
+  let verify_cache =
+    match verify_cache with
+    | Some c -> c
+    | None -> Verify_cache.create ~on_evict:(incr "verify_cache.evictions") ()
+  in
+  {
+    net;
+    me;
+    my_key;
+    lookup_pub;
+    decrypt;
+    max_skew_us;
+    acl;
+    replay = Replay_cache.create ~on_evict:(incr "replay_cache.evictions") ();
+    verify_cache;
+  }
 
 let me t = t.me
 let acl t = t.acl
 let replay_cache t = t.replay
+let verify_cache t = t.verify_cache
 
 type presented = { pres : Proxy.presentation; pres_proof : Presentation.proof option }
 
@@ -107,7 +125,7 @@ let tally t name = Sim.Metrics.incr (Sim.Net.metrics t.net) name
 let evaluate t ~req (p : presented) =
   match
     Verifier.verify ~open_base:(open_base t) ~lookup:t.lookup_pub ~decrypt:t.decrypt ~me:t.me
-      ~tally:(tally t) ~now:req.Restriction.time p.pres
+      ~tally:(tally t) ~cache:t.verify_cache ~now:req.Restriction.time p.pres
   with
   | Error e -> Error e
   | Ok verified -> (

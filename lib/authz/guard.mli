@@ -26,15 +26,21 @@ val create :
   ?lookup_pub:(Principal.t -> Crypto.Rsa.public option) ->
   ?my_rsa:Crypto.Rsa.private_ ->
   ?max_skew_us:int ->
+  ?verify_cache:Verify_cache.t ->
   acl:Acl.t ->
   unit ->
   t
 (** [my_rsa] enables accepting hybrid proxies (their symmetric proxy key is
-    encrypted to this server's public key). *)
+    encrypted to this server's public key). [verify_cache] lets several
+    guards (or a guard and a bare {!Verifier} call site) share one
+    signature-verification memo cache; by default each guard gets its own,
+    wired to the net's metrics ("verify_cache.hits"/"misses"/"evictions",
+    and "replay_cache.evictions" for the accept-once cache). *)
 
 val me : t -> Principal.t
 val acl : t -> Acl.t
 val replay_cache : t -> Replay_cache.t
+val verify_cache : t -> Verify_cache.t
 
 (** A proxy as it arrives at the server: certificates plus (for bearer
     proxies) a proof of possession bound to this request. *)

@@ -91,7 +91,7 @@ let create_role net ~ca ~caller ~owner ~rights =
         | Some role_pub ->
             Ok
               ( { role; role_owner = owner; role_rights = rights; role_pub; role_sig },
-                { Crypto.Rsa.pub = role_pub; d = Bignum.Nat.of_bytes_be d_bytes } ))
+                { Crypto.Rsa.pub = role_pub; d = Bignum.Nat.of_bytes_be d_bytes; crt = None } ))
 
 type delegation = { deleg_role : role_cert; deleg_to : Principal.t; deleg_sig : string }
 

@@ -14,11 +14,13 @@ module R = Restriction
 (* measurement utilities                                              *)
 (* ------------------------------------------------------------------ *)
 
-(* CPU nanoseconds per call, via Bechamel's OLS estimator. *)
+(* CPU nanoseconds per call, via Bechamel's OLS estimator. BENCH_FAST cuts
+   the sampling quota (noisier wall-times, identical logical metrics). *)
 let ns_per_op name f =
   let open Bechamel in
   let test = Test.make ~name (Staged.stage f) in
-  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None () in
+  let quota = Time.second (if Benchout.fast then 0.02 else 0.25) in
+  let cfg = Benchmark.cfg ~limit:300 ~quota ~kde:None () in
   let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
   let res = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
@@ -29,11 +31,24 @@ let ns_per_op name f =
 (* Wall-clock per call for heavyweight operations (key generation) where
    Bechamel's sampling would take too long. *)
 let wall_ns ?(iters = 3) f =
+  let iters = if Benchout.fast then 1 else iters in
   let t0 = Unix.gettimeofday () in
   for _ = 1 to iters do
     ignore (Sys.opaque_identity (f ()))
   done;
   (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+
+(* Run [f] with a counting tally (no simulated net needed) and return its
+   result plus the sorted per-counter totals — the logical crypto-op counts
+   the JSON artifacts gate on. *)
+let with_tally f =
+  let tbl = Hashtbl.create 8 in
+  let tally name =
+    Hashtbl.replace tbl name (1 + Option.value (Hashtbl.find_opt tbl name) ~default:0)
+  in
+  let result = f tally in
+  let counts = List.of_seq (Hashtbl.to_seq tbl) in
+  (result, List.sort (fun (a, _) (b, _) -> compare a b) counts)
 
 let fmt_ns ns =
   if Float.is_nan ns then "n/a"
@@ -101,7 +116,7 @@ let fig1 () =
         }
     else Error "unknown base"
   in
-  let rows =
+  let measured =
     List.map
       (fun n ->
         let restrictions =
@@ -124,15 +139,30 @@ let fig1 () =
           ns_per_op (Printf.sprintf "verify/%d" n) (fun () ->
               Verifier.verify_conventional ~open_base ~now:1 chain)
         in
-        (match Verifier.verify_conventional ~open_base ~now:1 chain with
+        let verified, crypto =
+          with_tally (fun tally -> Verifier.verify_conventional ~open_base ~tally ~now:1 chain)
+        in
+        (match verified with
         | Ok v -> assert (List.length v.Verifier.restrictions = n)
         | Error e -> failwith e);
-        [ string_of_int n; string_of_int pres_bytes; fmt_ns grant_ns; fmt_ns verify_ns ])
+        (n, pres_bytes, crypto, grant_ns, verify_ns))
       [ 0; 1; 2; 4; 8; 16; 32 ]
   in
   print_table "F1: conventional proxy cost vs number of restrictions"
     [ "restrictions"; "presentation bytes"; "grant CPU"; "verify CPU" ]
-    rows
+    (List.map
+       (fun (n, bytes, _, grant_ns, verify_ns) ->
+         [ string_of_int n; string_of_int bytes; fmt_ns grant_ns; fmt_ns verify_ns ])
+       measured);
+  Benchout.write ~id:"f1" ~title:"Fig 1: conventional proxy grant/verify vs restriction count"
+    (List.map
+       (fun (n, bytes, crypto, grant_ns, verify_ns) ->
+         {
+           Benchout.label = Printf.sprintf "restrictions=%d" n;
+           ints = (("restrictions", n) :: ("presentation_bytes", bytes) :: crypto);
+           floats = [ ("grant_ns", grant_ns); ("verify_ns", verify_ns) ];
+         })
+       measured)
 
 (* ------------------------------------------------------------------ *)
 (* F2: the layering of security services (Figure 2)                   *)
@@ -430,7 +460,24 @@ let fig4 () =
     (delta "net.messages" deltas, ns)
   in
 
-  let rows =
+  let build_pk_chain depth =
+    let pk =
+      ref
+        (Proxy.grant_pk ~drbg ~now:0 ~expires:max_int ~grantor:alice ~grantor_key:alice_rsa
+           ~proxy_bits:512
+           ~restrictions:[ R.Quota ("step", 0) ]
+           ())
+    in
+    for i = 2 to depth do
+      pk :=
+        expect_ok
+          (Proxy.restrict_pk ~drbg ~now:0 ~expires:max_int ~proxy_bits:512
+             ~restrictions:[ R.Quota ("step" ^ string_of_int i, i) ]
+             !pk)
+    done;
+    match !pk.Proxy.flavor with Proxy.Public_key c -> c | _ -> assert false
+  in
+  let measured =
     List.map
       (fun depth ->
         (* conventional chain of [depth] certificates *)
@@ -457,42 +504,104 @@ let fig4 () =
             (Printf.sprintf "conv/%d" depth)
             (fun () -> Verifier.verify_conventional ~open_base ~now:1 conv_chain)
         in
+        let _, conv_crypto =
+          with_tally (fun tally ->
+              expect_ok (Verifier.verify_conventional ~open_base ~tally ~now:1 conv_chain))
+        in
         (* public-key chain *)
-        let pk =
-          ref
-            (Proxy.grant_pk ~drbg ~now:0 ~expires:max_int ~grantor:alice ~grantor_key:alice_rsa
-               ~proxy_bits:512
-               ~restrictions:[ R.Quota ("step", 0) ]
-               ())
-        in
-        for i = 2 to depth do
-          pk :=
-            expect_ok
-              (Proxy.restrict_pk ~drbg ~now:0 ~expires:max_int ~proxy_bits:512
-                 ~restrictions:[ R.Quota ("step" ^ string_of_int i, i) ]
-                 !pk)
-        done;
-        let pk_certs =
-          match !pk.Proxy.flavor with Proxy.Public_key c -> c | _ -> assert false
-        in
+        let pk_certs = build_pk_chain depth in
         let pk_ns =
           ns_per_op (Printf.sprintf "pk/%d" depth) (fun () ->
               Verifier.verify_pk ~lookup ~now:1 pk_certs)
         in
+        let _, pk_crypto =
+          with_tally (fun tally ->
+              expect_ok (Verifier.verify_pk ~lookup ~tally ~now:1 pk_certs))
+        in
         let sollins_msgs, sollins_ns = sollins_run depth in
-        [ string_of_int depth;
-          fmt_ns conv_ns;
-          string_of_int conv_bytes;
-          fmt_ns pk_ns;
-          "0";
-          fmt_ns sollins_ns;
-          string_of_int sollins_msgs ])
+        (depth, conv_bytes, conv_crypto, conv_ns, pk_crypto, pk_ns, sollins_msgs, sollins_ns))
       [ 1; 2; 4; 8; 16 ]
   in
   print_table "F4: verification cost vs cascade depth"
     [ "depth"; "conv verify CPU"; "conv bytes"; "pk verify CPU"; "proxy msgs";
       "sollins verify CPU"; "sollins msgs" ]
-    rows
+    (List.map
+       (fun (depth, conv_bytes, _, conv_ns, _, pk_ns, sollins_msgs, sollins_ns) ->
+         [ string_of_int depth;
+           fmt_ns conv_ns;
+           string_of_int conv_bytes;
+           fmt_ns pk_ns;
+           "0";
+           fmt_ns sollins_ns;
+           string_of_int sollins_msgs ])
+       measured);
+
+  (* Re-presentation study: the same depth-8 chain hits the same end-server
+     N times. Uncached, every presentation re-pays all 8 RSA verifications;
+     with the shared verification cache the chain's signatures are paid
+     once and every later presentation is k cache hits. *)
+  let cache_depth = 8 and presentations = 16 in
+  let certs = build_pk_chain cache_depth in
+  let _, uncached =
+    with_tally (fun tally ->
+        for _ = 1 to presentations do
+          ignore (expect_ok (Verifier.verify_pk ~lookup ~tally ~now:1 certs))
+        done)
+  in
+  let cache = Verify_cache.create () in
+  let _, cached =
+    with_tally (fun tally ->
+        for _ = 1 to presentations do
+          ignore (expect_ok (Verifier.verify_pk ~lookup ~tally ~cache ~now:1 certs))
+        done)
+  in
+  let count k l = Option.value (List.assoc_opt k l) ~default:0 in
+  let uncached_rsa = count "crypto.rsa_verify" uncached in
+  let cached_rsa = count "crypto.rsa_verify" cached in
+  let uncached_ns =
+    ns_per_op "pk/8-uncached" (fun () -> Verifier.verify_pk ~lookup ~now:1 certs)
+  in
+  let cached_ns =
+    ns_per_op "pk/8-cached" (fun () -> Verifier.verify_pk ~lookup ~cache ~now:1 certs)
+  in
+  print_table
+    (Printf.sprintf "F4b: depth-%d chain presented %d times, verification cache" cache_depth
+       presentations)
+    [ "path"; "rsa verifies"; "cache hits"; "cache misses"; "verify CPU (warm)" ]
+    [ [ "uncached"; string_of_int uncached_rsa; "-"; "-"; fmt_ns uncached_ns ];
+      [ "cached";
+        string_of_int cached_rsa;
+        string_of_int (count "verify_cache.hits" cached);
+        string_of_int (count "verify_cache.misses" cached);
+        fmt_ns cached_ns ] ];
+
+  Benchout.write ~id:"f4" ~title:"Fig 4: cascade verification vs chain depth; Sollins baseline"
+    (List.map
+       (fun (depth, conv_bytes, conv_crypto, conv_ns, pk_crypto, pk_ns, sollins_msgs, sollins_ns)
+       ->
+         {
+           Benchout.label = Printf.sprintf "depth=%d" depth;
+           ints =
+             (("depth", depth) :: ("conv_bytes", conv_bytes) :: ("sollins_msgs", sollins_msgs)
+             :: (List.map (fun (k, v) -> ("conv." ^ k, v)) conv_crypto
+                @ List.map (fun (k, v) -> ("pk." ^ k, v)) pk_crypto));
+           floats =
+             [ ("conv_verify_ns", conv_ns); ("pk_verify_ns", pk_ns);
+               ("sollins_verify_ns", sollins_ns) ];
+         })
+       measured
+    @ [ {
+          Benchout.label =
+            Printf.sprintf "cascade depth=%d presented x%d uncached" cache_depth presentations;
+          ints = (("depth", cache_depth) :: ("presentations", presentations) :: uncached);
+          floats = [ ("verify_ns_warm", uncached_ns) ];
+        };
+        {
+          Benchout.label =
+            Printf.sprintf "cascade depth=%d presented x%d cached" cache_depth presentations;
+          ints = (("depth", cache_depth) :: ("presentations", presentations) :: cached);
+          floats = [ ("verify_ns_warm", cached_ns) ];
+        } ])
 
 (* ------------------------------------------------------------------ *)
 (* F5: check clearing (Figure 5) vs intermediaries; Amoeba baseline   *)
@@ -620,6 +729,8 @@ let fig6 () =
     else Error "unknown"
   in
   let restrictions = [ R.Authorized [ { R.target = "obj"; ops = [ "read" ] } ] ] in
+  let json_rows = ref [] in
+  let emit label ints floats = json_rows := { Benchout.label; ints; floats } :: !json_rows in
   let conv_grant () =
     Proxy.grant_conventional ~drbg ~now:0 ~expires:max_int ~grantor:alice ~session_key
       ~base:"base" ~restrictions
@@ -627,13 +738,23 @@ let fig6 () =
   let conv = conv_grant () in
   let conv_chain = match conv.Proxy.flavor with Proxy.Conventional c -> c | _ -> assert false in
   let conv_row =
+    let grant_ns = ns_per_op "conv-grant" conv_grant in
+    let verify_ns =
+      ns_per_op "conv-verify" (fun () -> Verifier.verify_conventional ~open_base ~now:1 conv_chain)
+    in
+    let bytes =
+      String.length (Wire.encode (Proxy.presentation_to_wire (Proxy.presentation conv)))
+    in
+    let _, crypto =
+      with_tally (fun tally ->
+          expect_ok (Verifier.verify_conventional ~open_base ~tally ~now:1 conv_chain))
+    in
+    emit "conventional" (("presentation_bytes", bytes) :: crypto)
+      [ ("grant_ns", grant_ns); ("verify_ns", verify_ns) ];
     [ "conventional (HMAC/AEAD)";
-      fmt_ns (ns_per_op "conv-grant" conv_grant);
-      fmt_ns
-        (ns_per_op "conv-verify" (fun () ->
-             Verifier.verify_conventional ~open_base ~now:1 conv_chain));
-      string_of_int
-        (String.length (Wire.encode (Proxy.presentation_to_wire (Proxy.presentation conv))));
+      fmt_ns grant_ns;
+      fmt_ns verify_ns;
+      string_of_int bytes;
       "one end-server";
       "no" ]
   in
@@ -656,13 +777,26 @@ let fig6 () =
     let chain =
       match proxy.Proxy.flavor with Proxy.Hybrid (h, b) -> (h, b) | _ -> assert false
     in
+    let grant_ns = ns_per_op "hybrid-grant" grant in
+    let verify_ns =
+      ns_per_op "hybrid-verify" (fun () ->
+          Verifier.verify_hybrid ~lookup ~decrypt:(Crypto.Rsa.decrypt server_key) ~now:1 chain)
+    in
+    let bytes =
+      String.length (Wire.encode (Proxy.presentation_to_wire (Proxy.presentation proxy)))
+    in
+    let _, crypto =
+      with_tally (fun tally ->
+          expect_ok
+            (Verifier.verify_hybrid ~lookup ~decrypt:(Crypto.Rsa.decrypt server_key) ~tally
+               ~now:1 chain))
+    in
+    emit "hybrid rsa-512" (("presentation_bytes", bytes) :: crypto)
+      [ ("grant_ns", grant_ns); ("verify_ns", verify_ns) ];
     [ "hybrid RSA-512 (Sec 6.1)";
-      fmt_ns (ns_per_op "hybrid-grant" grant);
-      fmt_ns
-        (ns_per_op "hybrid-verify" (fun () ->
-             Verifier.verify_hybrid ~lookup ~decrypt:(Crypto.Rsa.decrypt server_key) ~now:1 chain));
-      string_of_int
-        (String.length (Wire.encode (Proxy.presentation_to_wire (Proxy.presentation proxy))));
+      fmt_ns grant_ns;
+      fmt_ns verify_ns;
+      string_of_int bytes;
       "one end-server";
       "signature only" ]
   in
@@ -687,6 +821,14 @@ let fig6 () =
         let bytes =
           String.length (Wire.encode (Proxy.presentation_to_wire (Proxy.presentation proxy)))
         in
+        let _, crypto =
+          with_tally (fun tally ->
+              expect_ok (Verifier.verify_pk ~lookup ~tally ~now:1 certs))
+        in
+        emit
+          (Printf.sprintf "public-key rsa-%d" bits)
+          (("bits", bits) :: ("presentation_bytes", bytes) :: crypto)
+          [ ("grant_ns", grant_ns); ("verify_ns", verify_ns) ];
         [ Printf.sprintf "public-key RSA-%d" bits;
           fmt_ns grant_ns;
           fmt_ns verify_ns;
@@ -698,7 +840,42 @@ let fig6 () =
   print_table "F6: one-restriction proxy, all three realizations"
     [ "realization"; "grant"; "verify CPU"; "presentation bytes"; "valid at";
       "third-party verifiable" ]
-    (conv_row :: hybrid_row :: pk_rows)
+    (conv_row :: hybrid_row :: pk_rows);
+
+  (* Private-key fast path: CRT + Montgomery signing vs the pre-optimization
+     reference (plain d, division-per-step square-and-multiply). Signatures
+     must be byte-identical — PKCS#1 v1.5 is deterministic and the CRT
+     recombination computes the same value as c^d mod n. *)
+  let sign_rows =
+    List.map
+      (fun bits ->
+        let key = Crypto.Rsa.generate drbg ~bits in
+        let msg = "fast-path trajectory" in
+        let fast_sig = Crypto.Rsa.sign key msg in
+        let ref_sig = Crypto.Rsa.sign_reference key msg in
+        let identical = String.equal fast_sig ref_sig in
+        let verifies = Crypto.Rsa.verify key.Crypto.Rsa.pub ~msg ~signature:fast_sig in
+        let fast_ns = wall_ns ~iters:5 (fun () -> Crypto.Rsa.sign key msg) in
+        let ref_ns = wall_ns ~iters:3 (fun () -> Crypto.Rsa.sign_reference key msg) in
+        let speedup = ref_ns /. fast_ns in
+        emit
+          (Printf.sprintf "rsa-%d sign fast path" bits)
+          [ ("bits", bits);
+            ("byte_identical", if identical then 1 else 0);
+            ("verifies", if verifies then 1 else 0) ]
+          [ ("sign_ns", fast_ns); ("sign_reference_ns", ref_ns); ("speedup", speedup) ];
+        [ Printf.sprintf "RSA-%d" bits;
+          fmt_ns fast_ns;
+          fmt_ns ref_ns;
+          Printf.sprintf "%.1fx" speedup;
+          (if identical then "yes" else "NO") ])
+      [ 512; 1024 ]
+  in
+  print_table "F6b: RSA sign, CRT+Montgomery fast path vs pre-optimization reference"
+    [ "modulus"; "sign (fast)"; "sign (reference)"; "speedup"; "byte-identical" ]
+    sign_rows;
+  Benchout.write ~id:"f6" ~title:"Fig 6: public-key vs conventional realization; sign fast path"
+    (List.rev !json_rows)
 
 (* ------------------------------------------------------------------ *)
 (* C3: DSSA roles vs on-the-fly restricted proxies                    *)
@@ -798,7 +975,7 @@ let c3 () =
 
 let a1 () =
   section "A1 (ablation): accept-once replay cache";
-  let rows =
+  let measured =
     List.map
       (fun size ->
         let cache = Replay_cache.create () in
@@ -816,12 +993,50 @@ let a1 () =
         for j = 1 to size do
           if Replay_cache.seen cache ~now:0 (string_of_int j) then incr dupes_caught
         done;
-        [ string_of_int size; fmt_ns probe_ns; Printf.sprintf "%d/%d" !dupes_caught size ])
+        (size, probe_ns, !dupes_caught))
       [ 100; 1_000; 10_000; 100_000 ]
   in
   print_table "A1: probe cost and replay detection vs cache population"
     [ "live identifiers"; "probe CPU"; "duplicates caught" ]
-    rows
+    (List.map
+       (fun (size, probe_ns, caught) ->
+         [ string_of_int size; fmt_ns probe_ns; Printf.sprintf "%d/%d" caught size ])
+       measured);
+
+  (* Capacity study: flood a small bounded cache with live (never-expiring)
+     identifiers. Occupancy stays at the bound; every insertion past it
+     evicts the soonest-expiring entry. *)
+  let capacity = 1_000 and flood = 2_500 in
+  let evictions = ref 0 in
+  let bounded = Replay_cache.create ~capacity ~on_evict:(fun () -> incr evictions) () in
+  for i = 1 to flood do
+    ignore (Replay_cache.record bounded ~now:0 ~expires:(max_int - i) (string_of_int i))
+  done;
+  print_table "A1b: bounded replay cache under flood"
+    [ "capacity"; "inserted"; "evictions"; "final size" ]
+    [ [ string_of_int capacity;
+        string_of_int flood;
+        string_of_int !evictions;
+        string_of_int (Replay_cache.size bounded) ] ];
+
+  Benchout.write ~id:"a1" ~title:"ablation: accept-once replay cache"
+    (List.map
+       (fun (size, probe_ns, caught) ->
+         {
+           Benchout.label = Printf.sprintf "population=%d" size;
+           ints = [ ("population", size); ("duplicates_caught", caught) ];
+           floats = [ ("probe_ns", probe_ns) ];
+         })
+       measured
+    @ [ {
+          Benchout.label = Printf.sprintf "flood capacity=%d inserted=%d" capacity flood;
+          ints =
+            [ ("capacity", capacity);
+              ("inserted", flood);
+              ("evictions", !evictions);
+              ("final_size", Replay_cache.size bounded) ];
+          floats = [];
+        } ])
 
 (* ------------------------------------------------------------------ *)
 (* A3: TGS proxies (Sec 6.3) vs per-server capabilities               *)

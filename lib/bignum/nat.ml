@@ -78,7 +78,7 @@ let sub a b =
   if !borrow <> 0 then raise Underflow;
   normalize r
 
-let mul a b =
+let mul_schoolbook a b =
   let la = Array.length a and lb = Array.length b in
   if la = 0 || lb = 0 then zero
   else begin
@@ -156,6 +156,29 @@ let shift_right a k =
       end;
       normalize r
     end
+  end
+
+(* Below this many limbs (~700 bits) the schoolbook inner loop wins; above
+   it the three-multiplication split pays for its extra additions. Tuned on
+   the RSA sizes the benches sweep (512..2048 bits). *)
+let karatsuba_threshold = 27
+
+let rec mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else if la < karatsuba_threshold || lb < karatsuba_threshold then mul_schoolbook a b
+  else begin
+    (* Split both operands at [k] limbs: a = a1*B^k + a0, b = b1*B^k + b0,
+       a*b = z2*B^2k + z1*B^k + z0 with z1 = (a0+a1)(b0+b1) - z0 - z2. *)
+    let k = (max la lb + 1) / 2 in
+    let lo x = normalize (Array.sub x 0 (min k (Array.length x))) in
+    let hi x = if Array.length x <= k then zero else Array.sub x k (Array.length x - k) in
+    let a0 = lo a and a1 = hi a and b0 = lo b and b1 = hi b in
+    let z0 = mul a0 b0 in
+    let z2 = mul a1 b1 in
+    (* (a0+a1)(b0+b1) >= z0 + z2, so the subtractions cannot underflow. *)
+    let z1 = sub (sub (mul (add a0 a1) (add b0 b1)) z0) z2 in
+    add (add (shift_left z2 (2 * k * limb_bits)) (shift_left z1 (k * limb_bits))) z0
   end
 
 (* Division by a single limb; returns (quotient, remainder-as-int). *)
@@ -242,7 +265,7 @@ let divmod a b =
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
-let mod_pow b e m =
+let mod_pow_naive b e m =
   if is_zero m then raise Division_by_zero;
   if equal m one then zero
   else begin
@@ -254,6 +277,140 @@ let mod_pow b e m =
       if i < nbits - 1 then b := rem (mul !b !b) m
     done;
     !result
+  end
+
+(* --- Montgomery arithmetic (odd moduli) ---------------------------------
+
+   Operands live as fixed-width arrays of exactly [n = len m] limbs; the
+   multiplier is CIOS (coarsely integrated operand scanning), which
+   interleaves the partial product with the reduction so the working array
+   never exceeds [n + 2] limbs and the hot loop does no allocation at all.
+   Limb products stay below 2^52, so every intermediate sum fits a native
+   63-bit int with room for carries. *)
+
+(* -m^{-1} mod 2^26 by Newton lifting: for odd m0, x = m0 is an inverse
+   mod 8; each step doubles the number of correct low bits. *)
+let mont_neg_inv m0 =
+  let x = ref m0 in
+  for _ = 1 to 4 do
+    let t = (m0 * !x) land limb_mask in
+    x := !x * ((2 - t) land limb_mask) land limb_mask
+  done;
+  (base - !x) land limb_mask
+
+let mod_pow_mont b e m =
+  let n = Array.length m in
+  let m' = mont_neg_inv m.(0) in
+  let pad x =
+    let r = Array.make n 0 in
+    Array.blit x 0 r 0 (Array.length x);
+    r
+  in
+  (* One scratch buffer shared by every multiplication in this call. *)
+  let t = Array.make (n + 2) 0 in
+  (* dst <- MontRedc(x * y); x, y, dst are n-limb arrays and dst may alias
+     either input (the product accumulates in [t] and is copied out last). *)
+  let mmul x y dst =
+    Array.fill t 0 (n + 2) 0;
+    for i = 0 to n - 1 do
+      let xi = x.(i) in
+      let c = ref 0 in
+      for j = 0 to n - 1 do
+        let s = t.(j) + (xi * y.(j)) + !c in
+        t.(j) <- s land limb_mask;
+        c := s lsr limb_bits
+      done;
+      let s = t.(n) + !c in
+      t.(n) <- s land limb_mask;
+      t.(n + 1) <- t.(n + 1) + (s lsr limb_bits);
+      let mv = t.(0) * m' land limb_mask in
+      let c = ref ((t.(0) + (mv * m.(0))) lsr limb_bits) in
+      for j = 1 to n - 1 do
+        let s = t.(j) + (mv * m.(j)) + !c in
+        t.(j - 1) <- s land limb_mask;
+        c := s lsr limb_bits
+      done;
+      let s = t.(n) + !c in
+      t.(n - 1) <- s land limb_mask;
+      t.(n) <- t.(n + 1) + (s lsr limb_bits);
+      t.(n + 1) <- 0
+    done;
+    (* CIOS leaves t < 2m; one conditional subtraction normalizes. *)
+    let ge =
+      t.(n) <> 0
+      ||
+      let rec cmp i =
+        if i < 0 then true else if t.(i) <> m.(i) then t.(i) > m.(i) else cmp (i - 1)
+      in
+      cmp (n - 1)
+    in
+    if ge then begin
+      let borrow = ref 0 in
+      for j = 0 to n - 1 do
+        let d = t.(j) - m.(j) - !borrow in
+        if d < 0 then begin
+          dst.(j) <- d + base;
+          borrow := 1
+        end
+        else begin
+          dst.(j) <- d;
+          borrow := 0
+        end
+      done
+    end
+    else Array.blit t 0 dst 0 n
+  in
+  (* R^2 mod m converts into the Montgomery domain; R = base^n. *)
+  let r2 = pad (rem (shift_left one (2 * n * limb_bits)) m) in
+  let nbits = bit_length e in
+  (* Sliding window: precompute the odd powers b^1, b^3, ..., b^(2^w - 1)
+     in Montgomery form; larger exponents amortize bigger tables. *)
+  let w = if nbits <= 64 then 2 else if nbits <= 256 then 4 else 5 in
+  let tbl = Array.init (1 lsl (w - 1)) (fun _ -> Array.make n 0) in
+  mmul (pad b) r2 tbl.(0);
+  let b2 = Array.make n 0 in
+  mmul tbl.(0) tbl.(0) b2;
+  for i = 1 to Array.length tbl - 1 do
+    mmul tbl.(i - 1) b2 tbl.(i)
+  done;
+  let acc = Array.make n 0 in
+  mmul (pad one) r2 acc (* 1 in Montgomery form *);
+  let i = ref (nbits - 1) in
+  while !i >= 0 do
+    if not (bit e !i) then begin
+      mmul acc acc acc;
+      decr i
+    end
+    else begin
+      (* Take the longest window ending in a set bit: bits i..l, l >= 0. *)
+      let l = ref (max (!i - w + 1) 0) in
+      while not (bit e !l) do
+        incr l
+      done;
+      let v = ref 0 in
+      for k = !i downto !l do
+        v := (!v lsl 1) lor (if bit e k then 1 else 0)
+      done;
+      for _ = !l to !i do
+        mmul acc acc acc
+      done;
+      mmul acc tbl.((!v - 1) / 2) acc;
+      i := !l - 1
+    end
+  done;
+  let onep = Array.make n 0 in
+  onep.(0) <- 1;
+  mmul acc onep acc (* back out of the Montgomery domain *);
+  normalize (Array.copy acc)
+
+let mod_pow b e m =
+  if is_zero m then raise Division_by_zero;
+  if equal m one then zero
+  else if is_even m then mod_pow_naive b e m
+  else if is_zero e then one
+  else begin
+    let b = rem b m in
+    if is_zero b then zero else mod_pow_mont b e m
   end
 
 let rec gcd a b = if is_zero b then a else gcd b (rem a b)

@@ -34,6 +34,16 @@ val sub : t -> t -> t
 (** [sub a b] is [a - b]. Raises {!Underflow} if [b > a]. *)
 
 val mul : t -> t -> t
+(** Product. Schoolbook below {!karatsuba_threshold} limbs, Karatsuba
+    above it. *)
+
+val mul_schoolbook : t -> t -> t
+(** The quadratic reference multiplier. Always agrees with {!mul}; exposed
+    so property tests can cross-check the Karatsuba split and benches can
+    measure the crossover. *)
+
+val karatsuba_threshold : int
+(** Limb count at which {!mul} switches to Karatsuba. *)
 
 val divmod : t -> t -> t * t
 (** [divmod a b] is [(a / b, a mod b)]. Raises [Division_by_zero] if [b] is
@@ -53,7 +63,15 @@ val bit_length : t -> int
 
 val mod_pow : t -> t -> t -> t
 (** [mod_pow base exp m] is [base^exp mod m]. Raises [Division_by_zero] if
-    [m] is zero. *)
+    [m] is zero. Odd moduli take the Montgomery/sliding-window fast path
+    (CIOS multiplication, no division in the loop); even moduli fall back
+    to {!mod_pow_naive}. *)
+
+val mod_pow_naive : t -> t -> t -> t
+(** The reference square-and-multiply with a full division per step —
+    the pre-optimization implementation, kept for cross-checking the
+    Montgomery path and for before/after benches. Same results, any
+    modulus. *)
 
 val gcd : t -> t -> t
 

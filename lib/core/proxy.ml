@@ -182,7 +182,8 @@ let material_of_wire v =
       let* d_bytes = Result.bind (field v 2) to_string in
       match Crypto.Rsa.public_of_bytes pub_bytes with
       | None -> Error "material: malformed public part"
-      | Some pub -> Ok (Keypair { Crypto.Rsa.pub; d = Bignum.Nat.of_bytes_be d_bytes }))
+      | Some pub ->
+          Ok (Keypair { Crypto.Rsa.pub; d = Bignum.Nat.of_bytes_be d_bytes; crt = None }))
   | other -> Error (Printf.sprintf "material: unknown tag %S" other)
 
 let transfer_to_wire t = Wire.L [ presentation_to_wire t.flavor; material_to_wire t.key ]

@@ -1,6 +1,15 @@
-type t = { entries : (string, int) Hashtbl.t (* identifier -> expiry *) }
+type t = {
+  entries : (string, int) Hashtbl.t; (* identifier -> expiry *)
+  capacity : int;
+  on_evict : unit -> unit;
+}
 
-let create () = { entries = Hashtbl.create 64 }
+let default_capacity = 1 lsl 17
+let no_evict () = ()
+
+let create ?(capacity = default_capacity) ?(on_evict = no_evict) () =
+  if capacity < 1 then invalid_arg "Replay_cache.create: capacity must be positive";
+  { entries = Hashtbl.create 64; capacity; on_evict }
 
 let seen t ~now id =
   match Hashtbl.find_opt t.entries id with
@@ -12,17 +21,40 @@ let seen t ~now id =
         false
       end
 
-let record t ~now ~expires id =
-  if seen t ~now id then Error (Printf.sprintf "accept-once identifier %S already recorded" id)
-  else begin
-    Hashtbl.replace t.entries id expires;
-    Ok ()
-  end
-
-let size t = Hashtbl.length t.entries
-
 let purge t ~now =
   let stale =
     Hashtbl.fold (fun id expires acc -> if expires <= now then id :: acc else acc) t.entries []
   in
   List.iter (Hashtbl.remove t.entries) stale
+
+(* Capacity pressure: purge the dead first; if the cache is genuinely full
+   of live identifiers, drop the one closest to its natural expiry — it is
+   the one whose replay window closes soonest, so forgetting it early
+   reopens the smallest window. *)
+let evict_soonest t =
+  match
+    Hashtbl.fold
+      (fun id expires best ->
+        match best with
+        | Some (_, e) when e <= expires -> best
+        | _ -> Some (id, expires))
+      t.entries None
+  with
+  | None -> ()
+  | Some (id, _) ->
+      Hashtbl.remove t.entries id;
+      t.on_evict ()
+
+let record t ~now ~expires id =
+  if seen t ~now id then Error (Printf.sprintf "accept-once identifier %S already recorded" id)
+  else begin
+    if Hashtbl.length t.entries >= t.capacity then begin
+      purge t ~now;
+      if Hashtbl.length t.entries >= t.capacity then evict_soonest t
+    end;
+    Hashtbl.replace t.entries id expires;
+    Ok ()
+  end
+
+let size t = Hashtbl.length t.entries
+let capacity t = t.capacity

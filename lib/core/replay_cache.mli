@@ -3,11 +3,16 @@
     "Once a check is paid, the accounting server keeps track of the check
     number until the expiration time on the check. If, within that period,
     another check with the same number is seen, it is rejected." Entries
-    expire with the proxy that carried them, so the cache is bounded. *)
+    expire with the proxy that carried them; an explicit capacity bound
+    caps memory even if an adversary floods the server with long-lived
+    identifiers. When full, expired entries are purged first; if all are
+    live, the identifier with the {e soonest} expiry is dropped (the
+    smallest replay window is reopened) and [on_evict] fires. *)
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> ?on_evict:(unit -> unit) -> unit -> t
+(** Default capacity: 131072 identifiers. *)
 
 val seen : t -> now:int -> string -> bool
 (** Has this identifier been recorded and not yet expired? *)
@@ -17,5 +22,6 @@ val record : t -> now:int -> expires:int -> string -> (unit, string) result
     callers can rely on record-if-absent being atomic. *)
 
 val size : t -> int
+val capacity : t -> int
 val purge : t -> now:int -> unit
 (** Drop expired entries (also happens incrementally during queries). *)

@@ -16,6 +16,35 @@ type verified = {
 
 let no_tally _ = ()
 
+(* Signature verification with an optional memo cache. The cache only
+   short-circuits the RSA operation itself; time windows, restrictions and
+   proofs of possession are re-checked by the callers on every
+   presentation. Failures are never recorded, so a tampered certificate
+   (different bytes, hence a different key) misses and fails verification
+   every time. *)
+let verify_signature ?cache ~tally ~now ~pub ~signed_bytes ~signature verify =
+  match cache with
+  | None ->
+      tally "crypto.rsa_verify";
+      verify ()
+  | Some c ->
+      let key =
+        Verify_cache.key ~signed_bytes ~signature ~signer:(Crypto.Rsa.public_to_bytes pub)
+      in
+      if Verify_cache.check c ~now key then begin
+        tally "verify_cache.hits";
+        Ok ()
+      end
+      else begin
+        tally "verify_cache.misses";
+        tally "crypto.rsa_verify";
+        match verify () with
+        | Ok () ->
+            Verify_cache.record c ~now key;
+            Ok ()
+        | Error _ as e -> e
+      end
+
 let check_window ~now (body : Proxy_cert.body) =
   if body.Proxy_cert.issued_at > now then Error "proxy-cert: issued in the future"
   else if body.Proxy_cert.expires <= now then Error "proxy-cert: expired"
@@ -62,7 +91,7 @@ let verify_conventional ~open_base ?(tally = no_tally) ~now
       chain.Proxy.cert_blobs
   end
 
-let verify_pk ~lookup ?(tally = no_tally) ~now certs =
+let verify_pk ~lookup ?(tally = no_tally) ?cache ~now certs =
   let open Wire in
   match certs with
   | [] -> Error "empty certificate chain"
@@ -122,8 +151,12 @@ let verify_pk ~lookup ?(tally = no_tally) ~now certs =
               }
         | (cert : Proxy_cert.pk_cert) :: rest ->
             let* pub = signer_key ~prev cert in
-            tally "crypto.rsa_verify";
-            let* () = Proxy_cert.verify_pk_signature pub cert in
+            let* () =
+              verify_signature ?cache ~tally ~now ~pub
+                ~signed_bytes:(Proxy_cert.pk_signed_bytes cert)
+                ~signature:cert.Proxy_cert.signature
+                (fun () -> Proxy_cert.verify_pk_signature pub cert)
+            in
             let* () = check_window ~now cert.Proxy_cert.pk_body in
             let discharged =
               match cert.Proxy_cert.pk_signer with
@@ -161,7 +194,7 @@ let walk_cascade ~tally ~now ~start_key ~acc ~serials ~expires blobs =
   in
   go start_key acc (List.rev serials) expires blobs
 
-let verify_hybrid ~lookup ~decrypt ?me ?(tally = no_tally) ~now ((head, blobs) : Proxy_cert.hybrid_cert * string list) =
+let verify_hybrid ~lookup ~decrypt ?me ?(tally = no_tally) ?cache ~now ((head, blobs) : Proxy_cert.hybrid_cert * string list) =
   let open Wire in
   let grantor = head.Proxy_cert.h_body.Proxy_cert.grantor in
   let* () =
@@ -178,8 +211,12 @@ let verify_hybrid ~lookup ~decrypt ?me ?(tally = no_tally) ~now ((head, blobs) :
     | None ->
         Error (Printf.sprintf "no public key known for grantor %s" (Principal.to_string grantor))
   in
-  tally "crypto.rsa_verify";
-  let* () = Proxy_cert.verify_hybrid_signature grantor_pub head in
+  let* () =
+    verify_signature ?cache ~tally ~now ~pub:grantor_pub
+      ~signed_bytes:(Proxy_cert.hybrid_signed_bytes head)
+      ~signature:head.Proxy_cert.h_signature
+      (fun () -> Proxy_cert.verify_hybrid_signature grantor_pub head)
+  in
   let* () = check_window ~now head.Proxy_cert.h_body in
   tally "crypto.rsa_decrypt";
   let* head_key = Proxy_cert.open_hybrid_key ~decrypt head in
@@ -201,10 +238,11 @@ let verify_hybrid ~lookup ~decrypt ?me ?(tally = no_tally) ~now ((head, blobs) :
 
 let no_decrypt _ = None
 
-let verify ~open_base ~lookup ?(decrypt = no_decrypt) ?me ?tally ~now = function
+let verify ~open_base ~lookup ?(decrypt = no_decrypt) ?me ?tally ?cache ~now = function
   | Proxy.Conventional chain -> verify_conventional ~open_base ?tally ~now chain
-  | Proxy.Public_key certs -> verify_pk ~lookup ?tally ~now certs
-  | Proxy.Hybrid (head, blobs) -> verify_hybrid ~lookup ~decrypt ?me ?tally ~now (head, blobs)
+  | Proxy.Public_key certs -> verify_pk ~lookup ?tally ?cache ~now certs
+  | Proxy.Hybrid (head, blobs) ->
+      verify_hybrid ~lookup ~decrypt ?me ?tally ?cache ~now (head, blobs)
 
 let authorize verified ~req ~proof ~max_skew =
   let open Wire in

@@ -40,6 +40,7 @@ val verify_conventional :
 val verify_pk :
   lookup:(Principal.t -> Crypto.Rsa.public option) ->
   ?tally:(string -> unit) ->
+  ?cache:Verify_cache.t ->
   now:int ->
   Proxy_cert.pk_cert list ->
   (verified, string) result
@@ -57,6 +58,7 @@ val verify_hybrid :
   decrypt:(string -> string option) ->
   ?me:Principal.t ->
   ?tally:(string -> unit) ->
+  ?cache:Verify_cache.t ->
   now:int ->
   Proxy_cert.hybrid_cert * string list ->
   (verified, string) result
@@ -71,11 +73,17 @@ val verify :
   ?decrypt:(string -> string option) ->
   ?me:Principal.t ->
   ?tally:(string -> unit) ->
+  ?cache:Verify_cache.t ->
   now:int ->
   Proxy.presentation ->
   (verified, string) result
 (** Dispatch on the presentation's flavor. Hybrid presentations require
-    [decrypt] (the default refuses them). *)
+    [decrypt] (the default refuses them). When [cache] is given, successful
+    RSA signature verifications are memoized ({!Verify_cache}): a cache hit
+    tallies ["verify_cache.hits"] instead of ["crypto.rsa_verify"], a miss
+    tallies both ["verify_cache.misses"] and the usual crypto counters —
+    so the cache-miss metering is exactly the uncached metering. Time
+    windows, restrictions and proofs are never cached. *)
 
 val authorize :
   verified ->

@@ -1,0 +1,89 @@
+type t = {
+  capacity : int;
+  ttl_us : int;
+  on_evict : unit -> unit;
+  table : (string, int) Hashtbl.t; (* key -> inserted_at *)
+  order : string Queue.t; (* insertion order; stale keys skipped lazily *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+let default_capacity = 1024
+let default_ttl_us = 3_600_000_000 (* matches Pki.Resolver's default TTL *)
+let no_evict () = ()
+
+let create ?(capacity = default_capacity) ?(ttl_us = default_ttl_us)
+    ?(on_evict = no_evict) () =
+  if capacity < 1 then invalid_arg "Verify_cache.create: capacity must be positive";
+  if ttl_us < 1 then invalid_arg "Verify_cache.create: ttl must be positive";
+  {
+    capacity;
+    ttl_us;
+    on_evict;
+    table = Hashtbl.create (min capacity 64);
+    order = Queue.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+(* Length-framed concatenation, so ("ab","c") and ("a","bc") cannot key the
+   same entry. *)
+let key ~signed_bytes ~signature ~signer =
+  let frame s =
+    let n = String.length s in
+    String.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xff)) ^ s
+  in
+  Crypto.Sha256.digest (frame signed_bytes ^ frame signature ^ frame signer)
+
+let fresh t ~now inserted_at = inserted_at + t.ttl_us > now
+
+let check t ~now k =
+  match Hashtbl.find_opt t.table k with
+  | Some inserted_at when fresh t ~now inserted_at ->
+      t.hits <- t.hits + 1;
+      true
+  | Some _ ->
+      (* TTL expired: the signer binding may have been revoked since we
+         verified — forget the entry and force a re-verification. *)
+      Hashtbl.remove t.table k;
+      t.misses <- t.misses + 1;
+      false
+  | None ->
+      t.misses <- t.misses + 1;
+      false
+
+let evict_one t =
+  let rec pop () =
+    match Queue.take_opt t.order with
+    | None -> ()
+    | Some k ->
+        if Hashtbl.mem t.table k then begin
+          Hashtbl.remove t.table k;
+          t.evictions <- t.evictions + 1;
+          t.on_evict ()
+        end
+        else pop () (* stale queue entry (expired or re-recorded); skip *)
+  in
+  pop ()
+
+let record t ~now k =
+  if Hashtbl.mem t.table k then Hashtbl.replace t.table k now
+  else begin
+    if Hashtbl.length t.table >= t.capacity then evict_one t;
+    Hashtbl.replace t.table k now;
+    Queue.push k t.order
+  end
+
+let flush t =
+  Hashtbl.reset t.table;
+  Queue.clear t.order
+
+let stats (t : t) =
+  { hits = t.hits; misses = t.misses; evictions = t.evictions; size = Hashtbl.length t.table }
+
+let size t = Hashtbl.length t.table
+let capacity t = t.capacity

@@ -1,0 +1,54 @@
+(** Bounded memo cache for successful signature verifications.
+
+    A depth-k public-key cascade (Figure 4) presented N times costs N*k RSA
+    verifications at the end server; since certificates are immutable bytes
+    and verification is deterministic, k of those suffice. The cache
+    remembers {e (signed bytes, signature, verifying key)} triples — hashed
+    together into one key — that verified successfully, so re-presentations
+    skip straight to the cheap checks.
+
+    What is deliberately {e not} cached:
+
+    - certificate time windows and restriction checks — they depend on the
+      request and the current time, so the verifier re-runs them on every
+      presentation, cached or not; an expired certificate is refused even
+      when its signature is remembered;
+    - failures — a tampered certificate hashes to a different key, misses,
+      and fails the real verification every time.
+
+    Entries also carry a TTL (defaulting to [Pki.Resolver]'s): a cached
+    verification asserts "this key signed these bytes", and the binding of
+    that key to a principal is only as fresh as the resolver's cache, so
+    both expire on the same clock and revocation takes effect within one
+    TTL for cached and uncached paths alike.
+
+    The cache is FIFO-bounded; hit/miss/eviction totals are kept here and
+    callers (e.g. [Authz.Guard]) mirror them into [Sim.Metrics]. *)
+
+type t
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+val create : ?capacity:int -> ?ttl_us:int -> ?on_evict:(unit -> unit) -> unit -> t
+(** Defaults: capacity 1024 entries, TTL one simulated hour. [on_evict]
+    fires once per capacity eviction (not on TTL expiry). *)
+
+val key : signed_bytes:string -> signature:string -> signer:string -> string
+(** Cache key for a verification: SHA-256 over the length-framed signed
+    bytes, signature, and serialized verifying key. *)
+
+val check : t -> now:int -> string -> bool
+(** [check t ~now key] is [true] when this verification succeeded before
+    and the entry is still within its TTL. Counts a hit or a miss; expired
+    entries are dropped and count as misses. *)
+
+val record : t -> now:int -> string -> unit
+(** Remember a successful verification, evicting the oldest entry when at
+    capacity. Only call on success. *)
+
+val flush : t -> unit
+(** Drop all entries (counters are kept). *)
+
+val stats : t -> stats
+val size : t -> int
+val capacity : t -> int

@@ -1,7 +1,8 @@
 module N = Bignum.Nat
 
 type public = { n : N.t; e : N.t }
-type private_ = { pub : public; d : N.t }
+type crt = { p : N.t; q : N.t; dp : N.t; dq : N.t; qinv : N.t }
+type private_ = { pub : public; d : N.t; crt : crt option }
 
 let e65537 = N.of_int 65537
 
@@ -18,10 +19,46 @@ let generate drbg ~bits =
       let phi = N.mul (N.sub p N.one) (N.sub q N.one) in
       match N.mod_inv e65537 phi with
       | None -> keypair () (* gcd(e, phi) <> 1; retry with new primes *)
-      | Some d -> { pub = { n; e = e65537 }; d }
+      | Some d ->
+          let crt =
+            match N.mod_inv q p with
+            | None -> None (* distinct primes, so unreachable; fall back *)
+            | Some qinv ->
+                Some
+                  {
+                    p;
+                    q;
+                    dp = N.rem d (N.sub p N.one);
+                    dq = N.rem d (N.sub q N.one);
+                    qinv;
+                  }
+          in
+          { pub = { n; e = e65537 }; d; crt }
     end
   in
   keypair ()
+
+(* The private exponentiation c^d mod n. With CRT parameters this is two
+   half-width half-exponent powers recombined by Garner's formula — about
+   4x cheaper — and is followed by a consistency check against the public
+   exponent (m^e mod n = c). The check keeps a computation corrupted by a
+   fault (the classic Boneh–DeMillo–Lipton CRT fault attack, which would
+   let a verifier factor n from one bad signature) from ever leaving this
+   module: on mismatch we recompute by the slow, uncorruptible path, so
+   the output is byte-identical to the pre-CRT implementation in every
+   case. *)
+let priv_op key c =
+  match key.crt with
+  | None -> N.mod_pow c key.d key.pub.n
+  | Some { p; q; dp; dq; qinv } ->
+      let m1 = N.mod_pow (N.rem c p) dp p in
+      let m2 = N.mod_pow (N.rem c q) dq q in
+      (* h = qinv * (m1 - m2) mod p, on naturals: m1 + p - (m2 mod p). *)
+      let diff = N.rem (N.add m1 (N.sub p (N.rem m2 p))) p in
+      let h = N.rem (N.mul qinv diff) p in
+      let m = N.add m2 (N.mul h q) in
+      if N.equal (N.mod_pow m key.pub.e key.pub.n) (N.rem c key.pub.n) then m
+      else N.mod_pow c key.d key.pub.n
 
 let modulus_bytes pub = (N.bit_length pub.n + 7) / 8
 
@@ -41,7 +78,15 @@ let sign key msg =
   | None -> invalid_arg "Rsa.sign: modulus too small for SHA-256 signature"
   | Some em ->
       let m = N.of_bytes_be em in
-      let s = N.mod_pow m key.d key.pub.n in
+      let s = priv_op key m in
+      N.to_bytes_be_padded (modulus_bytes key.pub) s
+
+let sign_reference key msg =
+  match emsa_encode key.pub msg with
+  | None -> invalid_arg "Rsa.sign_reference: modulus too small for SHA-256 signature"
+  | Some em ->
+      let m = N.of_bytes_be em in
+      let s = N.mod_pow_naive m key.d key.pub.n in
       N.to_bytes_be_padded (modulus_bytes key.pub) s
 
 let verify pub ~msg ~signature =
@@ -84,7 +129,7 @@ let decrypt key ciphertext =
     let c = N.of_bytes_be ciphertext in
     if N.compare c key.pub.n >= 0 then None
     else begin
-      let em = N.to_bytes_be_padded k (N.mod_pow c key.d key.pub.n) in
+      let em = N.to_bytes_be_padded k (priv_op key c) in
       if String.length em < 11 || em.[0] <> '\x00' || em.[1] <> '\x02' then None
       else begin
         match String.index_from_opt em 2 '\x00' with

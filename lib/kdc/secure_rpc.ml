@@ -6,7 +6,10 @@ type server_context = {
 
 let err msg = Wire.encode (Wire.L [ Wire.S "err"; Wire.S msg ])
 
-let serve net ~me ~my_key ?(max_skew_us = 5 * 60 * 1_000_000) handler =
+let serve net ~me ~my_key ?(max_skew_us = 5 * 60 * 1_000_000)
+    ?(response_cache_capacity = 4096) handler =
+  if response_cache_capacity < 1 then
+    invalid_arg "Secure_rpc.serve: response cache capacity must be positive";
   let metrics = Sim.Net.metrics net in
   (* Response cache over authenticator blobs: within the freshness window an
      identical authenticator is a retransmission (or a replay), and the
@@ -14,8 +17,36 @@ let serve net ~me ~my_key ?(max_skew_us = 5 * 60 * 1_000_000) handler =
      redemption, and ledger mutations fire exactly once under at-least-once
      delivery. The duplicate gets the original sealed response back: useless
      to an eavesdropping replayer (sealed under the session key), and
-     exactly what a retrying legitimate client needs. *)
+     exactly what a retrying legitimate client needs. Capacity-bounded:
+     when full, expired entries are purged; if every entry is still live,
+     the soonest-to-expire response is dropped (its retransmission window
+     closes first) and "rpc.cache_evictions" ticks. *)
   let seen_auths : (string, int * string) Hashtbl.t = Hashtbl.create 64 in
+  let cache_insert ~now auth_id entry =
+    if Hashtbl.length seen_auths >= response_cache_capacity then begin
+      let stale =
+        Hashtbl.fold
+          (fun k (expiry, _) acc -> if expiry <= now then k :: acc else acc)
+          seen_auths []
+      in
+      List.iter (Hashtbl.remove seen_auths) stale;
+      if Hashtbl.length seen_auths >= response_cache_capacity then begin
+        match
+          Hashtbl.fold
+            (fun k (expiry, _) best ->
+              match best with
+              | Some (_, e) when e <= expiry -> best
+              | _ -> Some (k, expiry))
+            seen_auths None
+        with
+        | None -> ()
+        | Some (k, _) ->
+            Hashtbl.remove seen_auths k;
+            Sim.Metrics.incr metrics "rpc.cache_evictions"
+      end
+    end;
+    Hashtbl.replace seen_auths auth_id entry
+  in
   let handle request =
     let now = Sim.Net.now net in
     let open Wire in
@@ -82,11 +113,7 @@ let serve net ~me ~my_key ?(max_skew_us = 5 * 60 * 1_000_000) handler =
                                ~nonce:(Sim.Net.fresh_nonce net) (Wire.encode body))
                         in
                         let reply = Wire.encode (Wire.L [ Wire.S "sealed"; Wire.S sealed ]) in
-                        Hashtbl.replace seen_auths auth_id (now + max_skew_us, reply);
-                        (* Opportunistic purge keeps the cache bounded. *)
-                        Hashtbl.iter
-                          (fun k (expiry, _) -> if expiry <= now then Hashtbl.remove seen_auths k)
-                          (Hashtbl.copy seen_auths);
+                        cache_insert ~now auth_id (now + max_skew_us, reply);
                         reply
                   end
             end)

@@ -19,6 +19,7 @@ val serve :
   me:Principal.t ->
   my_key:string ->
   ?max_skew_us:int ->
+  ?response_cache_capacity:int ->
   (server_context -> Wire.t -> (Wire.t, string) result) ->
   unit
 (** Register the service on the network. The handler sees only
@@ -28,7 +29,12 @@ val serve :
     re-run the handler: the original sealed response is returned from an
     internal response cache, giving exactly-once handler execution under
     at-least-once delivery. (A replayer gains nothing: the cached response
-    is sealed under the session key.) *)
+    is sealed under the session key.)
+
+    The response cache holds at most [response_cache_capacity] entries
+    (default 4096). At capacity, expired entries are purged; if all are
+    live, the soonest-to-expire one is evicted and the net's
+    ["rpc.cache_evictions"] metric ticks. *)
 
 val call :
   Sim.Net.t ->

@@ -12,12 +12,20 @@ type t = {
 let create net ~name_server ~ca_pub ~caller ?(ttl_us = 3_600_000_000) () =
   { net; name_server; ca_pub; caller; ttl_us; cache = Hashtbl.create 16 }
 
+let tick t name = Sim.Metrics.incr (Sim.Net.metrics t.net) name
+
 let lookup t p =
   let key = Principal.to_string p in
   let now = Sim.Net.now t.net in
   match Hashtbl.find_opt t.cache key with
-  | Some e when e.fetched_at + t.ttl_us > now -> Some e.pub
-  | Some _ | None -> (
+  | Some e when e.fetched_at + t.ttl_us > now ->
+      tick t "resolver.hits";
+      Some e.pub
+  | stale -> (
+      (match stale with
+      | Some _ -> tick t "resolver.expired" (* cached but past its TTL *)
+      | None -> ());
+      tick t "resolver.misses";
       match
         Name_server.lookup t.net ~server:t.name_server ~ca_pub:t.ca_pub ~caller:t.caller p
       with

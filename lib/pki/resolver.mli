@@ -21,7 +21,10 @@ val create :
 
 val lookup : t -> Principal.t -> Crypto.Rsa.public option
 (** The shape services expect; failures (unknown, revoked, network) read as
-    [None]. *)
+    [None]. Each call ticks the net's metrics: ["resolver.hits"] when the
+    cache answers, ["resolver.misses"] when the name server is consulted
+    (additionally ["resolver.expired"] when that was forced by a stale
+    entry) — so benches can report resolver traffic directly. *)
 
 val flush : t -> unit
 (** Drop the cache (forces re-fetch on next use). *)

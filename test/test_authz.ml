@@ -75,6 +75,42 @@ let test_secure_rpc_replay_absorbed () =
       | Error e -> Alcotest.fail e));
   Alcotest.(check int) "handler ran once" 1 !hits
 
+let test_secure_rpc_cache_eviction () =
+  let w = world () in
+  let alice, _ = W.enrol w "alice" in
+  let svc, svc_key = W.enrol w "svc" in
+  let hits = ref 0 in
+  (* A deliberately tiny response cache: the third distinct request must
+     evict the first (soonest-to-expire) entry and tick the metric. *)
+  Secure_rpc.serve w.W.net ~me:svc ~my_key:svc_key ~response_cache_capacity:2 (fun _ _ ->
+      incr hits;
+      Ok (Wire.I !hits));
+  let tgt = W.login w alice in
+  let creds = W.credentials_for w ~tgt svc in
+  let first = ref None in
+  Sim.Net.set_tap w.W.net (fun ~dir ~src:_ ~dst:_ payload ->
+      (match dir with `Request when !first = None -> first := Some payload | _ -> ());
+      Sim.Net.Deliver);
+  let evictions () = Sim.Metrics.get (Sim.Net.metrics w.W.net) "rpc.cache_evictions" in
+  for i = 1 to 3 do
+    match Secure_rpc.call w.W.net ~creds (Wire.I i) with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e
+  done;
+  Sim.Net.clear_tap w.W.net;
+  Alcotest.(check int) "handler ran three times" 3 !hits;
+  Alcotest.(check int) "one eviction at capacity 2" 1 (evictions ());
+  (* The evicted entry's retransmission window has closed: replaying the
+     first raw request re-runs the handler instead of hitting the cache. *)
+  (match !first with
+  | None -> Alcotest.fail "nothing captured"
+  | Some raw -> (
+      match Sim.Net.rpc w.W.net ~src:"mallory" ~dst:(Principal.to_string svc) raw with
+      | Ok _ -> Alcotest.(check int) "evicted request re-executes" 4 !hits
+      | Error e -> Alcotest.fail e));
+  Alcotest.(check int) "second eviction from the re-insert" 2 (evictions ());
+  Alcotest.(check int) "no dedup hits" 0 (Sim.Metrics.get (Sim.Net.metrics w.W.net) "rpc.dedup")
+
 (* --- guard + capabilities --- *)
 
 type fs_world = {
@@ -598,7 +634,8 @@ let () =
     [ ( "secure-rpc",
         [ ("roundtrip", `Quick, test_secure_rpc_roundtrip);
           ("wrong service", `Quick, test_secure_rpc_wrong_service);
-          ("replay absorbed, handler once", `Quick, test_secure_rpc_replay_absorbed) ] );
+          ("replay absorbed, handler once", `Quick, test_secure_rpc_replay_absorbed);
+          ("response cache bounded", `Quick, test_secure_rpc_cache_eviction) ] );
       ( "guard+capabilities",
         [ ("direct identity", `Quick, test_guard_direct_identity);
           ("capability flow", `Quick, test_capability_flow);

@@ -208,11 +208,88 @@ let prop_modpow_small =
       done;
       N.to_int_opt (N.mod_pow (N.of_int b) (N.of_int e) (N.of_int m)) = Some !naive)
 
+(* Fast-path cross-checks: the optimized mul (Karatsuba above the limb
+   threshold) and mod_pow (Montgomery/sliding-window for odd moduli) against
+   the retained reference implementations, on operands big enough to take
+   the fast paths. *)
+
+let huge_nat_gen =
+  (* Up to ~2080 bits: well past karatsuba_threshold (27 limbs = 702 bits). *)
+  QCheck.Gen.(map N.of_bytes_be (string_size ~gen:char (int_range 0 260)))
+
+let arb_huge = QCheck.make ~print:N.to_string huge_nat_gen
+
+let modulus_gen =
+  (* 1..48 bytes: spans single-limb through multi-limb, even and odd. *)
+  QCheck.Gen.(map N.of_bytes_be (string_size ~gen:char (int_range 1 48)))
+
+let arb_modulus = QCheck.make ~print:N.to_string modulus_gen
+
+let exponent_gen = QCheck.Gen.(map N.of_bytes_be (string_size ~gen:char (int_range 0 8)))
+let arb_exponent = QCheck.make ~print:N.to_string exponent_gen
+
+let prop_karatsuba_vs_schoolbook =
+  QCheck.Test.make ~name:"karatsuba mul = schoolbook mul" ~count:150
+    (QCheck.pair arb_huge arb_huge)
+    (fun (a, b) -> N.equal (N.mul a b) (N.mul_schoolbook a b))
+
+let prop_montgomery_vs_naive =
+  QCheck.Test.make ~name:"mod_pow = mod_pow_naive (odd and even moduli)" ~count:100
+    (QCheck.triple arb_huge arb_exponent arb_modulus)
+    (fun (b, e, m) ->
+      QCheck.assume (not (N.is_zero m));
+      N.equal (N.mod_pow b e m) (N.mod_pow_naive b e m))
+
+let prop_divmod_huge =
+  QCheck.Test.make ~name:"divmod reconstruction on huge operands" ~count:150
+    (QCheck.pair arb_huge arb_modulus)
+    (fun (a, b) ->
+      QCheck.assume (not (N.is_zero b));
+      let q, r = N.divmod a b in
+      N.equal a (N.add (N.mul q b) r) && N.compare r b < 0)
+
+let test_fast_path_edges () =
+  let huge = N.of_string (String.concat "" (List.init 9 (fun _ -> "123456789876543212345678987")) ) in
+  let odd_m = N.add (N.shift_left N.one 521) N.one in
+  (* zero exponent: b^0 = 1 mod m (and 0 when m = 1) *)
+  Alcotest.check nat "zero exponent" N.one (N.mod_pow huge N.zero odd_m);
+  Alcotest.check nat "modulus one" N.zero (N.mod_pow huge big_b N.one);
+  Alcotest.check nat "zero exponent, modulus one" N.zero (N.mod_pow huge N.zero N.one);
+  (* single-limb odd modulus takes the Montgomery path *)
+  let m1 = N.of_int 1_000_003 in
+  Alcotest.check nat "single-limb modulus" (N.mod_pow_naive huge big_b m1)
+    (N.mod_pow huge big_b m1);
+  (* even modulus falls back to the naive path; results must agree *)
+  let even_m = N.shift_left (N.of_int 3) 130 in
+  Alcotest.check nat "even modulus fallback" (N.mod_pow_naive huge big_b even_m)
+    (N.mod_pow huge big_b even_m);
+  Alcotest.(check bool) "even modulus really even" true (N.is_even even_m);
+  (* base a multiple of the modulus *)
+  Alcotest.check nat "base = 0 mod m" N.zero (N.mod_pow (N.mul odd_m N.two) big_b odd_m);
+  (* operand aliasing: the same value on both/all sides *)
+  Alcotest.check nat "mul aliasing" (N.mul_schoolbook huge huge) (N.mul huge huge);
+  Alcotest.check nat "mod_pow aliasing" (N.mod_pow_naive huge huge odd_m)
+    (N.mod_pow huge huge odd_m);
+  let odd_huge = if N.is_even huge then N.add huge N.one else huge in
+  Alcotest.check nat "mod_pow all-aliased" (N.mod_pow_naive odd_huge odd_huge odd_huge)
+    (N.mod_pow odd_huge odd_huge odd_huge);
+  (* Karatsuba exercises operands just around the split point *)
+  let around = [ 26; 27; 28; 53; 54; 55 ] in
+  List.iter
+    (fun limbs ->
+      let x = N.sub (N.shift_left N.one (limbs * 26)) N.one in
+      let y = N.add (N.shift_left N.one ((limbs - 1) * 26)) (N.of_int 12345) in
+      Alcotest.check nat
+        (Printf.sprintf "threshold split %d limbs" limbs)
+        (N.mul_schoolbook x y) (N.mul x y))
+    around
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [ prop_add_commutative; prop_mul_commutative; prop_mul_distributes;
       prop_divmod_invariant; prop_matches_int; prop_bytes_roundtrip;
-      prop_string_roundtrip; prop_shift_mul; prop_modinv; prop_modpow_small ]
+      prop_string_roundtrip; prop_shift_mul; prop_modinv; prop_modpow_small;
+      prop_karatsuba_vs_schoolbook; prop_montgomery_vs_naive; prop_divmod_huge ]
 
 let suite =
   [ ("int conversion", `Quick, test_of_to_int);
@@ -225,6 +302,7 @@ let suite =
     ("bytes roundtrip", `Quick, test_bytes_roundtrip);
     ("mod_pow", `Quick, test_mod_pow);
     ("gcd/modinv", `Quick, test_gcd_modinv);
+    ("fast-path edges", `Quick, test_fast_path_edges);
     ("known primes", `Quick, test_primes_known);
     ("prime generation", `Slow, test_prime_generation);
     ("random below", `Quick, test_random_below) ]

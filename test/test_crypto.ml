@@ -238,6 +238,82 @@ let test_rsa_pub_encoding () =
         (Rsa.verify pub ~msg:"check encoding" ~signature);
       Alcotest.(check bool) "truncated fails" true (Rsa.public_of_bytes "\x00\x00" = None)
 
+(* --- RSA-CRT compatibility ---
+
+   The CRT fast path must be a pure optimisation: for any key the signature
+   bytes must equal those of the retained reference path (plain d
+   exponentiation), the fault-attack guard must mask a corrupted CRT half by
+   falling back to the reference path, and an *unguarded* faulty CRT
+   recombination must produce a signature that verification rejects. *)
+
+module N = Bignum.Nat
+
+let test_rsa_crt_byte_identical () =
+  List.iter
+    (fun (seed, bits) ->
+      let d = Drbg.create ~seed in
+      let key = Rsa.generate d ~bits in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d-bit key has CRT params" bits)
+        true (key.Rsa.crt <> None);
+      let no_crt = { key with Rsa.crt = None } in
+      if bits >= 512 then begin
+        (* A 256-bit modulus is too small for a SHA-256 PKCS#1 signature. *)
+        let msg = Printf.sprintf "crt compat %s/%d" seed bits in
+        Alcotest.(check string)
+          (Printf.sprintf "%d-bit CRT signature = reference" bits)
+          (Rsa.sign_reference key msg) (Rsa.sign key msg);
+        Alcotest.(check string)
+          (Printf.sprintf "%d-bit CRT signature = plain-d" bits)
+          (Rsa.sign no_crt msg) (Rsa.sign key msg)
+      end;
+      (* The CRT private op must also decrypt exactly like the plain path. *)
+      let secret = String.sub (Sha256.digest seed) 0 16 in
+      match Rsa.encrypt d key.Rsa.pub secret with
+      | None -> Alcotest.fail "encrypt"
+      | Some ct ->
+          Alcotest.(check (option string))
+            (Printf.sprintf "%d-bit CRT decrypt = plain-d decrypt" bits)
+            (Rsa.decrypt no_crt ct) (Rsa.decrypt key ct);
+          Alcotest.(check (option string))
+            (Printf.sprintf "%d-bit CRT decrypt roundtrips" bits)
+            (Some secret) (Rsa.decrypt key ct))
+    [ ("crt-a", 256); ("crt-b", 256); ("crt-a", 512); ("crt-b", 512); ("crt-a", 1024) ]
+
+let test_rsa_crt_fault_guard () =
+  let d = Drbg.create ~seed:"crt-fault" in
+  let key = Rsa.generate d ~bits:512 in
+  let crt = Option.get key.Rsa.crt in
+  (* Corrupt one CRT exponent: the consistency check must catch the bad
+     recombination and fall back to the reference path, so the emitted
+     signature is still correct and byte-identical. *)
+  let bad_key = { key with Rsa.crt = Some { crt with Rsa.dq = N.add crt.Rsa.dq N.one } } in
+  let msg = "signed under a faulted key" in
+  let signature = Rsa.sign bad_key msg in
+  Alcotest.(check string) "guard falls back to reference" (Rsa.sign_reference key msg) signature;
+  Alcotest.(check bool) "guarded signature verifies" true
+    (Rsa.verify key.Rsa.pub ~msg ~signature)
+
+let test_rsa_crt_unguarded_fault_rejected () =
+  let d = Drbg.create ~seed:"crt-bdl" in
+  let key = Rsa.generate d ~bits:512 in
+  let crt = Option.get key.Rsa.crt in
+  let p = crt.Rsa.p and q = crt.Rsa.q and qinv = crt.Rsa.qinv in
+  let msg = "Boneh-DeMillo-Lipton" in
+  let good = Rsa.sign key msg in
+  (* Simulate a fault in the mod-q half: recombine s mod p with (s+1) mod q.
+     The result is still correct mod p but wrong mod q — exactly the shape a
+     glitched CRT exponentiation produces. Verification must reject it. *)
+  let s = N.of_bytes_be good in
+  let m1 = N.rem s p and m2 = N.rem (N.add s N.one) q in
+  let diff = N.rem (N.add m1 (N.sub p (N.rem m2 p))) p in
+  let h = N.rem (N.mul qinv diff) p in
+  let faulty = N.add m2 (N.mul h q) in
+  let faulty_sig = N.to_bytes_be_padded (Rsa.modulus_bytes key.Rsa.pub) faulty in
+  Alcotest.(check bool) "good signature verifies" true (Rsa.verify key.Rsa.pub ~msg ~signature:good);
+  Alcotest.(check bool) "faulty CRT signature rejected" false
+    (Rsa.verify key.Rsa.pub ~msg ~signature:faulty_sig)
+
 (* --- Properties --- *)
 
 let prop_sha_distinct =
@@ -292,5 +368,8 @@ let () =
         [ ("sign/verify", `Slow, test_rsa_sign_verify);
           ("cross key", `Slow, test_rsa_cross_key);
           ("encrypt/decrypt", `Slow, test_rsa_encrypt);
-          ("public key encoding", `Slow, test_rsa_pub_encoding) ] );
+          ("public key encoding", `Slow, test_rsa_pub_encoding);
+          ("crt byte-identical", `Slow, test_rsa_crt_byte_identical);
+          ("crt fault guard", `Slow, test_rsa_crt_fault_guard);
+          ("crt unguarded fault rejected", `Slow, test_rsa_crt_unguarded_fault_rejected) ] );
       ("properties", props) ]

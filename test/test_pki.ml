@@ -122,6 +122,37 @@ let test_resolver_flush () =
   Resolver.flush resolver;
   Alcotest.(check bool) "flush forces refetch" true (Resolver.lookup resolver alice = None)
 
+let test_resolver_metrics () =
+  (* Cache behaviour is observable in Sim.Metrics: fresh hits, fetches, and
+     TTL expiries each tick their own counter. *)
+  let net = Sim.Net.create ~seed:"pki resolver metrics" () in
+  let ca = make_ca () in
+  let ns_name = p "nameserver" in
+  let ns = Name_server.create net ~name:ns_name ~ca_pub:(Ca.ca_pub ca) in
+  Name_server.install ns;
+  Name_server.publish ns (Ca.issue ca ~now:0 ~lifetime:max_int alice alice_kp.Crypto.Rsa.pub);
+  let resolver =
+    Resolver.create net ~name_server:ns_name ~ca_pub:(Ca.ca_pub ca) ~caller:"guard"
+      ~ttl_us:1_000_000 ()
+  in
+  let count name = Sim.Metrics.get (Sim.Net.metrics net) name in
+  ignore (Resolver.lookup resolver alice);
+  Alcotest.(check int) "cold lookup: one miss" 1 (count "resolver.misses");
+  Alcotest.(check int) "cold lookup: no hit" 0 (count "resolver.hits");
+  ignore (Resolver.lookup resolver alice);
+  ignore (Resolver.lookup resolver alice);
+  Alcotest.(check int) "warm lookups hit" 2 (count "resolver.hits");
+  Alcotest.(check int) "no extra misses" 1 (count "resolver.misses");
+  Alcotest.(check int) "nothing expired yet" 0 (count "resolver.expired");
+  Sim.Clock.advance (Sim.Net.clock net) 2_000_000;
+  ignore (Resolver.lookup resolver alice);
+  Alcotest.(check int) "TTL expiry counted" 1 (count "resolver.expired");
+  Alcotest.(check int) "expiry is also a miss" 2 (count "resolver.misses");
+  (* An unknown principal is a plain miss, not an expiry. *)
+  ignore (Resolver.lookup resolver (p "nobody"));
+  Alcotest.(check int) "unknown principal: miss" 3 (count "resolver.misses");
+  Alcotest.(check int) "unknown principal: no expiry" 1 (count "resolver.expired")
+
 let () =
   Alcotest.run "pki"
     [ ( "ca",
@@ -131,4 +162,5 @@ let () =
           ("tamper detected", `Slow, test_name_server_tamper) ] );
       ( "resolver",
         [ ("caching and TTL", `Slow, test_resolver_caching);
-          ("flush", `Slow, test_resolver_flush) ] ) ]
+          ("flush", `Slow, test_resolver_flush);
+          ("metrics counters", `Slow, test_resolver_metrics) ] ) ]

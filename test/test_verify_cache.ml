@@ -1,0 +1,196 @@
+(* Verification memo-cache: repeated presentations of an immutable
+   certificate chain must hit the cache instead of redoing RSA, while
+   tampered certificates, TTL-expired entries, and out-of-window
+   certificates must never be served from it. *)
+
+module R = Restriction
+
+let realm = "r"
+let p name = Principal.make ~realm name
+let alice = p "alice"
+
+let drbg = Crypto.Drbg.create ~seed:"verify cache tests"
+let hour = 3_600_000_000
+let t_exp = 10 * hour
+
+let alice_kp = Crypto.Rsa.generate drbg ~bits:512
+let lookup q = if Principal.equal q alice then Some alice_kp.Crypto.Rsa.pub else None
+
+let grant_chain ?(expires = t_exp) ~depth () =
+  let proxy =
+    Proxy.grant_pk ~drbg ~now:0 ~expires ~grantor:alice ~grantor_key:alice_kp ~proxy_bits:512
+      ~restrictions:[ R.Authorized [ { R.target = "file1"; ops = [ "read" ] } ] ]
+      ()
+  in
+  let rec extend proxy = function
+    | 1 -> proxy
+    | n ->
+        extend
+          (Result.get_ok
+             (Proxy.restrict_pk ~drbg ~now:0 ~expires ~proxy_bits:512
+                ~restrictions:[ R.Quota ("pages", n) ] proxy))
+          (n - 1)
+  in
+  let proxy = extend proxy depth in
+  match proxy.Proxy.flavor with
+  | Proxy.Public_key certs -> certs
+  | _ -> Alcotest.fail "expected public-key chain"
+
+let with_tally f =
+  let counts = Hashtbl.create 8 in
+  let tally name = Hashtbl.replace counts name (1 + Option.value ~default:0 (Hashtbl.find_opt counts name)) in
+  let result = f tally in
+  (result, fun name -> Option.value ~default:0 (Hashtbl.find_opt counts name))
+
+let check_stats label (want_hits, want_misses, want_size) cache =
+  let s = Verify_cache.stats cache in
+  Alcotest.(check int) (label ^ ": hits") want_hits s.Verify_cache.hits;
+  Alcotest.(check int) (label ^ ": misses") want_misses s.Verify_cache.misses;
+  Alcotest.(check int) (label ^ ": size") want_size s.Verify_cache.size
+
+let test_repeat_presentation_hits () =
+  let depth = 3 in
+  let certs = grant_chain ~depth () in
+  let cache = Verify_cache.create () in
+  let (r1, count1) =
+    with_tally (fun tally -> Verifier.verify_pk ~lookup ~tally ~cache ~now:100 certs)
+  in
+  Alcotest.(check bool) "first presentation verifies" true (Result.is_ok r1);
+  Alcotest.(check int) "first presentation pays full RSA" depth (count1 "crypto.rsa_verify");
+  check_stats "after first" (0, depth, depth) cache;
+  let (r2, count2) =
+    with_tally (fun tally -> Verifier.verify_pk ~lookup ~tally ~cache ~now:200 certs)
+  in
+  Alcotest.(check bool) "re-presentation verifies" true (Result.is_ok r2);
+  Alcotest.(check int) "re-presentation pays no RSA" 0 (count2 "crypto.rsa_verify");
+  Alcotest.(check int) "all signatures served from cache" depth (count2 "verify_cache.hits");
+  check_stats "after second" (depth, depth, depth) cache;
+  (* Without a cache argument, metering is the plain pre-cache metering. *)
+  let (r3, count3) = with_tally (fun tally -> Verifier.verify_pk ~lookup ~tally ~now:300 certs) in
+  Alcotest.(check bool) "uncached path still verifies" true (Result.is_ok r3);
+  Alcotest.(check int) "uncached path pays full RSA" depth (count3 "crypto.rsa_verify")
+
+let test_tampered_cert_never_hits () =
+  let certs = grant_chain ~depth:1 () in
+  let cache = Verify_cache.create () in
+  Alcotest.(check bool) "honest chain verifies" true
+    (Result.is_ok (Verifier.verify_pk ~lookup ~cache ~now:100 certs));
+  check_stats "warm" (0, 1, 1) cache;
+  let tamper cert =
+    let b = Bytes.of_string cert.Proxy_cert.signature in
+    Bytes.set b 7 (Char.chr (Char.code (Bytes.get b 7) lxor 0x20));
+    { cert with Proxy_cert.signature = Bytes.to_string b }
+  in
+  let tampered = List.map tamper certs in
+  let (r, count) =
+    with_tally (fun tally -> Verifier.verify_pk ~lookup ~tally ~cache ~now:100 tampered)
+  in
+  Alcotest.(check bool) "tampered chain refused" true (Result.is_error r);
+  Alcotest.(check int) "tampered cert was a miss, not a hit" 0 (count "verify_cache.hits");
+  Alcotest.(check int) "tampered cert re-ran RSA" 1 (count "crypto.rsa_verify");
+  (* The failed verification is not recorded: the cache still holds only the
+     honest entry, and re-presenting the tampered chain fails again. *)
+  check_stats "after tamper" (0, 2, 1) cache;
+  Alcotest.(check bool) "tampered chain refused again" true
+    (Result.is_error (Verifier.verify_pk ~lookup ~cache ~now:100 tampered));
+  (* The honest chain still hits. *)
+  let (r2, count2) =
+    with_tally (fun tally -> Verifier.verify_pk ~lookup ~tally ~cache ~now:100 certs)
+  in
+  Alcotest.(check bool) "honest chain fine" true (Result.is_ok r2);
+  Alcotest.(check int) "honest chain hits" 1 (count2 "verify_cache.hits")
+
+let test_ttl_expiry_reverifies () =
+  let certs = grant_chain ~depth:1 () in
+  let ttl = 1000 in
+  let cache = Verify_cache.create ~ttl_us:ttl () in
+  Alcotest.(check bool) "verifies" true
+    (Result.is_ok (Verifier.verify_pk ~lookup ~cache ~now:100 certs));
+  let (within, count_within) =
+    with_tally (fun tally -> Verifier.verify_pk ~lookup ~tally ~cache ~now:(99 + ttl) certs)
+  in
+  Alcotest.(check bool) "within ttl ok" true (Result.is_ok within);
+  Alcotest.(check int) "within ttl: cache hit" 1 (count_within "verify_cache.hits");
+  let (after, count_after) =
+    with_tally (fun tally -> Verifier.verify_pk ~lookup ~tally ~cache ~now:(100 + ttl) certs)
+  in
+  Alcotest.(check bool) "after ttl ok" true (Result.is_ok after);
+  Alcotest.(check int) "after ttl: entry expired, miss" 0 (count_after "verify_cache.hits");
+  Alcotest.(check int) "after ttl: RSA re-run" 1 (count_after "crypto.rsa_verify")
+
+let test_expired_cert_refused_despite_warm_cache () =
+  (* Certificate window: 0 .. 1000. TTL is much longer, so the signature
+     entry is still "fresh" when the certificate itself has expired — the
+     time-window check must refuse anyway. *)
+  let certs = grant_chain ~expires:1000 ~depth:1 () in
+  let cache = Verify_cache.create ~ttl_us:hour () in
+  Alcotest.(check bool) "within window ok" true
+    (Result.is_ok (Verifier.verify_pk ~lookup ~cache ~now:100 certs));
+  match Verifier.verify_pk ~lookup ~cache ~now:2000 certs with
+  | Ok _ -> Alcotest.fail "expired certificate served from warm cache"
+  | Error _ -> ()
+
+let test_capacity_bound_and_evictions () =
+  let evictions = ref 0 in
+  let cap = 4 in
+  let cache = Verify_cache.create ~capacity:cap ~on_evict:(fun () -> incr evictions) () in
+  for i = 1 to 25 do
+    let k =
+      Verify_cache.key
+        ~signed_bytes:(Printf.sprintf "cert-%d" i)
+        ~signature:"sig" ~signer:"key"
+    in
+    Alcotest.(check bool) "fresh entry misses" false (Verify_cache.check cache ~now:i k);
+    Verify_cache.record cache ~now:i k;
+    Alcotest.(check bool) "bounded" true (Verify_cache.size cache <= cap)
+  done;
+  Alcotest.(check int) "size = capacity" cap (Verify_cache.size cache);
+  Alcotest.(check int) "evictions counted" (25 - cap) !evictions;
+  Alcotest.(check int) "stats agree" (25 - cap) (Verify_cache.stats cache).Verify_cache.evictions;
+  (* FIFO: the oldest surviving entries are the newest four. *)
+  let k i =
+    Verify_cache.key ~signed_bytes:(Printf.sprintf "cert-%d" i) ~signature:"sig" ~signer:"key"
+  in
+  Alcotest.(check bool) "oldest evicted" false (Verify_cache.check cache ~now:26 (k 1));
+  Alcotest.(check bool) "newest retained" true (Verify_cache.check cache ~now:26 (k 25));
+  Verify_cache.flush cache;
+  Alcotest.(check int) "flush empties" 0 (Verify_cache.size cache)
+
+(* --- Replay_cache bounds (satellite: audit the long-lived caches) --- *)
+
+let test_replay_cache_bound () =
+  let evictions = ref 0 in
+  let cap = 8 in
+  let rc = Replay_cache.create ~capacity:cap ~on_evict:(fun () -> incr evictions) () in
+  (* Fill with live entries, then flood: the cache must stay bounded and
+     evict the soonest-expiring identifier. *)
+  for i = 1 to 30 do
+    match Replay_cache.record rc ~now:0 ~expires:(1000 + i) (Printf.sprintf "check-%d" i) with
+    | Ok () -> Alcotest.(check bool) "bounded" true (Replay_cache.size rc <= cap)
+    | Error e -> Alcotest.fail e
+  done;
+  Alcotest.(check int) "size = capacity" cap (Replay_cache.size rc);
+  Alcotest.(check int) "flood evictions" (30 - cap) !evictions;
+  (* Soonest-expiry-first: the longest-lived identifiers survive, so the
+     replay window stays closed for the checks that matter longest. *)
+  Alcotest.(check bool) "longest-lived still seen" true (Replay_cache.seen rc ~now:0 "check-30");
+  Alcotest.(check bool) "soonest-expiring dropped" false (Replay_cache.seen rc ~now:0 "check-1");
+  (* Expired entries are purged before anything live is evicted. *)
+  let rc2 = Replay_cache.create ~capacity:2 ~on_evict:(fun () -> incr evictions) () in
+  let before = !evictions in
+  Result.get_ok (Replay_cache.record rc2 ~now:0 ~expires:10 "stale");
+  Result.get_ok (Replay_cache.record rc2 ~now:0 ~expires:1000 "live");
+  Result.get_ok (Replay_cache.record rc2 ~now:500 ~expires:1000 "new");
+  Alcotest.(check int) "no eviction when purge suffices" before !evictions;
+  Alcotest.(check bool) "live entry kept" true (Replay_cache.seen rc2 ~now:500 "live")
+
+let () =
+  Alcotest.run "verify_cache"
+    [ ( "memoized verification",
+        [ ("repeat presentation hits", `Quick, test_repeat_presentation_hits);
+          ("tampered cert never hits", `Quick, test_tampered_cert_never_hits);
+          ("ttl expiry re-verifies", `Quick, test_ttl_expiry_reverifies);
+          ("expired cert refused despite warm cache", `Quick,
+           test_expired_cert_refused_despite_warm_cache);
+          ("capacity bound + evictions", `Quick, test_capacity_bound_and_evictions) ] );
+      ("replay cache", [ ("bounded under flood", `Quick, test_replay_cache_bound) ]) ]

@@ -345,10 +345,278 @@ let chaos_cmd =
           on violation")
     Term.(const chaos $ seed $ ops $ drop $ duplicate $ jitter $ no_crash $ retries $ timeout)
 
+(* --- model-based conformance testing --- *)
+
+(* A repro file optionally records the mutation it was found under; replaying
+   it with that mutation re-applied must still produce a finding (the mutant
+   stays killed), while replaying without any mutation must find agreement. *)
+let repro_mutation path =
+  let prefix = "# found with injected mutation: " in
+  let ic = open_in path in
+  let found = ref None in
+  (try
+     while !found = None do
+       let line = input_line ic in
+       let pl = String.length prefix in
+       if String.length line > pl && String.sub line 0 pl = prefix then
+         found := Mbt.Exec.mutation_of_name (String.sub line pl (String.length line - pl))
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !found
+
+let replay_one path =
+  let mutation = repro_mutation path in
+  let expect_finding = mutation <> None in
+  match Mbt.Runner.replay ?mutation path with
+  | Error e ->
+      Printf.printf "  %-40s FAIL (%s)\n" (Filename.basename path) e;
+      false
+  | Ok (Some f) when expect_finding ->
+      Printf.printf "  %-40s OK (mutant still killed: %s)\n" (Filename.basename path)
+        (Mbt.Runner.kind_name f.Mbt.Runner.f_kind);
+      true
+  | Ok None when not expect_finding ->
+      Printf.printf "  %-40s OK (stack, cache and model agree)\n" (Filename.basename path);
+      true
+  | Ok (Some f) ->
+      Printf.printf "  %-40s FAIL (unexpected disagreement: %s)\n" (Filename.basename path)
+        f.Mbt.Runner.f_detail;
+      false
+  | Ok None ->
+      Printf.printf "  %-40s FAIL (injected mutation no longer detected)\n"
+        (Filename.basename path);
+      false
+
+let replay_repro_dir dir =
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".repro")
+    |> List.sort compare
+  in
+  if files = [] then begin
+    Printf.printf "mbt: no .repro files in %s\n" dir;
+    true
+  end
+  else begin
+    Printf.printf "mbt: replaying %d repro(s) from %s\n" (List.length files) dir;
+    List.for_all replay_one (List.map (Filename.concat dir) files)
+  end
+
+let run_campaign ?mutation ~seed_base ~n_seeds ~per_seed ~shrink_budget ~save () =
+  let seeds = List.init n_seeds (fun i -> Printf.sprintf "%s-%d" seed_base i) in
+  let t0 = Unix.gettimeofday () in
+  let finding, stats =
+    Mbt.Runner.campaign ?mutation ~seeds ~per_seed ()
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let rate = if dt > 0. then float_of_int stats.Mbt.Runner.programs /. dt else 0. in
+  Printf.printf "mbt: %d program(s), %d op(s) across %d seed(s)%s — %.1f programs/s\n"
+    stats.Mbt.Runner.programs stats.Mbt.Runner.ops n_seeds
+    (match mutation with
+    | Some m -> Printf.sprintf " [mutation: %s]" (Mbt.Exec.mutation_name m)
+    | None -> "")
+    rate;
+  match (finding, mutation) with
+  | None, None ->
+      Printf.printf "mbt: conformance OK — stack, cache differential and model agree\n";
+      true
+  | None, Some m ->
+      Printf.printf "mbt: FAIL — injected mutation %s survived %d program(s)\n"
+        (Mbt.Exec.mutation_name m) stats.Mbt.Runner.programs;
+      false
+  | Some f, _ ->
+      Printf.printf "mbt: finding (%s) after %d program(s): %s\n"
+        (Mbt.Runner.kind_name f.Mbt.Runner.f_kind)
+        stats.Mbt.Runner.programs f.Mbt.Runner.f_detail;
+      let f', candidates = Mbt.Runner.shrink ?mutation ~budget:shrink_budget f in
+      Printf.printf "mbt: shrunk %d -> %d op(s) in %d candidate(s):\n"
+        (List.length f.Mbt.Runner.f_program)
+        (List.length f'.Mbt.Runner.f_program)
+        candidates;
+      List.iteri
+        (fun i op -> Printf.printf "  op %d: %s\n" i (Format.asprintf "%a" Mbt.Program.pp_op op))
+        f'.Mbt.Runner.f_program;
+      (match save with
+      | Some path ->
+          Mbt.Runner.save_repro ~path ?mutation f';
+          Printf.printf "mbt: repro written to %s\n" path
+      | None -> ());
+      (* A finding is the expected outcome under an injected mutation (the
+         harness killed the mutant) and a failure otherwise. *)
+      mutation <> None
+
+let mbt smoke replay repros mutation_name seed_base n_seeds per_seed shrink_budget save =
+  let mutation =
+    match mutation_name with
+    | None -> None
+    | Some n -> (
+        match Mbt.Exec.mutation_of_name n with
+        | Some m -> Some m
+        | None ->
+            Printf.eprintf "mbt: unknown mutation %S (known: %s)\n" n
+              (String.concat ", " (List.map Mbt.Exec.mutation_name Mbt.Exec.mutations));
+            exit 2)
+  in
+  let ok =
+    if smoke then begin
+      (* CI budget: a clean mini-campaign, one kill check per mutation, and a
+         replay of the committed repro corpus. *)
+      let clean =
+        run_campaign ~seed_base:"smoke" ~n_seeds:2 ~per_seed:20 ~shrink_budget ~save:None ()
+      in
+      let kills =
+        (* Seed chosen (deterministically probed) so every mutation is
+           found well inside the budget; the [--programs] headroom guards
+           against generator drift, not randomness. *)
+        List.for_all
+          (fun m ->
+            run_campaign ~mutation:m ~seed_base:"mk-5" ~n_seeds:1 ~per_seed:60
+              ~shrink_budget:120 ~save:None ())
+          Mbt.Exec.mutations
+      in
+      let repros_ok =
+        if Sys.file_exists "test/repros" && Sys.is_directory "test/repros" then
+          replay_repro_dir "test/repros"
+        else true
+      in
+      clean && kills && repros_ok
+    end
+    else
+      match (replay, repros) with
+      | Some path, _ -> replay_one path
+      | None, Some dir -> replay_repro_dir dir
+      | None, None ->
+          run_campaign ?mutation ~seed_base ~n_seeds ~per_seed ~shrink_budget ~save ()
+  in
+  if ok then 0 else 1
+
+let mbt_cmd =
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"CI smoke: small clean campaign, one kill check per injected mutation, and a \
+                   replay of test/repros/")
+  in
+  let replay =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE" ~doc:"Replay one committed repro file")
+  in
+  let repros =
+    Arg.(value & opt (some string) None
+         & info [ "repros" ] ~docv:"DIR" ~doc:"Replay every .repro file in $(docv)")
+  in
+  let mutation =
+    Arg.(value & opt (some string) None
+         & info [ "mutation" ] ~docv:"NAME"
+             ~doc:"Inject a named stack mutation; the campaign must find and shrink a disagreement \
+                   (drop-derived-restriction, ignore-expiry, misbind-proof)")
+  in
+  let seed_base =
+    Arg.(value & opt string "mbt" & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed base")
+  in
+  let n_seeds =
+    Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Number of campaign seeds")
+  in
+  let per_seed =
+    Arg.(value & opt int 200 & info [ "programs" ] ~docv:"M" ~doc:"Programs per seed")
+  in
+  let shrink_budget =
+    Arg.(value & opt int 400 & info [ "shrink-budget" ] ~docv:"N" ~doc:"Shrink candidate budget")
+  in
+  let save =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"FILE" ~doc:"Write the shrunk finding as a repro file")
+  in
+  Cmd.v
+    (Cmd.info "mbt"
+       ~doc:
+         "Model-based conformance testing: run generated authorization programs against the real \
+          stack (verification cache on and off) and a pure reference model; disagreements shrink \
+          to minimal replayable repro files. Exits non-zero on an unexpected disagreement, or — \
+          under --mutation — when the injected bug survives.")
+    Term.(const mbt $ smoke $ replay $ repros $ mutation $ seed_base $ n_seeds $ per_seed
+          $ shrink_budget $ save)
+
+(* --- wire-codec fuzzing --- *)
+
+let fuzz smoke iters seed corpus save_corpus =
+  let report (s : Mbt.Fuzz.stats) =
+    Printf.printf
+      "fuzz: %d mutant(s): wire decode ok/err %d/%d, typed decode ok/err %d/%d, %d crash(es)\n"
+      s.Mbt.Fuzz.iterations s.Mbt.Fuzz.decode_ok s.Mbt.Fuzz.decode_error s.Mbt.Fuzz.typed_ok
+      s.Mbt.Fuzz.typed_error
+      (List.length s.Mbt.Fuzz.crashes);
+    List.iter
+      (fun (c : Mbt.Fuzz.crash) ->
+        Printf.printf "  CRASH seed=%s stage=%s: %s\n    input: %s\n" c.Mbt.Fuzz.c_seed
+          c.Mbt.Fuzz.c_stage c.Mbt.Fuzz.c_exn c.Mbt.Fuzz.c_input_hex)
+      s.Mbt.Fuzz.crashes;
+    s.Mbt.Fuzz.crashes = []
+  in
+  let replay_dir dir =
+    let r = Mbt.Fuzz.replay_corpus ~dir in
+    Printf.printf "fuzz: corpus %s: %d file(s), %d failure(s)\n" dir r.Mbt.Fuzz.files
+      (List.length r.Mbt.Fuzz.failures);
+    List.iter (fun (f, e) -> Printf.printf "  FAIL %s: %s\n" f e) r.Mbt.Fuzz.failures;
+    r.Mbt.Fuzz.files > 0 && r.Mbt.Fuzz.failures = []
+  in
+  let ok =
+    match save_corpus with
+    | Some dir ->
+        let n = Mbt.Fuzz.save_corpus ~dir in
+        Printf.printf "fuzz: wrote %d corpus file(s) to %s\n" n dir;
+        replay_dir dir
+    | None ->
+        if smoke then
+          let run_ok = report (Mbt.Fuzz.run ~seed:"fuzz-smoke" ~iters:2_000) in
+          let corpus_ok =
+            if Sys.file_exists "test/fuzz_corpus" && Sys.is_directory "test/fuzz_corpus" then
+              replay_dir "test/fuzz_corpus"
+            else true
+          in
+          run_ok && corpus_ok
+        else (
+          match corpus with
+          | Some dir -> replay_dir dir
+          | None -> report (Mbt.Fuzz.run ~seed ~iters))
+  in
+  if ok then 0 else 1
+
+let fuzz_cmd =
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"CI smoke: 2000 deterministic mutants plus a replay of test/fuzz_corpus/")
+  in
+  let iters =
+    Arg.(value & opt int 20_000 & info [ "iters" ] ~docv:"N" ~doc:"Number of mutants")
+  in
+  let seed =
+    Arg.(value & opt string "fuzz" & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed")
+  in
+  let corpus =
+    Arg.(value & opt (some string) None
+         & info [ "corpus" ] ~docv:"DIR" ~doc:"Replay every .hex file in $(docv)")
+  in
+  let save_corpus =
+    Arg.(value & opt (some string) None
+         & info [ "save-corpus" ] ~docv:"DIR"
+             ~doc:"(Re)generate the deterministic seed + mutant corpus into $(docv)")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Mutation-based fuzzing of the wire codecs: every valid seed value must round-trip, and \
+          no mutant may crash a decoder — malformed inputs fail closed with an error. Exits \
+          non-zero on any crash or round-trip failure.")
+    Term.(const fuzz $ smoke $ iters $ seed $ corpus $ save_corpus)
+
 let main =
   Cmd.group
     (Cmd.info "proxykit" ~version:"1.0.0"
        ~doc:"Restricted proxies for distributed authorization and accounting (Neuman, ICDCS '93)")
-    [ selftest_cmd; demo_cmd; keygen_cmd; inspect_cmd; bench_cmd; bench_check_cmd; chaos_cmd ]
+    [ selftest_cmd; demo_cmd; keygen_cmd; inspect_cmd; bench_cmd; bench_check_cmd; chaos_cmd;
+      mbt_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main)

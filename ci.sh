@@ -23,6 +23,18 @@ run_chaos --seed ci-storm  --drop 0.25 --duplicate 0.10
 run_chaos --seed ci-dupes  --drop 0.10 --duplicate 0.25 --no-crash
 run_chaos --seed ci-crashy --drop 0.15 --duplicate 0.10 --retries 10
 
+echo "== model-based conformance smoke =="
+# Generated authorization programs run against the real stack (verify cache
+# on and off) and a pure reference model; any disagreement fails. The smoke
+# also checks each injected stack mutation is caught (the harness can kill
+# mutants) and replays the committed shrunk repros in test/repros/.
+dune exec --no-build bin/proxykit.exe -- mbt --smoke
+
+echo "== wire-codec fuzz smoke =="
+# Mutated encodings must never crash a decoder (fail closed), valid seeds
+# must round-trip, and the committed corpus in test/fuzz_corpus/ replays.
+dune exec --no-build bin/proxykit.exe -- fuzz --smoke
+
 echo "== bench smoke (logical metrics vs committed baseline) =="
 # Reduced-iteration F1/F6 regenerate BENCH_*.json into a scratch dir;
 # bench-check validates the JSON schema and compares every integer metric

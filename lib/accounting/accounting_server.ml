@@ -17,13 +17,15 @@ type t = {
          serial path plus the currency *)
 }
 
-let create net ~me ~my_key ~kdc ~signing_key ~lookup ?collect_retry
+let create net ~me ~my_key ~kdc ~signing_key ~lookup ?collect_retry ?verify_cache
     ?(proxy_lifetime_us = 24 * 3600 * 1_000_000) () =
   match Granter.create net ~me ~my_key ~kdc with
   | Error e -> Error e
   | Ok granter ->
       let ledger = Ledger.create () in
-      let guard = Guard.create net ~me ~my_key ~lookup_pub:lookup ~acl:(Acl.create ()) () in
+      let guard =
+        Guard.create net ~me ~my_key ~lookup_pub:lookup ?verify_cache ~acl:(Acl.create ()) ()
+      in
       let t =
         {
           net;

@@ -25,6 +25,7 @@ val create :
   signing_key:Crypto.Rsa.private_ ->
   lookup:(Principal.t -> Crypto.Rsa.public option) ->
   ?collect_retry:Sim.Retry.policy ->
+  ?verify_cache:Verify_cache.t ->
   ?proxy_lifetime_us:int ->
   unit ->
   (t, string) result

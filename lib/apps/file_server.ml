@@ -6,8 +6,8 @@ type t = {
   files : (string, string) Hashtbl.t;
 }
 
-let create net ~me ~my_key ?lookup_pub ~acl () =
-  let guard = Guard.create net ~me ~my_key ?lookup_pub ~acl () in
+let create net ~me ~my_key ?lookup_pub ?my_rsa ?verify_cache ~acl () =
+  let guard = Guard.create net ~me ~my_key ?lookup_pub ?my_rsa ?verify_cache ~acl () in
   { net; me; my_key; guard; files = Hashtbl.create 16 }
 
 let me t = t.me

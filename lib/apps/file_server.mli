@@ -13,9 +13,15 @@ val create :
   me:Principal.t ->
   my_key:string ->
   ?lookup_pub:(Principal.t -> Crypto.Rsa.public option) ->
+  ?my_rsa:Crypto.Rsa.private_ ->
+  ?verify_cache:Verify_cache.t ->
   acl:Acl.t ->
   unit ->
   t
+(** [my_rsa] lets the guard accept hybrid proxies (their symmetric proxy
+    key is sealed to this server's public key); [verify_cache] overrides
+    the guard's signature-verification memo cache (pass a capacity-0 cache
+    to disable caching, e.g. for differential testing). *)
 
 val install : t -> unit
 val me : t -> Principal.t

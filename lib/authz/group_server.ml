@@ -11,11 +11,14 @@ type t = {
 
 let membership_right = "member"
 
-let create net ~me ~my_key ~kdc ?lookup_pub ?(proxy_lifetime_us = 2 * 3600 * 1_000_000) () =
+let create net ~me ~my_key ~kdc ?lookup_pub ?verify_cache
+    ?(proxy_lifetime_us = 2 * 3600 * 1_000_000) () =
   match Granter.create net ~me ~my_key ~kdc with
   | Error e -> Error e
   | Ok granter ->
-      let guard = Guard.create net ~me ~my_key ?lookup_pub ~acl:(Acl.create ()) () in
+      let guard =
+        Guard.create net ~me ~my_key ?lookup_pub ?verify_cache ~acl:(Acl.create ()) ()
+      in
       Ok { net; me; my_key; granter; proxy_lifetime_us; guard }
 
 let me t = t.me

@@ -23,9 +23,12 @@ val create :
   my_key:string ->
   kdc:Principal.t ->
   ?lookup_pub:(Principal.t -> Crypto.Rsa.public option) ->
+  ?verify_cache:Verify_cache.t ->
   ?proxy_lifetime_us:int ->
   unit ->
   (t, string) result
+(** [verify_cache] overrides the membership guard's signature-verification
+    memo cache (capacity 0 disables caching). *)
 
 val install : t -> unit
 val me : t -> Principal.t

@@ -17,7 +17,7 @@ let no_evict () = ()
 
 let create ?(capacity = default_capacity) ?(ttl_us = default_ttl_us)
     ?(on_evict = no_evict) () =
-  if capacity < 1 then invalid_arg "Verify_cache.create: capacity must be positive";
+  if capacity < 0 then invalid_arg "Verify_cache.create: capacity must be non-negative";
   if ttl_us < 1 then invalid_arg "Verify_cache.create: ttl must be positive";
   {
     capacity;
@@ -42,6 +42,14 @@ let key ~signed_bytes ~signature ~signer =
 let fresh t ~now inserted_at = inserted_at + t.ttl_us > now
 
 let check t ~now k =
+  if t.capacity = 0 then begin
+    (* Disabled cache: every lookup misses, nothing is remembered.  Used by
+       differential tests to run the identical guard wiring with caching
+       switched off. *)
+    t.misses <- t.misses + 1;
+    false
+  end
+  else
   match Hashtbl.find_opt t.table k with
   | Some inserted_at when fresh t ~now inserted_at ->
       t.hits <- t.hits + 1;
@@ -71,7 +79,8 @@ let evict_one t =
   pop ()
 
 let record t ~now k =
-  if Hashtbl.mem t.table k then Hashtbl.replace t.table k now
+  if t.capacity = 0 then ()
+  else if Hashtbl.mem t.table k then Hashtbl.replace t.table k now
   else begin
     if Hashtbl.length t.table >= t.capacity then evict_one t;
     Hashtbl.replace t.table k now;

@@ -31,7 +31,10 @@ type stats = { hits : int; misses : int; evictions : int; size : int }
 
 val create : ?capacity:int -> ?ttl_us:int -> ?on_evict:(unit -> unit) -> unit -> t
 (** Defaults: capacity 1024 entries, TTL one simulated hour. [on_evict]
-    fires once per capacity eviction (not on TTL expiry). *)
+    fires once per capacity eviction (not on TTL expiry). A [capacity] of 0
+    creates a {e disabled} cache: {!check} always misses and {!record} is a
+    no-op — differential tests use it to run identical guard wiring with
+    caching off. *)
 
 val key : signed_bytes:string -> signature:string -> signer:string -> string
 (** Cache key for a verification: SHA-256 over the length-framed signed

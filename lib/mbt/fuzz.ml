@@ -1,0 +1,324 @@
+(* Mutation-based fuzzer for the wire codecs.
+
+   Valid encodings of every certificate/restriction/check structure are
+   mutated (bit flips, truncations, length bombs, splices) and fed to
+   [Wire.decode] and every typed [of_wire] decoder.  The contract under
+   test, from wire.mli and restriction.mli:
+
+   - decoding is total: malformed adversarial input never raises;
+   - decoders fail closed: unrecognized restriction tags become [Unknown]
+     (which fails every check) rather than being ignored;
+   - valid encodings round-trip.
+
+   A small corpus of the valid seeds plus deterministic mutants is committed
+   under test/fuzz_corpus/ and replayed in CI. *)
+
+let realm = "example.org"
+
+(* --- seed values: one valid encoding per codec --- *)
+
+let sample_restrictions u0 u1 fs =
+  [
+    Restriction.Grantee ([ u0; u1 ], 1);
+    Restriction.Issued_for [ fs ];
+    Restriction.Quota ("usd", 42);
+    Restriction.Authorized
+      [ { Restriction.target = "u0.dat"; ops = [ "read"; "write" ] };
+        { Restriction.target = "shared.dat"; ops = [] } ];
+    Restriction.Group_membership [ "team" ];
+    Restriction.Accept_once "ck-0001";
+    Restriction.Limit_restriction ([ fs ], [ Restriction.Quota ("usd", 7) ]);
+    Restriction.Unknown "x-future-restriction";
+  ]
+
+(* Each seed: (name, encoded value, typed re-decoder).  The re-decoder is the
+   round-trip obligation for the *valid* encoding and the never-crash
+   obligation for mutants. *)
+let seeds () : (string * Wire.t * (Wire.t -> (unit, string) result)) list =
+  let kp = Lazy.force Exec.pool in
+  let drbg = Crypto.Drbg.create ~seed:"mbt-fuzz-seeds" in
+  let u0 = Principal.make ~realm "u0" in
+  let u1 = Principal.make ~realm "u1" in
+  let fs = Principal.make ~realm "fs" in
+  let bank = Principal.make ~realm "bank" in
+  let restrictions = sample_restrictions u0 u1 fs in
+  let now = 1_000_000 and expires = 3_600_000_000 in
+  let pk =
+    Proxy.grant_pk ~drbg ~now ~expires ~grantor:u0 ~grantor_key:kp.Exec.pk_users.(0)
+      ~restrictions ()
+  in
+  let pk2 =
+    match
+      Proxy.restrict_pk ~drbg ~now ~expires ~restrictions:[ Restriction.Quota ("usd", 5) ] pk
+    with
+    | Ok p -> p
+    | Error e -> failwith ("fuzz seeds: restrict_pk: " ^ e)
+  in
+  let hybrid =
+    match
+      Proxy.grant_hybrid ~drbg ~now ~expires ~grantor:u0 ~grantor_key:kp.Exec.pk_users.(0)
+        ~end_server:fs ~end_server_pub:kp.Exec.pk_fs.Crypto.Rsa.pub ~restrictions ()
+    with
+    | Ok p -> p
+    | Error e -> failwith ("fuzz seeds: grant_hybrid: " ^ e)
+  in
+  let conv =
+    Proxy.grant_conventional ~drbg ~now ~expires ~grantor:u0
+      ~session_key:(Crypto.Drbg.generate drbg 32) ~base:(Crypto.Drbg.generate drbg 80)
+      ~restrictions
+  in
+  let check =
+    Check.write ~drbg ~now ~expires ~payor:u0 ~payor_key:kp.Exec.pk_users.(0)
+      ~account:(Principal.Account.make ~server:bank "u0") ~payee:u1 ~currency:"usd"
+      ~amount:25 ()
+  in
+  let endorsed =
+    match
+      Check.endorse ~drbg ~now ~expires ~endorser:u1 ~endorser_key:kp.Exec.pk_users.(1)
+        ~next:bank check
+    with
+    | Ok c -> c
+    | Error e -> failwith ("fuzz seeds: endorse: " ^ e)
+  in
+  let presented =
+    Guard.present ~proxy:pk2 ~time:now ~server:fs ~operation:"read" ~target:"u0.dat" ()
+  in
+  let head_pk_cert =
+    match pk.Proxy.flavor with
+    | Proxy.Public_key (c :: _) -> c
+    | _ -> assert false
+  in
+  let hybrid_cert =
+    match hybrid.Proxy.flavor with
+    | Proxy.Hybrid (c, _) -> c
+    | _ -> assert false
+  in
+  let ign f v = Result.map ignore (f v) in
+  [
+    ("principal", Principal.to_wire u0, ign Principal.of_wire);
+    ("restriction", Restriction.to_wire (List.hd restrictions), ign Restriction.of_wire);
+    ("restriction-list", Restriction.list_to_wire restrictions, ign Restriction.list_of_wire);
+    ( "cert-body",
+      Proxy_cert.body_to_wire
+        { Proxy_cert.grantor = u0; serial = "serial-1"; issued_at = now; expires; restrictions },
+      ign Proxy_cert.body_of_wire );
+    ("pk-cert", Proxy_cert.pk_cert_to_wire head_pk_cert, ign Proxy_cert.pk_cert_of_wire);
+    ("hybrid-cert", Proxy_cert.hybrid_cert_to_wire hybrid_cert, ign Proxy_cert.hybrid_cert_of_wire);
+    ( "presentation-pk",
+      Proxy.presentation_to_wire (Proxy.presentation pk2),
+      ign Proxy.presentation_of_wire );
+    ( "presentation-conv",
+      Proxy.presentation_to_wire (Proxy.presentation conv),
+      ign Proxy.presentation_of_wire );
+    ( "presentation-hybrid",
+      Proxy.presentation_to_wire (Proxy.presentation hybrid),
+      ign Proxy.presentation_of_wire );
+    ("presented", Guard.presented_to_wire presented, ign Guard.presented_of_wire);
+    ("check", Check.to_wire check, ign Check.of_wire);
+    ("check-endorsed", Check.to_wire endorsed, ign Check.of_wire);
+  ]
+
+(* --- mutations --- *)
+
+let mutate_once drbg s =
+  let n = String.length s in
+  let b = Bytes.of_string s in
+  let rnd k = Crypto.Drbg.uniform_int drbg k in
+  if n = 0 then s
+  else
+    match rnd 7 with
+    | 0 ->
+        (* bit flip *)
+        let i = rnd n in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl rnd 8)));
+        Bytes.to_string b
+    | 1 ->
+        (* random byte *)
+        let i = rnd n in
+        Bytes.set b i (Char.chr (rnd 256));
+        Bytes.to_string b
+    | 2 ->
+        (* truncate *)
+        String.sub s 0 (rnd n)
+    | 3 ->
+        (* insert a random byte *)
+        let i = rnd (n + 1) in
+        String.sub s 0 i ^ String.make 1 (Char.chr (rnd 256)) ^ String.sub s i (n - i)
+    | 4 ->
+        (* duplicate a slice *)
+        let i = rnd n in
+        let len = 1 + rnd (min 16 (n - i)) in
+        let slice = String.sub s i len in
+        String.sub s 0 i ^ slice ^ slice ^ String.sub s (i + len) (n - i - len)
+    | 5 ->
+        (* length bomb: overwrite 4 bytes with 0xff (oversized u32 length) *)
+        if n < 4 then Bytes.to_string b
+        else begin
+          let i = rnd (n - 3) in
+          for j = i to i + 3 do
+            Bytes.set b j '\xff'
+          done;
+          Bytes.to_string b
+        end
+    | _ ->
+        (* swap two slices' worth of bytes: reorder structure *)
+        let i = rnd n and j = rnd n in
+        let ci = Bytes.get b i in
+        Bytes.set b i (Bytes.get b j);
+        Bytes.set b j ci;
+        Bytes.to_string b
+
+let mutate drbg s =
+  let rec go s k = if k = 0 then s else go (mutate_once drbg s) (k - 1) in
+  go s (1 + Crypto.Drbg.uniform_int drbg 3)
+
+(* --- the fuzz loop --- *)
+
+type crash = { c_seed : string; c_stage : string; c_exn : string; c_input_hex : string }
+
+type stats = {
+  iterations : int;
+  decode_ok : int;
+  decode_error : int;
+  typed_ok : int;
+  typed_error : int;
+  crashes : crash list;  (** any exception escaping a decoder: a finding *)
+}
+
+let no_crash stage seed_name input f =
+  match f () with
+  | Ok _ -> Ok `Ok
+  | Error _ -> Ok `Err
+  | exception e ->
+      Error
+        {
+          c_seed = seed_name;
+          c_stage = stage;
+          c_exn = Printexc.to_string e;
+          c_input_hex = Program.to_hex input;
+        }
+
+let run ~seed ~iters =
+  let drbg = Crypto.Drbg.create ~seed in
+  let seeds = seeds () in
+  let encoded = List.map (fun (name, v, re) -> (name, Wire.encode v, re)) seeds in
+  let stats =
+    ref { iterations = 0; decode_ok = 0; decode_error = 0; typed_ok = 0; typed_error = 0; crashes = [] }
+  in
+  let crash c = stats := { !stats with crashes = c :: !stats.crashes } in
+  (* Round-trip obligation on every valid seed first. *)
+  List.iter
+    (fun (name, v, re) ->
+      let bytes = Wire.encode v in
+      (match Wire.decode bytes with
+      | Ok v' when Wire.equal v v' -> ()
+      | Ok _ ->
+          crash { c_seed = name; c_stage = "roundtrip"; c_exn = "decode(encode v) <> v";
+                  c_input_hex = Program.to_hex bytes }
+      | Error e ->
+          crash { c_seed = name; c_stage = "roundtrip"; c_exn = "decode failed: " ^ e;
+                  c_input_hex = Program.to_hex bytes });
+      match no_crash "typed-roundtrip" name bytes (fun () -> re v) with
+      | Ok `Ok -> ()
+      | Ok `Err ->
+          crash { c_seed = name; c_stage = "typed-roundtrip"; c_exn = "typed decoder refused a valid encoding";
+                  c_input_hex = Program.to_hex bytes }
+      | Error c -> crash c)
+    seeds;
+  for _ = 1 to iters do
+    let name, bytes, re =
+      List.nth encoded (Crypto.Drbg.uniform_int drbg (List.length encoded))
+    in
+    let mutant = mutate drbg bytes in
+    stats := { !stats with iterations = !stats.iterations + 1 };
+    match no_crash "wire-decode" name mutant (fun () -> Wire.decode mutant) with
+    | Error c -> crash c
+    | Ok `Err -> stats := { !stats with decode_error = !stats.decode_error + 1 }
+    | Ok `Ok -> (
+        stats := { !stats with decode_ok = !stats.decode_ok + 1 };
+        let w = Result.get_ok (Wire.decode mutant) in
+        match no_crash "typed-decode" name mutant (fun () -> re w) with
+        | Error c -> crash c
+        | Ok `Ok -> stats := { !stats with typed_ok = !stats.typed_ok + 1 }
+        | Ok `Err -> stats := { !stats with typed_error = !stats.typed_error + 1 })
+  done;
+  !stats
+
+(* --- the committed corpus --- *)
+
+(* Corpus files are hex, one value per file.  [valid-*.hex] must decode both
+   at the wire layer and through their typed decoder; [mutant-*.hex] only
+   must not crash anything.  The typed decoder is recovered from the file
+   name: valid-<seedname>.hex / mutant-<k>-<seedname>.hex. *)
+
+let corpus_decoder seeds fname =
+  List.find_map
+    (fun (name, _, re) ->
+      let suffix = name ^ ".hex" in
+      let sl = String.length suffix and fl = String.length fname in
+      if fl >= sl && String.sub fname (fl - sl) sl = suffix then Some re else None)
+    seeds
+
+let save_corpus ~dir =
+  let seeds = seeds () in
+  let write path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    output_string oc "\n";
+    close_out oc
+  in
+  List.iter
+    (fun (name, v, _) ->
+      write (Filename.concat dir ("valid-" ^ name ^ ".hex")) (Program.to_hex (Wire.encode v)))
+    seeds;
+  (* A deterministic handful of mutants, so CI replays known-hostile bytes
+     (truncations, length bombs) without re-running the full fuzz loop. *)
+  let drbg = Crypto.Drbg.create ~seed:"mbt-fuzz-corpus" in
+  List.iteri
+    (fun i (name, v, _) ->
+      let bytes = Wire.encode v in
+      for k = 0 to 2 do
+        let mutant = mutate drbg bytes in
+        write
+          (Filename.concat dir (Printf.sprintf "mutant-%d%d-%s.hex" i k name))
+          (Program.to_hex mutant)
+      done)
+    seeds;
+  4 * List.length seeds
+
+type corpus_result = { files : int; failures : (string * string) list }
+
+let replay_corpus ~dir =
+  let seeds = seeds () in
+  let files = Sys.readdir dir |> Array.to_list |> List.sort compare in
+  let hexes = List.filter (fun f -> Filename.check_suffix f ".hex") files in
+  let failures = ref [] in
+  let fail f msg = failures := (f, msg) :: !failures in
+  List.iter
+    (fun fname ->
+      let path = Filename.concat dir fname in
+      let ic = open_in path in
+      let hex = String.trim (input_line ic) in
+      close_in ic;
+      match Program.of_hex hex with
+      | Error e -> fail fname ("bad hex: " ^ e)
+      | Ok bytes -> (
+          let must_be_valid =
+            String.length fname >= 6 && String.sub fname 0 6 = "valid-"
+          in
+          match no_crash "wire-decode" fname bytes (fun () -> Wire.decode bytes) with
+          | Error c -> fail fname ("decode raised: " ^ c.c_exn)
+          | Ok `Err -> if must_be_valid then fail fname "valid corpus entry failed to decode"
+          | Ok `Ok -> (
+              let w = Result.get_ok (Wire.decode bytes) in
+              match corpus_decoder seeds fname with
+              | None -> ()
+              | Some re -> (
+                  match no_crash "typed-decode" fname bytes (fun () -> re w) with
+                  | Error c -> fail fname ("typed decoder raised: " ^ c.c_exn)
+                  | Ok `Err ->
+                      if must_be_valid then
+                        fail fname "valid corpus entry refused by its typed decoder"
+                  | Ok `Ok -> ()))))
+    hexes;
+  { files = List.length hexes; failures = List.rev !failures }

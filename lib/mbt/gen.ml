@@ -1,0 +1,120 @@
+(* Seeded random program generator.  All randomness flows from one
+   [Crypto.Drbg], so a campaign seed fully determines every program. *)
+
+open Program
+
+type t = { drbg : Crypto.Drbg.t }
+
+let create ~seed = { drbg = Crypto.Drbg.create ~seed }
+
+let int g n = Crypto.Drbg.uniform_int g.drbg n
+let user g = int g n_users
+let bool_pct g pct = int g 100 < pct
+
+let pick g l = List.nth l (int g (List.length l))
+
+let flavor g = pick g [ Conv; Conv; Pk; Pk; Pk; Hybrid ]
+
+let target g = if bool_pct g 15 then Shared else File (user g)
+
+(* Restriction specs.  Biased toward restrictions that actually bite on the
+   generated requests (the grantor's own file, read/write ops, small ids so
+   accept-once collides across proxies), with occasional Unknown and nested
+   Limit_restriction. *)
+let rec rspec g ~grantor ~depth =
+  let choice = int g 100 in
+  if choice < 22 then
+    R_authorized
+      (List.init
+         (1 + int g 2)
+         (fun _ ->
+           let t = if bool_pct g 70 then File grantor else target g in
+           let ops =
+             match int g 4 with
+             | 0 -> []
+             | 1 -> [ "read" ]
+             | 2 -> [ "write" ]
+             | _ -> [ "read"; "write" ]
+           in
+           (t, ops)))
+  else if choice < 40 then R_grantee (List.init (1 + int g 2) (fun _ -> user g))
+  else if choice < 52 then R_issued_for (List.init (1 + int g 2) (fun _ -> pick g [ Fs; Bank; Gs ]))
+  else if choice < 62 then R_quota (int g 150)
+  else if choice < 76 then R_accept_once (int g 6)
+  else if choice < 84 && depth < 2 then
+    R_limit (pick g [ Fs; Bank; Gs ], List.init (1 + int g 2) (fun _ -> rspec g ~grantor ~depth:(depth + 1)))
+  else if choice < 90 then R_unknown
+  else R_authorized [ (File grantor, []) ]
+
+let rs g ~grantor ~min_len ~max_len =
+  List.init (min_len + int g (max_len - min_len + 1)) (fun _ -> rspec g ~grantor ~depth:0)
+
+(* Narrowing specs for cascade steps: restrictions that typically *deny*
+   the coherent presentations generated later, so a stack that loses a
+   derived restriction visibly widens. *)
+let narrow g ~grantor =
+  match int g 4 with
+  | 0 -> R_unknown
+  | 1 -> R_grantee [ user g ]
+  | 2 -> R_authorized [ (File grantor, [ (if bool_pct g 50 then "read" else "write") ]) ]
+  | _ -> R_accept_once (int g 6)
+
+(* The generator tracks the grantor of every slot it has created (mirroring
+   the modulo slot semantics), so derives and presentations can be biased
+   toward *coherent* traffic: a derive narrows with restrictions about its
+   own chain's grantor, and half the presentations aim a recent proxy at
+   that grantor's file.  Uncorrelated noise still flows through the other
+   half — coherence is a bias, not a straitjacket. *)
+let op g slots =
+  let n_slots = List.length !slots in
+  let slot_grantor s = List.nth !slots (s mod n_slots) in
+  let pick_slot () =
+    if n_slots = 0 then int g 6
+    else if bool_pct g 50 then n_slots - 1
+    else int g n_slots
+  in
+  match int g 100 with
+  | n when n < 22 ->
+      let grantor = user g in
+      slots := !slots @ [ grantor ];
+      Grant { grantor; flavor = flavor g; expired = bool_pct g 12; rs = rs g ~grantor ~min_len:0 ~max_len:3 }
+  | n when n < 40 ->
+      let slot = pick_slot () in
+      let grantor = if n_slots = 0 then user g else slot_grantor slot in
+      if n_slots > 0 then slots := !slots @ [ grantor ];
+      (* Derived restrictions are never empty: every derive appends at least
+         one restriction, which is what the drop-derived-restriction mutation
+         must be caught removing. *)
+      Derive
+        {
+          slot;
+          expired = bool_pct g 10;
+          rs =
+            (if bool_pct g 45 then [ narrow g ~grantor ]
+             else rs g ~grantor ~min_len:1 ~max_len:2);
+          delegate = (if bool_pct g 30 then Some (user g) else None);
+        }
+  | n when n < 64 ->
+      let slot = pick_slot () in
+      let target =
+        if n_slots > 0 && bool_pct g 55 then File (slot_grantor slot) else target g
+      in
+      Present
+        {
+          slot;
+          presenter = user g;
+          verb = (if bool_pct g 50 then `Read else `Write);
+          target;
+        }
+  | n when n < 68 -> Revoke { owner = user g }
+  | n when n < 75 -> Add_member { member = user g }
+  | n when n < 78 -> Remove_member { member = user g }
+  | n when n < 84 -> Assert_group { member = user g }
+  | n when n < 91 ->
+      Write_check { payor = user g; payee = user g; amount = 1 + int g 150 }
+  | _ -> Deposit { cslot = int g 4; depositor = user g }
+
+let program g : Program.t =
+  let len = 3 + int g 10 in
+  let slots = ref [] in
+  List.init len (fun _ -> op g slots)

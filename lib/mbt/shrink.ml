@@ -1,0 +1,57 @@
+(* Greedy trace shrinker: find a (locally) minimal program that still
+   triggers a disagreement.  Two reduction passes run to a fixpoint under a
+   candidate budget:
+
+   - drop whole operations (scanning from the tail, so consumers disappear
+     before their producers);
+   - drop individual restriction specs inside Grant/Derive operations.
+
+   Slot references are interpreted modulo the number of live slots by both
+   the executor and the model, so any subsequence of a program is itself a
+   well-formed program — the classic trick that keeps shrinking closed. *)
+
+open Program
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+(* Candidates that remove one operation, tail first. *)
+let op_removals (p : t) =
+  List.rev (List.init (List.length p) (fun i -> drop_nth p i))
+
+(* Candidates that remove one restriction spec from one op. *)
+let rspec_removals (p : t) =
+  List.concat
+    (List.mapi
+       (fun i op ->
+         let with_rs mk rs =
+           List.init (List.length rs) (fun j ->
+               List.mapi (fun k o -> if k = i then mk (drop_nth rs j) else o) p)
+         in
+         match op with
+         | Grant g -> with_rs (fun rs -> Grant { g with rs }) g.rs
+         | Derive d -> with_rs (fun rs -> Derive { d with rs }) d.rs
+         | _ -> [])
+       p)
+
+let minimize ~still_failing ?(budget = 400) (p0 : t) =
+  let spent = ref 0 in
+  let try_candidate c =
+    if !spent >= budget then false
+    else begin
+      incr spent;
+      still_failing c
+    end
+  in
+  let rec fixpoint p =
+    let step candidates =
+      List.find_opt try_candidate (candidates p)
+    in
+    match step op_removals with
+    | Some p' -> fixpoint p'
+    | None -> (
+        match step rspec_removals with
+        | Some p' -> fixpoint p'
+        | None -> p)
+  in
+  let result = fixpoint p0 in
+  (result, !spent)

@@ -433,7 +433,85 @@ let prop_cascade_monotone =
           List.for_all (fun r -> List.exists (R.equal r) v.Verifier.restrictions) original
           && List.length v.Verifier.restrictions = List.length original + depth)
 
-let props = List.map QCheck_alcotest.to_alcotest [ prop_tamper_any_byte; prop_cascade_monotone ]
+let gen_restriction =
+  (* Random typed restriction sets, including the forward-compatibility
+     cases: Unknown tags and server-scoped Limit_restriction wrappers. *)
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [ return (R.Grantee ([ bob ], 1));
+              return (R.Issued_for [ server ]);
+              map (fun q -> R.Quota ("pages", q)) (int_bound 50);
+              map (fun i -> R.Accept_once (string_of_int i)) (int_bound 9);
+              return read_file1;
+              map (fun i -> R.Unknown ("x-future-" ^ string_of_int i)) (int_bound 3) ]
+        in
+        if n <= 0 then leaf
+        else
+          frequency
+            [ (5, leaf);
+              (1,
+               map
+                 (fun rs -> R.Limit_restriction ([ server ], rs))
+                 (list_size (int_bound 2) (self (n / 2)))) ]))
+
+let gen_rlist = QCheck.Gen.(list_size (int_bound 3) gen_restriction)
+
+let arb_additivity =
+  QCheck.make
+    ~print:(fun (pk, levels) ->
+      Format.asprintf "%s %a"
+        (if pk then "pk" else "conv")
+        (Format.pp_print_list (Format.pp_print_list R.pp))
+        levels)
+    QCheck.Gen.(pair bool (list_size (int_range 1 4) gen_rlist))
+
+let prop_restriction_additivity =
+  (* Restriction additivity (Section 7.9): however a proxy is re-delegated,
+     the verified restriction set of the derived chain contains every
+     restriction of every ancestor — as a multiset, for randomly typed
+     restriction sets, in both the conventional and the public-key (bearer)
+     realization. *)
+  QCheck.Test.make ~name:"derived chain restrictions contain the parents'" ~count:60
+    arb_additivity (fun (pk, levels) ->
+      let granted = List.concat levels in
+      let head, cascades = (List.hd levels, List.tl levels) in
+      let verified =
+        if pk then begin
+          let proxy = ref (grant_pk ~restrictions:head ()) in
+          List.iter
+            (fun rs ->
+              proxy :=
+                Result.get_ok
+                  (Proxy.restrict_pk ~drbg ~now:t0 ~expires:t_exp ~proxy_bits:pk_bits
+                     ~restrictions:rs !proxy))
+            cascades;
+          verify_pk !proxy
+        end
+        else begin
+          let proxy = ref (grant ~restrictions:head ()) in
+          List.iter
+            (fun rs ->
+              proxy :=
+                Result.get_ok
+                  (Proxy.restrict_conventional ~drbg ~now:t0 ~expires:t_exp ~restrictions:rs
+                     !proxy))
+            cascades;
+          verify_c !proxy
+        end
+      in
+      match verified with
+      | Error _ -> false
+      | Ok v ->
+          let count r l = List.length (List.filter (R.equal r) l) in
+          List.for_all
+            (fun r -> count r v.Verifier.restrictions >= count r granted)
+            granted)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_tamper_any_byte; prop_cascade_monotone; prop_restriction_additivity ]
 
 let () =
   Alcotest.run "proxy"

@@ -109,6 +109,22 @@ let all_restrictions =
     R.Limit_restriction ([ server ], [ R.Quota ("cpu", 1) ]);
     R.Unknown "mystery" ]
 
+let test_unknown_wire_form () =
+  (* The forward-compatibility contract, pinned: an unrecognized tag decodes
+     to [Unknown tag] (never an error, never a crash), and [Unknown tag]
+     encodes as [L [S tag]] — so a relay built today forwards restriction
+     types invented tomorrow, while every checker fails them closed. *)
+  Alcotest.(check bool) "pinned encoding" true
+    (Wire.equal (R.to_wire (R.Unknown "x-future")) (Wire.L [ Wire.S "x-future" ]));
+  (match R.of_wire (Wire.L [ Wire.S "x-future"; Wire.I 9; Wire.S "payload" ]) with
+  | Ok (R.Unknown "x-future") -> ()
+  | Ok r -> Alcotest.failf "decoded to %a" R.pp r
+  | Error e -> Alcotest.fail e);
+  match R.of_wire (R.to_wire (R.Unknown "x-future")) with
+  | Ok (R.Unknown "x-future") -> ()
+  | Ok r -> Alcotest.failf "roundtripped to %a" R.pp r
+  | Error e -> Alcotest.fail e
+
 let test_wire_roundtrip () =
   List.iter
     (fun r ->
@@ -279,6 +295,7 @@ let () =
           ("unsatisfiable forms", `Quick, test_unsatisfiable_forms) ] );
       ( "wire",
         [ ("roundtrip", `Quick, test_wire_roundtrip);
+          ("unknown tag pinned", `Quick, test_unknown_wire_form);
           ("rejects garbage", `Quick, test_wire_rejects_garbage) ] );
       ( "propagate",
         [ ("keeps everything", `Quick, test_propagate_keeps_everything);

@@ -164,12 +164,16 @@ let test_soak_deterministic () =
   let run () =
     let sw = build ~seed:"soak-det" () in
     let digest = run_mix sw 40 in
-    (digest, Sim.Metrics.get (Sim.Net.metrics sw.w.W.net) "net.bytes")
+    (digest, Sim.Metrics.snapshot (Sim.Net.metrics sw.w.W.net))
   in
-  let d1, b1 = run () in
-  let d2, b2 = run () in
+  let d1, m1 = run () in
+  let d2, m2 = run () in
   Alcotest.(check string) "identical observable behaviour" d1 d2;
-  Alcotest.(check int) "identical byte counts" b1 b2
+  (* Not just the headline byte counter: the entire metrics snapshot —
+     message and byte counts, crypto-operation tallies, cache statistics —
+     must match counter for counter. *)
+  Alcotest.(check (list (pair string int))) "identical metrics snapshots" m1 m2;
+  Alcotest.(check bool) "snapshot non-trivial" true (List.length m1 > 3)
 
 let () =
   Alcotest.run "soak"

@@ -33,6 +33,40 @@ let test_malformed () =
   bad "\x03\x00\x00\x00\x02\x01";
   bad (Wire.encode (Wire.I 5) ^ "extra")
 
+let test_truncated_frames () =
+  (* Every strict prefix of a valid frame must fail to decode: tags fix the
+     payload size, so a cut anywhere leaves an incomplete frame, and the
+     decoder must report it rather than crash or accept a partial value. *)
+  let v =
+    Wire.L
+      [ Wire.S "header"; Wire.I 42;
+        Wire.L [ Wire.S "nested"; Wire.I (-7); Wire.L [ Wire.S "" ] ];
+        Wire.S (String.make 64 'x') ]
+  in
+  let bytes = Wire.encode v in
+  for i = 0 to String.length bytes - 1 do
+    match Wire.decode (String.sub bytes 0 i) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncation at byte %d/%d decoded" i (String.length bytes)
+  done
+
+let test_oversized_length_prefix () =
+  (* Length prefixes claiming more bytes than the input carries must fail
+     closed, at the top level and nested inside a list. *)
+  let oversized =
+    [ "\x02\x7f\xff\xff\xff";  (* string claiming ~2 GiB *)
+      "\x02\x00\x00\x01\x00tiny";  (* string claiming 256, carrying 4 *)
+      "\x03\x7f\xff\xff\xff" ^ Wire.encode (Wire.I 1);  (* huge list arity *)
+      (* a well-formed list wrapping a string whose length overruns it *)
+      "\x03\x00\x00\x00\x01\x02\xff\xff\xff\xf0" ]
+  in
+  List.iter
+    (fun input ->
+      match Wire.decode input with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "oversized length prefix decoded (%S)" input)
+    oversized
+
 let test_depth_bomb () =
   (* A million-deep nested list must be rejected, not crash the decoder
      with a stack overflow. *)
@@ -94,6 +128,8 @@ let () =
         [ ("scalar roundtrips", `Quick, test_scalars);
           ("canonical", `Quick, test_canonical);
           ("malformed inputs", `Quick, test_malformed);
+          ("truncated frames rejected", `Quick, test_truncated_frames);
+          ("oversized length prefixes rejected", `Quick, test_oversized_length_prefix);
           ("depth bomb rejected", `Quick, test_depth_bomb);
           ("accessors", `Quick, test_accessors) ] );
       ("properties", props) ]

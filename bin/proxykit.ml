@@ -228,6 +228,207 @@ let chaos seed ops drop duplicate jitter no_crash retries timeout =
   | Error e -> Printf.printf "  value conserved:    NO -- %s\n" e);
   if o.Chaos.double_redemptions = 0 && Result.is_ok o.Chaos.conserved then 0 else 1
 
+(* --- trace --- *)
+
+let run_traced_scenario scenario ~seed ~requests ~depth =
+  match scenario with
+  | "f4" -> Ok (Tracing.run_f4 ?seed ?requests ?depth ())
+  | "f5" ->
+      if depth <> None then prerr_endline "trace: --depth only applies to f4; ignored";
+      Ok (Tracing.run_f5 ?seed ?requests ())
+  | other -> Error (Printf.sprintf "unknown scenario %S (known: f4, f5)" other)
+
+let write_artifact ~what path content =
+  if path = "-" then print_string content
+  else begin
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    Printf.printf "trace: wrote %s to %s (%d bytes)\n" what path (String.length content)
+  end
+
+(* Per-kind rollup of span counts and summed self costs. *)
+let kind_rollup spans =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let k = s.Sim.Span.sp_kind in
+      let count, costs =
+        match Hashtbl.find_opt tbl k with
+        | Some row -> row
+        | None ->
+            let row = (ref 0, Hashtbl.create 8) in
+            Hashtbl.add tbl k row;
+            order := k :: !order;
+            row
+      in
+      incr count;
+      List.iter
+        (fun (c, v) ->
+          Hashtbl.replace costs c (v + Option.value ~default:0 (Hashtbl.find_opt costs c)))
+        s.Sim.Span.sp_costs)
+    spans;
+  List.rev_map (fun k -> (k, Hashtbl.find tbl k)) !order
+
+let print_summary scenario o =
+  let spans = o.Tracing.spans in
+  Printf.printf "trace %s: %d/%d request(s) ok — %d span(s), %d actor(s), max depth %d%s\n"
+    scenario o.Tracing.ok o.Tracing.requests (List.length spans)
+    (List.length (Sim.Span.actors spans))
+    (Sim.Span.max_depth spans)
+    (if o.Tracing.dropped = 0 then ""
+     else Printf.sprintf " (%d span(s) dropped by the ring)" o.Tracing.dropped);
+  Printf.printf "  %-16s %6s %6s %8s %8s %10s\n" "kind" "count" "msgs" "bytes" "rsa.vfy"
+    "cache.hits";
+  List.iter
+    (fun (kind, (count, costs)) ->
+      let get name = Option.value ~default:0 (Hashtbl.find_opt costs name) in
+      Printf.printf "  %-16s %6d %6d %8d %8d %10d\n" kind !count (get "net.messages")
+        (get "net.bytes") (get "crypto.rsa_verify") (get "verify_cache.hits"))
+    (kind_rollup spans);
+  let attributed = Sim.Span.cost_total spans in
+  if attributed = o.Tracing.delta then
+    Printf.printf "  attribution: per-span self costs sum exactly to the global metrics diff\n"
+  else
+    Printf.printf "  attribution: DIVERGED from the global metrics diff (a tick escaped a span)\n";
+  attributed = o.Tracing.delta
+
+let print_top spans n =
+  let dur s = s.Sim.Span.sp_end - s.Sim.Span.sp_start in
+  let sorted = List.stable_sort (fun a b -> compare (dur b) (dur a)) spans in
+  let rec take k = function x :: tl when k > 0 -> x :: take (k - 1) tl | _ -> [] in
+  Printf.printf "  top %d span(s) by inclusive duration:\n" n;
+  List.iter
+    (fun s ->
+      Printf.printf "    %8d us  %-16s %-24s %s\n" (dur s) s.Sim.Span.sp_kind
+        s.Sim.Span.sp_actor
+        (String.concat " "
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) s.Sim.Span.sp_attrs)))
+    (take n sorted)
+
+(* The acceptance invariants, checked against a live run: causal nesting
+   across actors, a retry child under the injected drop, exact cost
+   attribution, valid Chrome JSON, and run-to-run byte identity. *)
+let trace_smoke scenario ~seed ~requests ~depth o =
+  let spans = o.Tracing.spans in
+  let failures = ref 0 in
+  let check name ok =
+    Printf.printf "  %-52s %s\n" name (if ok then "PASS" else "FAIL");
+    if not ok then incr failures
+  in
+  check "all requests succeeded" (o.Tracing.ok = o.Tracing.requests);
+  check "no spans dropped" (o.Tracing.dropped = 0);
+  check ">= 4 causally nested spans" (Sim.Span.max_depth spans >= 4);
+  check ">= 3 distinct actors" (List.length (Sim.Span.actors spans) >= 3);
+  check "self costs sum to global metrics diff"
+    (Sim.Span.cost_total spans = o.Tracing.delta);
+  check "every span kind carries some cost in its subtree"
+    (List.for_all
+       (fun s ->
+         s.Sim.Span.sp_costs <> []
+         || List.exists (fun c -> c.Sim.Span.sp_parent = Some s.Sim.Span.sp_id) spans)
+       spans);
+  check "chrome export is valid JSON"
+    (Result.is_ok (Benchout.valid_json (Sim.Span.to_chrome_trace spans)));
+  (if scenario = "f4" then
+     let attempts_under call =
+       List.filter
+         (fun s ->
+           s.Sim.Span.sp_kind = "rpc.attempt"
+           && s.Sim.Span.sp_parent = Some call.Sim.Span.sp_id)
+         spans
+     in
+     check "injected drop produced a retry child"
+       (List.exists
+          (fun s ->
+            s.Sim.Span.sp_kind = "rpc.call" && List.length (attempts_under s) >= 2)
+          spans));
+  (match run_traced_scenario scenario ~seed ~requests ~depth with
+  | Ok o2 ->
+      check "same-seed rerun is byte-identical JSONL"
+        (Sim.Span.to_jsonl spans = Sim.Span.to_jsonl o2.Tracing.spans)
+  | Error _ -> check "same-seed rerun" false);
+  !failures = 0
+
+let trace scenario seed requests depth chrome jsonl top smoke =
+  match run_traced_scenario scenario ~seed ~requests ~depth with
+  | Error e ->
+      Printf.eprintf "trace: %s\n" e;
+      2
+  | Ok o ->
+      let spans = o.Tracing.spans in
+      let quiet = chrome = Some "-" || jsonl = Some "-" in
+      let attributed = if quiet then Sim.Span.cost_total spans = o.Tracing.delta
+                       else print_summary scenario o in
+      if top > 0 && not quiet then print_top spans top;
+      Option.iter
+        (fun path -> write_artifact ~what:"chrome trace" path (Sim.Span.to_chrome_trace spans))
+        chrome;
+      Option.iter
+        (fun path -> write_artifact ~what:"jsonl" path (Sim.Span.to_jsonl spans))
+        jsonl;
+      if smoke then begin
+        Printf.printf "trace smoke (%s):\n" scenario;
+        if trace_smoke scenario ~seed ~requests ~depth o && attributed then begin
+          print_endline "trace smoke: all invariants hold";
+          0
+        end
+        else begin
+          print_endline "trace smoke: FAILED";
+          1
+        end
+      end
+      else if attributed then 0
+      else 1
+
+let trace_cmd =
+  let scenario =
+    Arg.(value & pos 0 string "f4"
+         & info [] ~docv:"SCENARIO"
+             ~doc:"Traced scenario: f4 (cascaded file-server authorization with an injected \
+                   drop) or f5 (inter-bank check clearing)")
+  in
+  let seed =
+    Arg.(value & opt (some string) None
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed (default: per-scenario)")
+  in
+  let requests =
+    Arg.(value & opt (some int) None & info [ "requests" ] ~docv:"N" ~doc:"Traced requests")
+  in
+  let depth =
+    Arg.(value & opt (some int) None
+         & info [ "depth" ] ~docv:"D" ~doc:"Proxy cascade depth (f4 only)")
+  in
+  let chrome =
+    Arg.(value & opt ~vopt:(Some "-") (some string) None
+         & info [ "chrome" ] ~docv:"FILE"
+             ~doc:"Export Chrome trace-event JSON (for chrome://tracing or ui.perfetto.dev) to \
+                   $(docv), or stdout when given bare")
+  in
+  let jsonl =
+    Arg.(value & opt ~vopt:(Some "-") (some string) None
+         & info [ "jsonl" ] ~docv:"FILE"
+             ~doc:"Export one JSON object per span (byte-identical across same-seed runs) to \
+                   $(docv), or stdout when given bare")
+  in
+  let top =
+    Arg.(value & opt int 0 & info [ "top" ] ~docv:"N" ~doc:"Show the $(docv) longest spans")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Check the causal-tracing invariants (nesting depth, actor spread, exact cost \
+                   attribution, retry child, export validity, rerun byte-identity); exit \
+                   non-zero on violation")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a traced end-to-end scenario and report its causal span tree with per-span cost \
+          attribution; optionally export Chrome trace / JSONL artifacts")
+    Term.(const trace $ scenario $ seed $ requests $ depth $ chrome $ jsonl $ top $ smoke)
+
 (* --- cmdliner wiring --- *)
 
 let selftest_cmd =
@@ -617,6 +818,6 @@ let main =
     (Cmd.info "proxykit" ~version:"1.0.0"
        ~doc:"Restricted proxies for distributed authorization and accounting (Neuman, ICDCS '93)")
     [ selftest_cmd; demo_cmd; keygen_cmd; inspect_cmd; bench_cmd; bench_check_cmd; chaos_cmd;
-      mbt_cmd; fuzz_cmd ]
+      trace_cmd; mbt_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -30,21 +30,31 @@ echo "== model-based conformance smoke =="
 # mutants) and replays the committed shrunk repros in test/repros/.
 dune exec --no-build bin/proxykit.exe -- mbt --smoke
 
+echo "== causal tracing smoke =="
+# A traced cascaded-authorization run must show >= 4 causally nested spans
+# across >= 3 actors with a retry child under the injected drop, per-span
+# self costs summing exactly to the global metrics diff, a valid Chrome
+# export, and byte-identical JSONL on a same-seed rerun.
+dune exec --no-build bin/proxykit.exe -- trace f4 --smoke
+dune exec --no-build bin/proxykit.exe -- trace f5 --smoke
+
 echo "== wire-codec fuzz smoke =="
 # Mutated encodings must never crash a decoder (fail closed), valid seeds
 # must round-trip, and the committed corpus in test/fuzz_corpus/ replays.
 dune exec --no-build bin/proxykit.exe -- fuzz --smoke
 
 echo "== bench smoke (logical metrics vs committed baseline) =="
-# Reduced-iteration F1/F6 regenerate BENCH_*.json into a scratch dir;
+# Reduced-iteration F1/F4/F6 regenerate BENCH_*.json into a scratch dir;
 # bench-check validates the JSON schema and compares every integer metric
 # (ops, bytes, crypto-op counts) exactly against the committed baseline.
 # Wall-times are recorded in the artifacts but never gated.
 BENCH_SMOKE_DIR=$(mktemp -d)
 BENCH_FAST=1 BENCH_DIR="$BENCH_SMOKE_DIR" \
-    dune exec --no-build bin/proxykit.exe -- bench f1 f6
+    dune exec --no-build bin/proxykit.exe -- bench f1 f4 f6
 dune exec --no-build bin/proxykit.exe -- bench-check \
     bench/BENCH_F1.json "$BENCH_SMOKE_DIR/BENCH_F1.json"
+dune exec --no-build bin/proxykit.exe -- bench-check \
+    bench/BENCH_F4.json "$BENCH_SMOKE_DIR/BENCH_F4.json"
 dune exec --no-build bin/proxykit.exe -- bench-check \
     bench/BENCH_F6.json "$BENCH_SMOKE_DIR/BENCH_F6.json"
 rm -rf "$BENCH_SMOKE_DIR"

@@ -69,6 +69,14 @@ let trace t fmt =
    endorsement chain ends at us). On success the funds are moved out of the
    payor's account (or out of a certified hold). *)
 let validate_and_debit t ~presenter (check : Check.t) =
+  Sim.Span.with_span (Sim.Net.spans t.net) ~actor:(Principal.to_string t.me) ~kind:"acct.debit"
+    ~attrs:
+      [
+        ("check", check.Check.number);
+        ("amount", string_of_int check.Check.amount);
+        ("currency", check.Check.currency);
+      ]
+  @@ fun () ->
   let presented =
     { Guard.pres = Proxy.presentation check.Check.proxy; pres_proof = None }
   in
@@ -113,6 +121,10 @@ let validate_and_debit t ~presenter (check : Check.t) =
 let forward_collect t (check : Check.t) =
   let drawee = check.Check.drawn_on.Principal.Account.server in
   let hop = next_hop t drawee in
+  Sim.Span.with_span (Sim.Net.spans t.net) ~actor:(Principal.to_string t.me)
+    ~kind:"acct.forward"
+    ~attrs:[ ("check", check.Check.number); ("hop", Principal.to_string hop) ]
+  @@ fun () ->
   let now = Sim.Net.now t.net in
   match
     Check.endorse ~drbg:(Sim.Net.drbg t.net) ~now ~expires:(now + t.proxy_lifetime_us)
@@ -191,6 +203,10 @@ let handle t ctx payload =
       Sim.Metrics.incr (Sim.Net.metrics t.net) "accounting.deposits";
       let* cw = field payload 1 in
       let* check = Check.of_wire cw in
+      Sim.Span.with_span (Sim.Net.spans t.net) ~actor:(Principal.to_string t.me)
+        ~kind:"acct.deposit"
+        ~attrs:[ ("check", check.Check.number); ("client", Principal.to_string client) ]
+      @@ fun () ->
       let* to_account = Result.bind (field payload 2) to_string in
       let* () =
         transport ~operation:"deposit" ~target:to_account
@@ -208,6 +224,10 @@ let handle t ctx payload =
       Sim.Metrics.incr (Sim.Net.metrics t.net) "accounting.collects";
       let* cw = field payload 1 in
       let* check = Check.of_wire cw in
+      Sim.Span.with_span (Sim.Net.spans t.net) ~actor:(Principal.to_string t.me)
+        ~kind:"acct.collect"
+        ~attrs:[ ("check", check.Check.number); ("client", Principal.to_string client) ]
+      @@ fun () ->
       let* amount = settle t ~presenter:client check in
       Ok (Wire.I amount)
   | "certify" ->

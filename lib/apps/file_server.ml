@@ -59,7 +59,8 @@ let install t =
 let attach net ~proxy ~server ~operation ~path =
   Guard.present ~proxy ~time:(Sim.Net.now net) ~server ~operation ~target:path ()
 
-let request net ~creds ~proxies ~group_proxies ~op ~path ~data =
+let request net ~creds ?(retries = 0) ?timeout_us ?backoff ~proxies ~group_proxies ~op ~path
+    ~data () =
   let payload =
     Wire.L
       [ Wire.S op;
@@ -68,13 +69,24 @@ let request net ~creds ~proxies ~group_proxies ~op ~path ~data =
         Wire.L (List.map Guard.presented_to_wire proxies);
         Wire.L (List.map Guard.presented_to_wire group_proxies) ]
   in
-  Secure_rpc.call net ~creds payload
+  Secure_rpc.call net ~creds ~retries ?timeout_us ?backoff payload
 
-let read net ~creds ?(proxies = []) ?(group_proxies = []) ~path () =
-  Result.bind (request net ~creds ~proxies ~group_proxies ~op:"read" ~path ~data:"") Wire.to_string
+let read net ~creds ?(retries = 0) ?timeout_us ?backoff ?(proxies = []) ?(group_proxies = [])
+    ~path () =
+  Result.bind
+    (request net ~creds ~retries ?timeout_us ?backoff ~proxies ~group_proxies ~op:"read" ~path
+       ~data:"" ())
+    Wire.to_string
 
-let write net ~creds ?(proxies = []) ?(group_proxies = []) ~path data =
-  Result.map ignore (request net ~creds ~proxies ~group_proxies ~op:"write" ~path ~data)
+let write net ~creds ?(retries = 0) ?timeout_us ?backoff ?(proxies = []) ?(group_proxies = [])
+    ~path data =
+  Result.map ignore
+    (request net ~creds ~retries ?timeout_us ?backoff ~proxies ~group_proxies ~op:"write" ~path
+       ~data ())
 
-let stat net ~creds ?(proxies = []) ?(group_proxies = []) ~path () =
-  Result.bind (request net ~creds ~proxies ~group_proxies ~op:"stat" ~path ~data:"") Wire.to_int
+let stat net ~creds ?(retries = 0) ?timeout_us ?backoff ?(proxies = []) ?(group_proxies = [])
+    ~path () =
+  Result.bind
+    (request net ~creds ~retries ?timeout_us ?backoff ~proxies ~group_proxies ~op:"stat" ~path
+       ~data:"" ())
+    Wire.to_int

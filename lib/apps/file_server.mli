@@ -31,11 +31,18 @@ val put_direct : t -> path:string -> string -> unit
 
 val get_direct : t -> path:string -> string option
 
-(** {2 Client operations} *)
+(** {2 Client operations}
+
+    All take an optional retry policy, forwarded to {!Secure_rpc.call}:
+    retransmissions reuse the same authenticator bytes, so the server's
+    response cache keeps retried operations exactly-once. *)
 
 val read :
   Sim.Net.t ->
   creds:Ticket.credentials ->
+  ?retries:int ->
+  ?timeout_us:int ->
+  ?backoff:Sim.Retry.backoff ->
   ?proxies:Guard.presented list ->
   ?group_proxies:Guard.presented list ->
   path:string ->
@@ -45,6 +52,9 @@ val read :
 val write :
   Sim.Net.t ->
   creds:Ticket.credentials ->
+  ?retries:int ->
+  ?timeout_us:int ->
+  ?backoff:Sim.Retry.backoff ->
   ?proxies:Guard.presented list ->
   ?group_proxies:Guard.presented list ->
   path:string ->
@@ -54,6 +64,9 @@ val write :
 val stat :
   Sim.Net.t ->
   creds:Ticket.credentials ->
+  ?retries:int ->
+  ?timeout_us:int ->
+  ?backoff:Sim.Retry.backoff ->
   ?proxies:Guard.presented list ->
   ?group_proxies:Guard.presented list ->
   path:string ->

@@ -120,12 +120,27 @@ let open_base t blob =
 
 let tally t name = Sim.Metrics.incr (Sim.Net.metrics t.net) name
 
+(* When the net is traced, hand the verifier a wrapper that opens one child
+   span per certificate of the chain — each link's RSA / cache-hit cost
+   lands on its own span, and resolver lookups nest underneath. *)
+let span_hook t =
+  match Sim.Net.spans t.net with
+  | None -> None
+  | Some _ as sp ->
+      Some
+        {
+          Verifier.wrap =
+            (fun ~name ~attrs f ->
+              Sim.Span.with_span sp ~actor:(Principal.to_string t.me) ~kind:name ~attrs f);
+        }
+
 (* Verify a presented proxy and check it authorizes [req]; [Ok usable] if it
    contributes its grantor's authority to the request. *)
 let evaluate t ~req (p : presented) =
   match
     Verifier.verify ~open_base:(open_base t) ~lookup:t.lookup_pub ~decrypt:t.decrypt ~me:t.me
-      ~tally:(tally t) ~cache:t.verify_cache ~now:req.Restriction.time p.pres
+      ~tally:(tally t) ~cache:t.verify_cache ?hook:(span_hook t) ~now:req.Restriction.time
+      p.pres
   with
   | Error e -> Error e
   | Ok verified -> (
@@ -165,6 +180,12 @@ let accept_once_ids restrictions =
 
 let decide t ~operation ?(target = "") ?presenter ?(extra_presenters = []) ?(proxies = [])
     ?(group_proxies = []) ?spend () =
+  let sp = Sim.Net.spans t.net in
+  Sim.Span.with_span sp ~actor:(Principal.to_string t.me) ~kind:"guard.decide"
+    ~attrs:[ ("operation", operation); ("target", target) ]
+  @@ fun () ->
+  Sim.Metrics.incr (Sim.Net.metrics t.net) "guard.decisions";
+  let result =
   let now = Sim.Net.now t.net in
   let presenters = Option.to_list presenter @ extra_presenters in
   let seen id = Replay_cache.seen t.replay ~now id in
@@ -270,3 +291,6 @@ let decide t ~operation ?(target = "") ?presenter ?(extra_presenters = []) ?(pro
                | [] -> ""
                | ps -> " acting-for " ^ String.concat "," (List.map Principal.to_string ps)));
           Ok decision)
+  in
+  Sim.Span.add_attr sp "verdict" (match result with Ok _ -> "grant" | Error _ -> "deny");
+  result

@@ -224,6 +224,9 @@ let parse_json s =
   if !pos <> n then fail "trailing garbage";
   v
 
+let valid_json s =
+  match parse_json s with _ -> Ok () | exception Parse e -> Error e
+
 let doc_of_json j =
   let field name = function
     | Obj members -> (

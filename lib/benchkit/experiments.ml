@@ -93,6 +93,41 @@ let print_table title columns rows =
 
 let section title = Printf.printf "\n==================== %s ====================\n%!" title
 
+(* Rollup of one traced phase: per span kind, count / messages / bytes /
+   crypto ops summed over span self costs. Clears the collector so the next
+   phase starts empty. *)
+let span_phase_rows ~layer net =
+  match Sim.Net.spans net with
+  | None -> []
+  | Some c ->
+      let spans = Sim.Span.spans c in
+      Sim.Span.clear c;
+      let order = ref [] in
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun s ->
+          let k = s.Sim.Span.sp_kind in
+          if not (Hashtbl.mem tbl k) then begin
+            Hashtbl.add tbl k (ref 0, ref 0, ref 0, ref 0);
+            order := k :: !order
+          end;
+          let n, msgs, bytes, cops = Hashtbl.find tbl k in
+          incr n;
+          List.iter
+            (fun (name, v) ->
+              if name = "net.messages" then msgs := !msgs + v
+              else if name = "net.bytes" then bytes := !bytes + v
+              else if String.length name >= 7 && String.sub name 0 7 = "crypto." then
+                cops := !cops + v)
+            s.Sim.Span.sp_costs)
+        spans;
+      List.rev_map
+        (fun k ->
+          let n, msgs, bytes, cops = Hashtbl.find tbl k in
+          [ layer; k; string_of_int !n; string_of_int !msgs; string_of_int !bytes;
+            string_of_int !cops ])
+        !order
+
 let expect_ok = function Ok v -> v | Error e -> failwith e
 
 (* ------------------------------------------------------------------ *)
@@ -172,6 +207,11 @@ let fig2 () =
   section "F2 (Fig 2): per-request cost as security services stack";
   let usd = "usd" in
   let rows = ref [] in
+  (* Each layer's metered request also runs traced; the span rollup shows
+     which protocol step each message/byte/crypto-op lands in. *)
+  let phase_rows = ref [] in
+  let start_phase net = Option.iter Sim.Span.clear (Sim.Net.spans net) in
+  let end_phase layer net = phase_rows := !phase_rows @ span_phase_rows ~layer net in
   let add name deltas latency =
     rows :=
       [ name;
@@ -184,6 +224,7 @@ let fig2 () =
 
   (* Layer 1: authentication only — an owner reads her file. *)
   let w = World.create ~seed:"f2a" () in
+  Sim.Net.enable_tracing w.World.net;
   let alice, _ = World.enrol w "alice" in
   let fs_name, fs_key = World.enrol w "fs" in
   let acl = Acl.create () in
@@ -193,10 +234,12 @@ let fig2 () =
   File_server.put_direct fs ~path:"f" "data";
   let tgt = World.login w alice in
   let creds = World.credentials_for w ~tgt fs_name in
+  start_phase w.World.net;
   let _, deltas, lat =
     metered w.World.net (fun () -> expect_ok (File_server.read w.World.net ~creds ~path:"f" ()))
   in
   add "authentication only (owner reads)" deltas lat;
+  end_phase "authentication" w.World.net;
 
   (* Layer 2: + authorization via a capability. *)
   let bob, _ = World.enrol w "bob" in
@@ -207,6 +250,7 @@ let fig2 () =
   in
   let tgt_b = World.login w bob in
   let creds_b = World.credentials_for w ~tgt:tgt_b fs_name in
+  start_phase w.World.net;
   let _, deltas, lat =
     metered w.World.net (fun () ->
         let p =
@@ -215,9 +259,11 @@ let fig2 () =
         expect_ok (File_server.read w.World.net ~creds:creds_b ~proxies:[ p ] ~path:"f" ()))
   in
   add "+ authorization (capability presentation)" deltas lat;
+  end_phase "+ authorization" w.World.net;
 
   (* Layer 3: + group membership. *)
   let w = World.create ~seed:"f2c" () in
+  Sim.Net.enable_tracing w.World.net;
   let dave, _ = World.enrol w "dave" in
   let groups_p, groups_key = World.enrol w "groups" in
   let fs_name, fs_key = World.enrol w "fs" in
@@ -245,6 +291,7 @@ let fig2 () =
          ~end_server:fs_name ())
   in
   let creds_fs = World.credentials_for w ~tgt:tgt_d fs_name in
+  start_phase w.World.net;
   let _, deltas, lat =
     metered w.World.net (fun () ->
         let gp =
@@ -254,9 +301,11 @@ let fig2 () =
         expect_ok (File_server.read w.World.net ~creds:creds_fs ~group_proxies:[ gp ] ~path:"f" ()))
   in
   add "+ group service (membership proxy)" deltas lat;
+  end_phase "+ group" w.World.net;
 
   (* Layer 4: + accounting — a print job paid by check, cross-bank. *)
   let w = World.create ~seed:"f2d" () in
+  Sim.Net.enable_tracing w.World.net;
   let carol, _, carol_rsa = World.enrol_pk w "carol" in
   let bank1_p, bank1_key, bank1_rsa = World.enrol_pk w "bank1" in
   let bank2_p, bank2_key, bank2_rsa = World.enrol_pk w "bank2" in
@@ -300,16 +349,22 @@ let fig2 () =
        (Print_server.print w.World.net ~creds:creds_cp ~document:"warm" ~content:"x"
           ~check:(write_check 10) ()));
   let check = write_check 10 in
+  start_phase w.World.net;
   let _, deltas, lat =
     metered w.World.net (fun () ->
         expect_ok
           (Print_server.print w.World.net ~creds:creds_cp ~document:"job" ~content:"x" ~check ()))
   in
   add "+ accounting (print job paid by cross-bank check)" deltas lat;
+  end_phase "+ accounting" w.World.net;
 
   print_table "F2: one request at each service layer"
     [ "configuration"; "messages"; "bytes"; "crypto ops"; "sim latency" ]
-    (List.rev !rows)
+    (List.rev !rows);
+
+  print_table "F2b: span rollup — where each layer's cost lands"
+    [ "layer"; "span kind"; "count"; "messages"; "bytes"; "crypto ops" ]
+    !phase_rows
 
 (* ------------------------------------------------------------------ *)
 (* F3: the authorization protocol (Figure 3) vs alternatives          *)
@@ -575,6 +630,30 @@ let fig4 () =
         string_of_int (count "verify_cache.misses" cached);
         fmt_ns cached_ns ] ];
 
+  (* F4c: the same cascade exercised end to end with causal tracing on.
+     Span counts and attributed costs are deterministic under the fixed
+     seed, so they join the gated integers. *)
+  let traced = Tracing.run_f4 ~seed:"bench-f4" ~requests:4 ~depth:5 () in
+  let tspans = traced.Tracing.spans in
+  let kind_count k = List.length (List.filter (fun s -> s.Sim.Span.sp_kind = k) tspans) in
+  let attributed = Sim.Span.cost_total tspans in
+  let attr name = Option.value (List.assoc_opt name attributed) ~default:0 in
+  let rerun = Tracing.run_f4 ~seed:"bench-f4" ~requests:4 ~depth:5 () in
+  let deterministic = Sim.Span.to_jsonl tspans = Sim.Span.to_jsonl rerun.Tracing.spans in
+  let costs_match = attributed = traced.Tracing.delta in
+  print_table "F4c: traced cascade (requests=4, depth=5) — spans and attributed costs"
+    [ "quantity"; "value" ]
+    [ [ "spans"; string_of_int (List.length tspans) ];
+      [ "actors"; string_of_int (List.length (Sim.Span.actors tspans)) ];
+      [ "max depth"; string_of_int (Sim.Span.max_depth tspans) ];
+      [ "verify.cert spans"; string_of_int (kind_count "verify.cert") ];
+      [ "rpc attempts (incl. retry)"; string_of_int (kind_count "rpc.attempt") ];
+      [ "attributed rsa verifies"; string_of_int (attr "crypto.rsa_verify") ];
+      [ "attributed cache hits"; string_of_int (attr "verify_cache.hits") ];
+      [ "attributed messages"; string_of_int (attr "net.messages") ];
+      [ "self costs = global diff"; (if costs_match then "yes" else "NO") ];
+      [ "rerun byte-identical"; (if deterministic then "yes" else "NO") ] ];
+
   Benchout.write ~id:"f4" ~title:"Fig 4: cascade verification vs chain depth; Sollins baseline"
     (List.map
        (fun (depth, conv_bytes, conv_crypto, conv_ns, pk_crypto, pk_ns, sollins_msgs, sollins_ns)
@@ -601,6 +680,25 @@ let fig4 () =
             Printf.sprintf "cascade depth=%d presented x%d cached" cache_depth presentations;
           ints = (("depth", cache_depth) :: ("presentations", presentations) :: cached);
           floats = [ ("verify_ns_warm", cached_ns) ];
+        };
+        {
+          Benchout.label = "traced cascade requests=4 depth=5";
+          ints =
+            [ ("requests", traced.Tracing.requests); ("ok", traced.Tracing.ok);
+              ("spans", List.length tspans);
+              ("actors", List.length (Sim.Span.actors tspans));
+              ("max_depth", Sim.Span.max_depth tspans);
+              ("span.verify_cert", kind_count "verify.cert");
+              ("span.rpc_attempt", kind_count "rpc.attempt");
+              ("span.rpc_call", kind_count "rpc.call");
+              ("span.guard_decide", kind_count "guard.decide");
+              ("span.resolver_lookup", kind_count "resolver.lookup");
+              ("attr.rsa_verify", attr "crypto.rsa_verify");
+              ("attr.cache_hits", attr "verify_cache.hits");
+              ("attr.net_messages", attr "net.messages");
+              ("costs_match", if costs_match then 1 else 0);
+              ("jsonl_deterministic", if deterministic then 1 else 0) ];
+          floats = [];
         } ])
 
 (* ------------------------------------------------------------------ *)

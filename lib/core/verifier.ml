@@ -16,6 +16,21 @@ type verified = {
 
 let no_tally _ = ()
 
+(* The core stays independent of the simulation layer, so span
+   instrumentation arrives as an abstract wrapper: the guard passes one
+   that opens a [Sim.Span] child per certificate; the default runs bare. *)
+type span_hook = { wrap : 'a. name:string -> attrs:(string * string) list -> (unit -> 'a) -> 'a }
+
+let no_hook = { wrap = (fun ~name:_ ~attrs:_ f -> f ()) }
+
+let short_serial s =
+  let n = min 4 (String.length s) in
+  let b = Buffer.create 8 in
+  for i = 0 to n - 1 do
+    Buffer.add_string b (Printf.sprintf "%02x" (Char.code s.[i]))
+  done;
+  Buffer.contents b
+
 (* Signature verification with an optional memo cache. The cache only
    short-circuits the RSA operation itself; time windows, restrictions and
    proofs of possession are re-checked by the callers on every
@@ -50,7 +65,7 @@ let check_window ~now (body : Proxy_cert.body) =
   else if body.Proxy_cert.expires <= now then Error "proxy-cert: expired"
   else Ok ()
 
-let verify_conventional ~open_base ?(tally = no_tally) ~now
+let verify_conventional ~open_base ?(tally = no_tally) ?(hook = no_hook) ~now
     (chain : Proxy.conventional_chain) =
   let open Wire in
   tally "crypto.open";
@@ -61,7 +76,7 @@ let verify_conventional ~open_base ?(tally = no_tally) ~now
   else begin
     (* Walk the chain: each certificate is sealed under the previous key,
        starting from the base session key, and embeds the next proxy key. *)
-    let rec walk key acc_restrictions acc_serials expires first = function
+    let rec walk key acc_restrictions acc_serials expires idx = function
       | [] ->
           Ok
             {
@@ -73,25 +88,31 @@ let verify_conventional ~open_base ?(tally = no_tally) ~now
               serials = List.rev acc_serials;
             }
       | blob :: rest ->
-          tally "crypto.open";
-          let* body, proxy_key = Proxy_cert.open_conventional ~sealing_key:key blob in
-          let* () = check_window ~now body in
-          let* () =
-            if first && not (Principal.equal body.Proxy_cert.grantor base.base_client) then
-              Error "head certificate grantor does not match base credentials"
-            else Ok ()
+          let* body, proxy_key =
+            hook.wrap ~name:"verify.cert"
+              ~attrs:[ ("flavor", "conventional"); ("index", string_of_int idx) ]
+              (fun () ->
+                tally "crypto.open";
+                let* body, proxy_key = Proxy_cert.open_conventional ~sealing_key:key blob in
+                let* () = check_window ~now body in
+                let* () =
+                  if idx = 0 && not (Principal.equal body.Proxy_cert.grantor base.base_client)
+                  then Error "head certificate grantor does not match base credentials"
+                  else Ok ()
+                in
+                Ok (body, proxy_key))
           in
           walk proxy_key
             (acc_restrictions @ body.Proxy_cert.restrictions)
             (body.Proxy_cert.serial :: acc_serials)
             (min expires body.Proxy_cert.expires)
-            false rest
+            (idx + 1) rest
     in
-    walk base.base_session_key base.base_restrictions [] base.base_expires true
+    walk base.base_session_key base.base_restrictions [] base.base_expires 0
       chain.Proxy.cert_blobs
   end
 
-let verify_pk ~lookup ?(tally = no_tally) ?cache ~now certs =
+let verify_pk ~lookup ?(tally = no_tally) ?cache ?(hook = no_hook) ~now certs =
   let open Wire in
   match certs with
   | [] -> Error "empty certificate chain"
@@ -137,7 +158,7 @@ let verify_pk ~lookup ?(tally = no_tally) ?cache ~now certs =
          discharges them (the delegation is the exercise); any other
          continuation re-imposes them on the final presenters. *)
       let is_grantee = function Restriction.Grantee _ -> true | _ -> false in
-      let rec walk prev acc_restrictions pending_grantees acc_serials expires = function
+      let rec walk prev acc_restrictions pending_grantees acc_serials expires idx = function
         | [] ->
             let last = Option.get prev in
             Ok
@@ -150,14 +171,28 @@ let verify_pk ~lookup ?(tally = no_tally) ?cache ~now certs =
                 serials = List.rev acc_serials;
               }
         | (cert : Proxy_cert.pk_cert) :: rest ->
-            let* pub = signer_key ~prev cert in
+            (* One span per certificate: the signer-key lookup (which may go
+               to the resolver, nesting its span underneath), the signature
+               check (RSA or cache hit), and the window check — so the span's
+               costs say exactly what this link of the cascade charged. *)
             let* () =
-              verify_signature ?cache ~tally ~now ~pub
-                ~signed_bytes:(Proxy_cert.pk_signed_bytes cert)
-                ~signature:cert.Proxy_cert.signature
-                (fun () -> Proxy_cert.verify_pk_signature pub cert)
+              hook.wrap ~name:"verify.cert"
+                ~attrs:
+                  [
+                    ("flavor", "pk");
+                    ("index", string_of_int idx);
+                    ("serial", short_serial cert.Proxy_cert.pk_body.Proxy_cert.serial);
+                  ]
+                (fun () ->
+                  let* pub = signer_key ~prev cert in
+                  let* () =
+                    verify_signature ?cache ~tally ~now ~pub
+                      ~signed_bytes:(Proxy_cert.pk_signed_bytes cert)
+                      ~signature:cert.Proxy_cert.signature
+                      (fun () -> Proxy_cert.verify_pk_signature pub cert)
+                  in
+                  check_window ~now cert.Proxy_cert.pk_body)
             in
-            let* () = check_window ~now cert.Proxy_cert.pk_body in
             let discharged =
               match cert.Proxy_cert.pk_signer with
               | Proxy_cert.By_principal _ -> []
@@ -171,30 +206,36 @@ let verify_pk ~lookup ?(tally = no_tally) ?cache ~now certs =
               grantee_rs
               (cert.Proxy_cert.pk_body.Proxy_cert.serial :: acc_serials)
               (min expires cert.Proxy_cert.pk_body.Proxy_cert.expires)
-              rest
+              (idx + 1) rest
       in
-      walk None [] [] [] max_int certs
+      walk None [] [] [] max_int 0 certs
 
 (* Walk conventionally-sealed cascade certificates from a known starting
    key, accumulating restrictions; shared by the conventional walk above in
    spirit, specialized here for the hybrid tail. *)
-let walk_cascade ~tally ~now ~start_key ~acc ~serials ~expires blobs =
+let walk_cascade ~tally ~hook ~now ~start_key ~acc ~serials ~expires blobs =
   let open Wire in
-  let rec go key acc serials expires = function
+  let rec go key acc serials expires idx = function
     | [] -> Ok (key, acc, List.rev serials, expires)
     | blob :: rest ->
-        tally "crypto.open";
-        let* body, proxy_key = Proxy_cert.open_conventional ~sealing_key:key blob in
-        let* () = check_window ~now body in
+        let* body, proxy_key =
+          hook.wrap ~name:"verify.cert"
+            ~attrs:[ ("flavor", "hybrid-cascade"); ("index", string_of_int idx) ]
+            (fun () ->
+              tally "crypto.open";
+              let* body, proxy_key = Proxy_cert.open_conventional ~sealing_key:key blob in
+              let* () = check_window ~now body in
+              Ok (body, proxy_key))
+        in
         go proxy_key
           (acc @ body.Proxy_cert.restrictions)
           (body.Proxy_cert.serial :: serials)
           (min expires body.Proxy_cert.expires)
-          rest
+          (idx + 1) rest
   in
-  go start_key acc (List.rev serials) expires blobs
+  go start_key acc (List.rev serials) expires 1 blobs
 
-let verify_hybrid ~lookup ~decrypt ?me ?(tally = no_tally) ?cache ~now ((head, blobs) : Proxy_cert.hybrid_cert * string list) =
+let verify_hybrid ~lookup ~decrypt ?me ?(tally = no_tally) ?cache ?(hook = no_hook) ~now ((head, blobs) : Proxy_cert.hybrid_cert * string list) =
   let open Wire in
   let grantor = head.Proxy_cert.h_body.Proxy_cert.grantor in
   let* () =
@@ -211,17 +252,27 @@ let verify_hybrid ~lookup ~decrypt ?me ?(tally = no_tally) ?cache ~now ((head, b
     | None ->
         Error (Printf.sprintf "no public key known for grantor %s" (Principal.to_string grantor))
   in
-  let* () =
-    verify_signature ?cache ~tally ~now ~pub:grantor_pub
-      ~signed_bytes:(Proxy_cert.hybrid_signed_bytes head)
-      ~signature:head.Proxy_cert.h_signature
-      (fun () -> Proxy_cert.verify_hybrid_signature grantor_pub head)
+  let* head_key =
+    hook.wrap ~name:"verify.cert"
+      ~attrs:
+        [
+          ("flavor", "hybrid-head");
+          ("index", "0");
+          ("serial", short_serial head.Proxy_cert.h_body.Proxy_cert.serial);
+        ]
+      (fun () ->
+        let* () =
+          verify_signature ?cache ~tally ~now ~pub:grantor_pub
+            ~signed_bytes:(Proxy_cert.hybrid_signed_bytes head)
+            ~signature:head.Proxy_cert.h_signature
+            (fun () -> Proxy_cert.verify_hybrid_signature grantor_pub head)
+        in
+        let* () = check_window ~now head.Proxy_cert.h_body in
+        tally "crypto.rsa_decrypt";
+        Proxy_cert.open_hybrid_key ~decrypt head)
   in
-  let* () = check_window ~now head.Proxy_cert.h_body in
-  tally "crypto.rsa_decrypt";
-  let* head_key = Proxy_cert.open_hybrid_key ~decrypt head in
   let* final_key, restrictions, serials, expires =
-    walk_cascade ~tally ~now ~start_key:head_key
+    walk_cascade ~tally ~hook ~now ~start_key:head_key
       ~acc:head.Proxy_cert.h_body.Proxy_cert.restrictions
       ~serials:[ head.Proxy_cert.h_body.Proxy_cert.serial ]
       ~expires:head.Proxy_cert.h_body.Proxy_cert.expires blobs
@@ -238,11 +289,11 @@ let verify_hybrid ~lookup ~decrypt ?me ?(tally = no_tally) ?cache ~now ((head, b
 
 let no_decrypt _ = None
 
-let verify ~open_base ~lookup ?(decrypt = no_decrypt) ?me ?tally ?cache ~now = function
-  | Proxy.Conventional chain -> verify_conventional ~open_base ?tally ~now chain
-  | Proxy.Public_key certs -> verify_pk ~lookup ?tally ?cache ~now certs
+let verify ~open_base ~lookup ?(decrypt = no_decrypt) ?me ?tally ?cache ?hook ~now = function
+  | Proxy.Conventional chain -> verify_conventional ~open_base ?tally ?hook ~now chain
+  | Proxy.Public_key certs -> verify_pk ~lookup ?tally ?cache ?hook ~now certs
   | Proxy.Hybrid (head, blobs) ->
-      verify_hybrid ~lookup ~decrypt ?me ?tally ?cache ~now (head, blobs)
+      verify_hybrid ~lookup ~decrypt ?me ?tally ?cache ?hook ~now (head, blobs)
 
 let authorize verified ~req ~proof ~max_skew =
   let open Wire in

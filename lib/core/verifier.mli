@@ -30,9 +30,20 @@ type verified = {
   serials : string list;  (** certificate serials, head first (audit) *)
 }
 
+type span_hook = { wrap : 'a. name:string -> attrs:(string * string) list -> (unit -> 'a) -> 'a }
+(** Abstract per-certificate instrumentation: the verifier calls
+    [wrap ~name:"verify.cert" ~attrs] around each link of the chain (attrs
+    carry the flavor, chain index, and serial). The core has no simulation
+    dependency; [Authz.Guard] passes a wrapper that opens a [Sim.Span]
+    child so each certificate's RSA/cache cost lands on its own span. *)
+
+val no_hook : span_hook
+(** Runs the wrapped function bare (the default). *)
+
 val verify_conventional :
   open_base:(string -> (base_info, string) result) ->
   ?tally:(string -> unit) ->
+  ?hook:span_hook ->
   now:int ->
   Proxy.conventional_chain ->
   (verified, string) result
@@ -41,6 +52,7 @@ val verify_pk :
   lookup:(Principal.t -> Crypto.Rsa.public option) ->
   ?tally:(string -> unit) ->
   ?cache:Verify_cache.t ->
+  ?hook:span_hook ->
   now:int ->
   Proxy_cert.pk_cert list ->
   (verified, string) result
@@ -59,6 +71,7 @@ val verify_hybrid :
   ?me:Principal.t ->
   ?tally:(string -> unit) ->
   ?cache:Verify_cache.t ->
+  ?hook:span_hook ->
   now:int ->
   Proxy_cert.hybrid_cert * string list ->
   (verified, string) result
@@ -74,6 +87,7 @@ val verify :
   ?me:Principal.t ->
   ?tally:(string -> unit) ->
   ?cache:Verify_cache.t ->
+  ?hook:span_hook ->
   now:int ->
   Proxy.presentation ->
   (verified, string) result

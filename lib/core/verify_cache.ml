@@ -2,8 +2,13 @@ type t = {
   capacity : int;
   ttl_us : int;
   on_evict : unit -> unit;
-  table : (string, int) Hashtbl.t; (* key -> inserted_at *)
-  order : string Queue.t; (* insertion order; stale keys skipped lazily *)
+  table : (string, int * int) Hashtbl.t; (* key -> (recorded_at, seq) *)
+  order : (string * int) Queue.t;
+      (* (key, seq) in recording order; an entry whose seq no longer matches
+         the table was re-recorded later and is skipped. The seq (not the
+         timestamp) carries eviction rank: the virtual clock may not advance
+         between two records, but the sequence always does. *)
+  mutable seq : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -25,6 +30,7 @@ let create ?(capacity = default_capacity) ?(ttl_us = default_ttl_us)
     on_evict;
     table = Hashtbl.create (min capacity 64);
     order = Queue.create ();
+    seq = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -51,7 +57,7 @@ let check t ~now k =
   end
   else
   match Hashtbl.find_opt t.table k with
-  | Some inserted_at when fresh t ~now inserted_at ->
+  | Some (recorded_at, _) when fresh t ~now recorded_at ->
       t.hits <- t.hits + 1;
       true
   | Some _ ->
@@ -68,23 +74,46 @@ let evict_one t =
   let rec pop () =
     match Queue.take_opt t.order with
     | None -> ()
-    | Some k ->
-        if Hashtbl.mem t.table k then begin
+    | Some (k, seq) ->
+        (* Evict only when this queue entry is the key's *latest* record: a
+           mismatched seq means the entry was refreshed (re-pushed) later,
+           so this one is stale and the key's turn comes with the newer
+           entry. (The old code kept one queue entry per key forever, so a
+           refresh left the hottest entry at the front of the line.) *)
+        let live = match Hashtbl.find_opt t.table k with Some (_, s) -> s = seq | None -> false in
+        if live then begin
           Hashtbl.remove t.table k;
           t.evictions <- t.evictions + 1;
           t.on_evict ()
         end
-        else pop () (* stale queue entry (expired or re-recorded); skip *)
+        else pop () (* expired, evicted, or re-recorded since; skip *)
   in
   pop ()
 
+(* Refreshes leave dead entries behind; when they dominate, drop them in one
+   O(queue) sweep so the queue stays within a constant factor of capacity. *)
+let compact t =
+  if Queue.length t.order > 2 * t.capacity then begin
+    let live = Queue.create () in
+    Queue.iter
+      (fun (k, seq) ->
+        match Hashtbl.find_opt t.table k with
+        | Some (_, s) when s = seq -> Queue.push (k, seq) live
+        | _ -> ())
+      t.order;
+    Queue.clear t.order;
+    Queue.transfer live t.order
+  end
+
 let record t ~now k =
   if t.capacity = 0 then ()
-  else if Hashtbl.mem t.table k then Hashtbl.replace t.table k now
   else begin
-    if Hashtbl.length t.table >= t.capacity then evict_one t;
-    Hashtbl.replace t.table k now;
-    Queue.push k t.order
+    let refresh = Hashtbl.mem t.table k in
+    if (not refresh) && Hashtbl.length t.table >= t.capacity then evict_one t;
+    t.seq <- t.seq + 1;
+    Hashtbl.replace t.table k (now, t.seq);
+    Queue.push (k, t.seq) t.order;
+    compact t
   end
 
 let flush t =

@@ -46,8 +46,11 @@ val check : t -> now:int -> string -> bool
     entries are dropped and count as misses. *)
 
 val record : t -> now:int -> string -> unit
-(** Remember a successful verification, evicting the oldest entry when at
-    capacity. Only call on success. *)
+(** Remember a successful verification, evicting the {e least recently
+    recorded} entry when at capacity. Re-recording an existing key
+    refreshes both its TTL and its eviction rank, so an entry that keeps
+    being re-verified survives capacity churn instead of being first out
+    of the door. Only call on success. *)
 
 val flush : t -> unit
 (** Drop all entries (counters are kept). *)

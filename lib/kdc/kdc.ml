@@ -198,12 +198,20 @@ let handle_tgs t fields =
           end)
 
 let handle t request =
+  (* Ambient parentage: the sim is synchronous, so this span nests under
+     the client's kdc.as/kdc.tgs span without any envelope plumbing. *)
+  let sp = Sim.Net.spans t.net in
+  Sim.Span.with_span sp ~actor:(Principal.to_string t.name) ~kind:"kdc.serve" @@ fun () ->
   match Wire.decode request with
   | Error e -> err ("malformed request: " ^ e)
   | Ok v -> (
       match Result.bind (Wire.field v 0) Wire.to_string with
-      | Ok "as" -> handle_as t v
-      | Ok "tgs" -> handle_tgs t v
+      | Ok "as" ->
+          Sim.Span.add_attr sp "op" "as";
+          handle_as t v
+      | Ok "tgs" ->
+          Sim.Span.add_attr sp "op" "tgs";
+          handle_tgs t v
       | Ok other -> err (Printf.sprintf "unknown operation %S" other)
       | Error e -> err e)
 
@@ -249,6 +257,9 @@ module Client = struct
     String.fold_left (fun acc c -> (acc lsl 8) lor Char.code c) 0 b
 
   let authenticate net ~kdc ~client ~client_key ~service ?(auth_data = []) () =
+    Sim.Span.with_span (Sim.Net.spans net) ~actor:(Principal.to_string client) ~kind:"kdc.as"
+      ~attrs:[ ("service", Principal.to_string service) ]
+    @@ fun () ->
     let nonce = fresh_nonce_int net in
     let preauth =
       (* A malformed local key cannot pre-authenticate; send nothing and let
@@ -275,6 +286,11 @@ module Client = struct
         parse_reply ~reply_key:client_key ~reply_ad:"as-rep" ~expected_nonce:nonce ~client reply
 
   let derive net ~kdc ~tgt ~target ?subkey ?(auth_data = []) () =
+    Sim.Span.with_span (Sim.Net.spans net)
+      ~actor:(Principal.to_string tgt.Ticket.cred_client)
+      ~kind:"kdc.tgs"
+      ~attrs:[ ("target", Principal.to_string target) ]
+    @@ fun () ->
     let nonce = fresh_nonce_int net in
     let authenticator =
       {

@@ -58,11 +58,21 @@ let serve net ~me ~my_key ?(max_skew_us = 5 * 60 * 1_000_000)
         let* ticket_blob = Result.bind (field v 1) to_string in
         let* auth_blob = Result.bind (field v 2) to_string in
         let* payload = field v 3 in
-        Ok (ticket_blob, auth_blob, payload)
+        (* Optional trace context (field 4, present only when the caller
+           runs traced): ids only — never trusted for authorization. *)
+        let remote =
+          match field v 4 with
+          | Ok (L [ S tr; S sp ]) -> Some { Sim.Span.ctx_trace = tr; ctx_span = sp }
+          | _ -> None
+        in
+        Ok (ticket_blob, auth_blob, payload, remote)
     in
     match parsed with
     | Error e -> err e
-    | Ok (ticket_blob, auth_blob, payload) -> (
+    | Ok (ticket_blob, auth_blob, payload, remote) ->
+        Sim.Span.with_span (Sim.Net.spans net) ~actor:(Principal.to_string me)
+          ~kind:"rpc.serve" ?parent:remote
+          (fun () ->
         Sim.Metrics.incr metrics "crypto.open";
         match Ticket.open_ ~service_key:my_key ticket_blob with
         | Error e -> err e
@@ -122,6 +132,12 @@ let serve net ~me ~my_key ?(max_skew_us = 5 * 60 * 1_000_000)
 
 let call net ~creds ?subkey ?(retries = 0) ?timeout_us ?backoff payload =
   let open Wire in
+  let src = Principal.to_string creds.Ticket.cred_client in
+  let dst = Principal.to_string creds.Ticket.cred_service in
+  let sp = Sim.Net.spans net in
+  Sim.Span.with_span sp ~actor:src ~kind:"rpc.call" ~attrs:[ ("dst", dst) ] @@ fun () ->
+  let metrics = Sim.Net.metrics net in
+  Sim.Metrics.incr metrics "crypto.seal";
   let authenticator =
     {
       Ticket.auth_client = creds.Ticket.cred_client;
@@ -134,25 +150,42 @@ let call net ~creds ?subkey ?(retries = 0) ?timeout_us ?backoff payload =
     Ticket.seal_authenticator ~session_key:creds.Ticket.session_key
       ~nonce:(Sim.Net.fresh_nonce net) authenticator
   in
+  (* When this call runs inside a span, the envelope grows a fifth field
+     carrying (trace_id, span_id) of the *call* span: the request bytes are
+     built once and reused verbatim by every retransmission (the response
+     cache depends on that), so per-attempt ids cannot ride along — the
+     server's span parents to the call, attempts are its siblings beneath.
+     Untraced runs produce byte-identical envelopes to before. *)
+  let ctx_fields =
+    match Sim.Span.context sp with
+    | None -> []
+    | Some c -> [ Wire.L [ Wire.S c.Sim.Span.ctx_trace; Wire.S c.Sim.Span.ctx_span ] ]
+  in
   let request =
     Wire.encode
-      (Wire.L [ Wire.S "secure"; Wire.S creds.Ticket.ticket_blob; Wire.S auth_blob; payload ])
+      (Wire.L
+         ([ Wire.S "secure"; Wire.S creds.Ticket.ticket_blob; Wire.S auth_blob; payload ]
+         @ ctx_fields))
   in
-  let src = Principal.to_string creds.Ticket.cred_client in
-  let dst = Principal.to_string creds.Ticket.cred_service in
   (* Retransmissions reuse the exact request bytes: the same authenticator
      keys the server's response cache, so a retried request is answered from
      that cache instead of re-running the handler (or being rejected as a
      replay). Only transient transport failures retry; in-band service
      errors return immediately. *)
+  let attempt = ref 0 in
+  let send () =
+    incr attempt;
+    Sim.Span.with_span sp ~actor:src ~kind:"rpc.attempt"
+      ~attrs:[ ("dst", dst); ("n", string_of_int !attempt) ]
+      (fun () -> Sim.Net.rpc net ~src ~dst request)
+  in
   let exchange =
-    if retries = 0 && timeout_us = None && backoff = None then fun () ->
-      Sim.Net.rpc net ~src ~dst request
+    if retries = 0 && timeout_us = None && backoff = None then send
     else begin
       let p = Sim.Retry.policy ~retries ?timeout_us ?backoff () in
       fun () ->
         Sim.Retry.run ~clock:(Sim.Net.clock net) ~drbg:(Sim.Net.drbg net)
-          ~metrics:(Sim.Net.metrics net) p (fun () -> Sim.Net.rpc net ~src ~dst request)
+          ~metrics:(Sim.Net.metrics net) p send
     end
   in
   match exchange () with
@@ -167,6 +200,7 @@ let call net ~creds ?subkey ?(retries = 0) ?timeout_us ?backoff payload =
       | "sealed" -> (
           let* sealed = Result.bind (field v 1) to_string in
           let reply_key = Option.value subkey ~default:creds.Ticket.session_key in
+          Sim.Metrics.incr metrics "crypto.open";
           match Crypto.Aead.decode sealed with
           | None -> Error "response: malformed seal"
           | Some box -> (

@@ -16,16 +16,21 @@ let tick t name = Sim.Metrics.incr (Sim.Net.metrics t.net) name
 
 let lookup t p =
   let key = Principal.to_string p in
+  let sp = Sim.Net.spans t.net in
+  Sim.Span.with_span sp ~actor:t.caller ~kind:"resolver.lookup" ~attrs:[ ("principal", key) ]
+  @@ fun () ->
   let now = Sim.Net.now t.net in
   match Hashtbl.find_opt t.cache key with
   | Some e when e.fetched_at + t.ttl_us > now ->
       tick t "resolver.hits";
+      Sim.Span.add_attr sp "outcome" "hit";
       Some e.pub
   | stale -> (
       (match stale with
       | Some _ -> tick t "resolver.expired" (* cached but past its TTL *)
       | None -> ());
       tick t "resolver.misses";
+      Sim.Span.add_attr sp "outcome" (if stale = None then "miss" else "expired");
       match
         Name_server.lookup t.net ~server:t.name_server ~ca_pub:t.ca_pub ~caller:t.caller p
       with

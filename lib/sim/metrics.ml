@@ -42,14 +42,14 @@ let to_list t =
    live in [before] and is 0 in [after] must still show up in [diff]. *)
 let snapshot t = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters [] |> sorted
 
+(* Hashtable-backed: per-span delta snapshotting calls this thousands of
+   times per run, and the old [List.assoc_opt]-per-key version was O(n²). *)
 let diff ~before ~after =
-  let keys = Hashtbl.create 32 in
-  List.iter (fun (k, _) -> Hashtbl.replace keys k ()) before;
-  List.iter (fun (k, _) -> Hashtbl.replace keys k ()) after;
-  let value l k = Option.value (List.assoc_opt k l) ~default:0 in
-  Hashtbl.fold
-    (fun k () acc ->
-      let d = value after k - value before k in
-      if d <> 0 then (k, d) :: acc else acc)
-    keys []
-  |> sorted
+  let acc = Hashtbl.create (List.length after + 8) in
+  List.iter (fun (k, v) -> Hashtbl.replace acc k v) after;
+  List.iter
+    (fun (k, v) ->
+      let cur = Option.value (Hashtbl.find_opt acc k) ~default:0 in
+      Hashtbl.replace acc k (cur - v))
+    before;
+  Hashtbl.fold (fun k d l -> if d <> 0 then (k, d) :: l else l) acc [] |> sorted

@@ -5,10 +5,12 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 type tap_action = Deliver | Replace of string | Drop
 
 type t = {
+  seed : string;
   clock : Clock.t;
   drbg : Crypto.Drbg.t;
   metrics : Metrics.t;
   trace : Trace.t;
+  mutable spans : Span.t option;
   nodes : (string, string -> string) Hashtbl.t;
   latency : (string * string, int) Hashtbl.t;
   default_latency_us : int;
@@ -19,10 +21,12 @@ type t = {
 
 let create ?(seed = "proxykit") ?(default_latency_us = 500) () =
   {
+    seed;
     clock = Clock.create ();
     drbg = Crypto.Drbg.create ~seed;
     metrics = Metrics.create ();
     trace = Trace.create ();
+    spans = None;
     nodes = Hashtbl.create 16;
     latency = Hashtbl.create 16;
     default_latency_us;
@@ -35,6 +39,15 @@ let clock t = t.clock
 let drbg t = t.drbg
 let metrics t = t.metrics
 let trace t = t.trace
+let spans t = t.spans
+
+(* The collector's DRBG is seeded from the net seed (prefixed, like the
+   fault plan's), never the shared environment DRBG: enabling tracing does
+   not change a single key, nonce, or fault decision of the run. *)
+let enable_tracing ?capacity t =
+  t.spans <- Some (Span.create ?capacity ~seed:("span:" ^ t.seed) ~clock:t.clock ~metrics:t.metrics ())
+
+let disable_tracing t = t.spans <- None
 let now t = Clock.now t.clock
 let fresh_key t = Crypto.Drbg.generate t.drbg 32
 let fresh_nonce t = Crypto.Drbg.generate t.drbg 12

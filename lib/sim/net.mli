@@ -23,6 +23,18 @@ val drbg : t -> Crypto.Drbg.t
 val metrics : t -> Metrics.t
 val trace : t -> Trace.t
 
+val spans : t -> Span.t option
+(** The span collector, when tracing is enabled. Instrumentation sites pass
+    this straight to {!Span.with_span}, which is a no-op on [None]. *)
+
+val enable_tracing : ?capacity:int -> t -> unit
+(** Attach a fresh {!Span} collector. Its DRBG is seeded ["span:" ^ seed]
+    — separate from the environment DRBG, so tracing never perturbs keys,
+    nonces, or fault decisions; two traced runs of one seed produce
+    byte-identical span trees. [capacity] bounds the completed-span ring. *)
+
+val disable_tracing : t -> unit
+
 val now : t -> int
 (** Shorthand for [Clock.now (clock t)]. *)
 

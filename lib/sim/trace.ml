@@ -5,12 +5,9 @@ let create () = { rev_entries = [] }
 let record t ~time ~actor event = t.rev_entries <- { time; actor; event } :: t.rev_entries
 let entries t = List.rev t.rev_entries
 
-let contains_substring hay needle =
-  let nh = String.length hay and nn = String.length needle in
-  nn = 0
-  ||
-  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
-  at 0
+(* The scan lives in [Span] now (iterative — the old recursive version
+   overflowed the stack on multi-hundred-KB events). *)
+let contains_substring hay needle = Span.contains_substring ~needle hay
 
 let find t ~actor ~substring =
   List.find_opt (fun e -> e.actor = actor && contains_substring e.event substring) (entries t)

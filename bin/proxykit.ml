@@ -228,6 +228,93 @@ let chaos seed ops drop duplicate jitter no_crash retries timeout =
   | Error e -> Printf.printf "  value conserved:    NO -- %s\n" e);
   if o.Chaos.double_redemptions = 0 && Result.is_ok o.Chaos.conserved then 0 else 1
 
+(* --- cluster --- *)
+
+let print_cluster_outcome (o : Cluster.Scenario.outcome) =
+  Printf.printf "  shards:             %s (crashed primary: %s)\n"
+    (String.concat ", " o.Cluster.Scenario.shard_ids)
+    (Option.value o.Cluster.Scenario.crashed_node ~default:"none");
+  Printf.printf "  goodput:            %d/%d operations succeeded\n" o.Cluster.Scenario.succeeded
+    o.Cluster.Scenario.attempted;
+  Printf.printf "  failover:           %d failover(s), %d promotion(s)\n"
+    o.Cluster.Scenario.failovers o.Cluster.Scenario.promotions;
+  Printf.printf "  replication:        %d batch(es) shipped, %d failed\n"
+    o.Cluster.Scenario.repl_shipped o.Cluster.Scenario.repl_failures;
+  Printf.printf "  retransmissions:    %d (%d gave up, %d absorbed by response caches)\n"
+    o.Cluster.Scenario.retries_used o.Cluster.Scenario.gave_up o.Cluster.Scenario.dedups;
+  Printf.printf "  latency per op:     p50 %d us, p99 %d us (%d messages)\n"
+    o.Cluster.Scenario.p50_us o.Cluster.Scenario.p99_us o.Cluster.Scenario.messages;
+  Printf.printf "  checks redeemed:    %d (each at most once: %s)\n"
+    (List.length o.Cluster.Scenario.redemptions)
+    (if o.Cluster.Scenario.double_redemptions = 0 then "yes" else "NO");
+  (match o.Cluster.Scenario.conserved with
+  | Ok () -> print_endline "  value conserved:    yes"
+  | Error e -> Printf.printf "  value conserved:    NO -- %s\n" e)
+
+let cluster_ok (o : Cluster.Scenario.outcome) =
+  o.Cluster.Scenario.double_redemptions = 0 && Result.is_ok o.Cluster.Scenario.conserved
+
+let cluster seed shards ops buyers drop duplicate no_crash crash_buyer crash_after retries
+    timeout smoke =
+  let crash =
+    if no_crash then Cluster.Scenario.No_crash
+    else if crash_buyer then Cluster.Scenario.Buyer_primary
+    else Cluster.Scenario.Shop_primary
+  in
+  let cfg =
+    {
+      Cluster.Scenario.seed;
+      shards;
+      ops;
+      buyers;
+      drop;
+      duplicate;
+      crash;
+      crash_after_us = crash_after;
+      retries;
+      timeout_us = timeout;
+    }
+  in
+  if not smoke then begin
+    Printf.printf
+      "cluster run: seed %S, %d shard(s), %d ops, %d buyer(s), drop %.0f%%, duplicate %.0f%%\n%!"
+      seed shards ops buyers (drop *. 100.) (duplicate *. 100.);
+    let o = Cluster.Scenario.run cfg in
+    print_cluster_outcome o;
+    if cluster_ok o then 0 else 1
+  end
+  else begin
+    (* Acceptance gates: a forced failover under a seeded plan must keep
+       value conserved with exactly-once redemption, and a same-seed rerun
+       must be byte-identical (metrics snapshot and trace). *)
+    let cfg =
+      if cfg.Cluster.Scenario.crash = Cluster.Scenario.No_crash then
+        { cfg with Cluster.Scenario.crash = Cluster.Scenario.Shop_primary }
+      else cfg
+    in
+    Printf.printf "cluster smoke: seed %S, %d shard(s), forced primary crash\n%!" seed shards;
+    let o = Cluster.Scenario.run cfg in
+    print_cluster_outcome o;
+    let o2 = Cluster.Scenario.run cfg in
+    let deterministic =
+      o.Cluster.Scenario.metrics = o2.Cluster.Scenario.metrics
+      && o.Cluster.Scenario.trace = o2.Cluster.Scenario.trace
+    in
+    Printf.printf "  deterministic:      %s (same-seed rerun %s)\n"
+      (if deterministic then "yes" else "NO")
+      (if deterministic then "byte-identical" else "DIVERGED");
+    let failed_over =
+      o.Cluster.Scenario.promotions >= 1 && o.Cluster.Scenario.failovers >= 1
+    in
+    if not failed_over then
+      print_endline "  FAIL: the seeded crash produced no failover/promotion";
+    if cluster_ok o && deterministic && failed_over then begin
+      print_endline "cluster smoke: OK";
+      0
+    end
+    else 1
+  end
+
 (* --- trace --- *)
 
 let run_traced_scenario scenario ~seed ~requests ~depth =
@@ -475,7 +562,8 @@ let bench_cmd =
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all)") in
   let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit") in
   Cmd.v
-    (Cmd.info "bench" ~doc:"Regenerate the paper's experiment tables (f1..f6, c3, c4, a1..a3)")
+    (Cmd.info "bench"
+       ~doc:"Regenerate the paper's experiment tables (f1..f6, c3, c4, a1..a3, s1)")
     Term.(const bench $ list_only $ ids)
 
 let bench_check baseline current =
@@ -545,6 +633,53 @@ let chaos_cmd =
           robustness invariants (value conservation, at-most-once redemption); exits non-zero \
           on violation")
     Term.(const chaos $ seed $ ops $ drop $ duplicate $ jitter $ no_crash $ retries $ timeout)
+
+let cluster_cmd =
+  let seed =
+    Arg.(value & opt string "cluster" & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed")
+  in
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N" ~doc:"Bank shards (each primary+standby)")
+  in
+  let ops = Arg.(value & opt int 60 & info [ "ops" ] ~docv:"N" ~doc:"Workload operations") in
+  let buyers = Arg.(value & opt int 4 & info [ "buyers" ] ~docv:"N" ~doc:"Buyer principals") in
+  let drop =
+    Arg.(value & opt float 0.05 & info [ "drop" ] ~docv:"P" ~doc:"Per-message drop probability")
+  in
+  let duplicate =
+    Arg.(value & opt float 0.05
+         & info [ "duplicate" ] ~docv:"P" ~doc:"Per-message duplication probability")
+  in
+  let no_crash = Arg.(value & flag & info [ "no-crash" ] ~doc:"Skip the primary crash") in
+  let crash_buyer =
+    Arg.(value & flag
+         & info [ "crash-buyer" ] ~doc:"Crash buyer-0's shard primary (a drawee) instead of the shop's")
+  in
+  let crash_after =
+    Arg.(value & opt int 30_000
+         & info [ "crash-after" ] ~docv:"US" ~doc:"Crash instant relative to workload start (us)")
+  in
+  let retries =
+    Arg.(value & opt int 8 & info [ "retries" ] ~docv:"N" ~doc:"Client retransmission budget")
+  in
+  let timeout =
+    Arg.(value & opt int 10_000 & info [ "timeout" ] ~docv:"US" ~doc:"Client timeout (us)")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Run the acceptance gates: forced failover with conservation, exactly-once \
+                   redemption, and a byte-identical same-seed rerun; exit non-zero on violation")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Run the sharded accounting cluster scenario: consistent-hash placement over \
+          primary/standby shard pairs with replay-log replication, under seeded faults that \
+          crash a primary mid-run; checks conservation and exactly-once redemption across \
+          the failover")
+    Term.(const cluster $ seed $ shards $ ops $ buyers $ drop $ duplicate $ no_crash
+          $ crash_buyer $ crash_after $ retries $ timeout $ smoke)
 
 (* --- model-based conformance testing --- *)
 
@@ -818,6 +953,6 @@ let main =
     (Cmd.info "proxykit" ~version:"1.0.0"
        ~doc:"Restricted proxies for distributed authorization and accounting (Neuman, ICDCS '93)")
     [ selftest_cmd; demo_cmd; keygen_cmd; inspect_cmd; bench_cmd; bench_check_cmd; chaos_cmd;
-      trace_cmd; mbt_cmd; fuzz_cmd ]
+      cluster_cmd; trace_cmd; mbt_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -23,6 +23,14 @@ run_chaos --seed ci-storm  --drop 0.25 --duplicate 0.10
 run_chaos --seed ci-dupes  --drop 0.10 --duplicate 0.25 --no-crash
 run_chaos --seed ci-crashy --drop 0.15 --duplicate 0.10 --retries 10
 
+echo "== cluster failover smoke =="
+# Sharded accounting cluster: a seeded fault plan permanently crashes one
+# shard's primary mid-clearing; the run must keep value conserved with
+# exactly-once check redemption across the failover, and a same-seed rerun
+# must be byte-identical (metrics snapshot and trace).
+dune exec --no-build bin/proxykit.exe -- cluster --smoke
+dune exec --no-build bin/proxykit.exe -- cluster --smoke --seed ci-cluster --shards 2 --crash-buyer
+
 echo "== model-based conformance smoke =="
 # Generated authorization programs run against the real stack (verify cache
 # on and off) and a pure reference model; any disagreement fails. The smoke
@@ -50,13 +58,15 @@ echo "== bench smoke (logical metrics vs committed baseline) =="
 # Wall-times are recorded in the artifacts but never gated.
 BENCH_SMOKE_DIR=$(mktemp -d)
 BENCH_FAST=1 BENCH_DIR="$BENCH_SMOKE_DIR" \
-    dune exec --no-build bin/proxykit.exe -- bench f1 f4 f6
+    dune exec --no-build bin/proxykit.exe -- bench f1 f4 f6 s1
 dune exec --no-build bin/proxykit.exe -- bench-check \
     bench/BENCH_F1.json "$BENCH_SMOKE_DIR/BENCH_F1.json"
 dune exec --no-build bin/proxykit.exe -- bench-check \
     bench/BENCH_F4.json "$BENCH_SMOKE_DIR/BENCH_F4.json"
 dune exec --no-build bin/proxykit.exe -- bench-check \
     bench/BENCH_F6.json "$BENCH_SMOKE_DIR/BENCH_F6.json"
+dune exec --no-build bin/proxykit.exe -- bench-check \
+    bench/BENCH_S1.json "$BENCH_SMOKE_DIR/BENCH_S1.json"
 rm -rf "$BENCH_SMOKE_DIR"
 
 echo "== OK =="

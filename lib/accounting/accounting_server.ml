@@ -9,12 +9,16 @@ type t = {
   ledger : Ledger.t;
   granter : Granter.t;
   guard : Guard.t;
-  routes : (string, Principal.t) Hashtbl.t;
+  routes : (string, Principal.t * string list) Hashtbl.t;
+      (* drawee -> next hop + physical destinations for it (replicas) *)
   collect_retry : Sim.Retry.policy option;
   proxy_lifetime_us : int;
   drawn : (string, int) Hashtbl.t;
       (* cumulative draw per standing authority: key is the proxy chain's
          serial path plus the currency *)
+  mutable on_redeem : (string -> unit) option;
+      (* replication feed: fires with the check number whenever a check is
+         paid here, so a standby can mirror the accept-once record *)
 }
 
 let create net ~me ~my_key ~kdc ~signing_key ~lookup ?collect_retry ?verify_cache
@@ -40,6 +44,7 @@ let create net ~me ~my_key ~kdc ~signing_key ~lookup ?collect_retry ?verify_cach
           collect_retry;
           proxy_lifetime_us;
           drawn = Hashtbl.create 16;
+          on_redeem = None;
         }
       in
       (* The escrow account backs cashier's checks. *)
@@ -53,9 +58,19 @@ let create net ~me ~my_key ~kdc ~signing_key ~lookup ?collect_retry ?verify_cach
 let me t = t.me
 let ledger t = t.ledger
 let account t name = Principal.Account.make ~server:t.me name
-let set_route t ~drawee ~next_hop = Hashtbl.replace t.routes (Principal.to_string drawee) next_hop
+
+let set_route t ~drawee ?(via = []) ~next_hop () =
+  Hashtbl.replace t.routes (Principal.to_string drawee) (next_hop, via)
+
 let next_hop t drawee =
-  Option.value (Hashtbl.find_opt t.routes (Principal.to_string drawee)) ~default:drawee
+  Option.value (Hashtbl.find_opt t.routes (Principal.to_string drawee)) ~default:(drawee, [])
+
+let set_redemption_observer t f = t.on_redeem <- f
+let redeemed t number = match t.on_redeem with None -> () | Some f -> f number
+
+let warm t ~drawee =
+  let hop, _ = next_hop t drawee in
+  Result.map ignore (Granter.credentials_for t.granter hop)
 
 let trace t fmt =
   Printf.ksprintf
@@ -103,6 +118,7 @@ let validate_and_debit t ~presenter (check : Check.t) =
                    (held_amount - check.Check.amount));
             trace t "paid certified check %s: %d %s from %S" check.Check.number
               check.Check.amount check.Check.currency payor_account;
+            redeemed t check.Check.number;
             Ok check.Check.amount
           end
       | None -> (
@@ -114,13 +130,14 @@ let validate_and_debit t ~presenter (check : Check.t) =
           | Ok () ->
               trace t "paid check %s: %d %s from %S" check.Check.number check.Check.amount
                 check.Check.currency payor_account;
+              redeemed t check.Check.number;
               Ok check.Check.amount))
 
 (* Forward a check toward its drawee: endorse to the next hop and send a
    collect request (Figure 5's E2 and beyond). *)
 let forward_collect t (check : Check.t) =
   let drawee = check.Check.drawn_on.Principal.Account.server in
-  let hop = next_hop t drawee in
+  let hop, via = next_hop t drawee in
   Sim.Span.with_span (Sim.Net.spans t.net) ~actor:(Principal.to_string t.me)
     ~kind:"acct.forward"
     ~attrs:[ ("check", check.Check.number); ("hop", Principal.to_string hop) ]
@@ -140,14 +157,19 @@ let forward_collect t (check : Check.t) =
              collect response would otherwise strand money debited at the
              drawee but never credited downstream. Retransmissions reuse the
              same authenticator, so the remote response cache makes the
-             collect fire exactly once. *)
+             collect fire exactly once. A routed hop may name physical
+             replicas ([via]): the endorsement targets the logical bank,
+             the transport fails over between its replicas. *)
+          let dst, fallback_dsts =
+            match via with [] -> (None, []) | d :: rest -> (Some d, rest)
+          in
           let call payload =
             match t.collect_retry with
-            | None -> Secure_rpc.call t.net ~creds payload
+            | None -> Secure_rpc.call t.net ~creds ?dst ~fallback_dsts payload
             | Some p ->
                 Secure_rpc.call t.net ~creds ~retries:p.Sim.Retry.retries
-                  ~timeout_us:p.Sim.Retry.timeout_us ~backoff:p.Sim.Retry.bo
-                  payload
+                  ~timeout_us:p.Sim.Retry.timeout_us ~backoff:p.Sim.Retry.bo ?dst
+                  ~fallback_dsts payload
           in
           match call (Wire.L [ Wire.S "collect"; Check.to_wire endorsed ]) with
           | Error e -> Error e
@@ -340,24 +362,57 @@ let handle t ctx payload =
 let install t =
   Secure_rpc.serve t.net ~me:t.me ~my_key:t.my_key (fun ctx payload -> handle t ctx payload)
 
+(* Standby side of replication: mirror the primary's journalled ledger
+   ops (plus the ACL entry an account opening installs, and the
+   accept-once record a check redemption consumes) without re-running any
+   handler. The [drawn] table for standing authorities is not replicated —
+   standing draws against a failed-over shard restart their cumulative
+   count. *)
+let apply_replicated t ~ops ~redeemed =
+  let now = Sim.Net.now t.net in
+  let rec apply_ops = function
+    | [] -> Ok ()
+    | op :: rest -> (
+        (match op with
+        | Ledger.Op_open (owner, name) ->
+            Acl.add (Guard.acl t.guard) ~target:name
+              { Acl.subject = Acl.Principal_is owner; rights = [ "debit" ]; restrictions = [] }
+        | _ -> ());
+        match Ledger.apply t.ledger op with
+        | Ok () -> apply_ops rest
+        | Error e -> Error (Printf.sprintf "replica diverged: %s" e))
+  in
+  match apply_ops ops with
+  | Error _ as e -> e
+  | Ok () ->
+      List.iter
+        (fun number ->
+          ignore
+            (Replay_cache.record (Guard.replay_cache t.guard) ~now
+               ~expires:(now + t.proxy_lifetime_us) number))
+        redeemed;
+      Ok ()
+
 (* --- client side --- *)
 
 (* All client operations accept a retry policy: a retransmission reuses the
    same authenticator, so the server's response cache guarantees the ledger
    mutation happens exactly once however often the message is re-sent. *)
 
-let open_account ?(retries = 0) ?timeout_us ?backoff net ~creds ~name =
+let open_account ?(retries = 0) ?timeout_us ?backoff ?dst ?fallback_dsts ?on_failover net
+    ~creds ~name =
   match
-    Secure_rpc.call net ~creds ~retries ?timeout_us ?backoff
+    Secure_rpc.call net ~creds ~retries ?timeout_us ?backoff ?dst ?fallback_dsts ?on_failover
       (Wire.L [ Wire.S "open-account"; Wire.S name ])
   with
   | Ok _ -> Ok ()
   | Error e -> Error e
 
-let balance ?(retries = 0) ?timeout_us ?backoff net ~creds ~name ~currency =
+let balance ?(retries = 0) ?timeout_us ?backoff ?dst ?fallback_dsts ?on_failover net ~creds
+    ~name ~currency =
   let open Wire in
   match
-    Secure_rpc.call net ~creds ~retries ?timeout_us ?backoff
+    Secure_rpc.call net ~creds ~retries ?timeout_us ?backoff ?dst ?fallback_dsts ?on_failover
       (Wire.L [ Wire.S "balance"; Wire.S name; Wire.S currency ])
   with
   | Error e -> Error e
@@ -366,15 +421,17 @@ let balance ?(retries = 0) ?timeout_us ?backoff net ~creds ~name ~currency =
       let* held = Result.bind (field reply 1) to_int in
       Ok (available, held)
 
-let transfer ?(retries = 0) ?timeout_us ?backoff net ~creds ~from_ ~to_ ~currency ~amount =
+let transfer ?(retries = 0) ?timeout_us ?backoff ?dst ?fallback_dsts ?on_failover net ~creds
+    ~from_ ~to_ ~currency ~amount =
   match
-    Secure_rpc.call net ~creds ~retries ?timeout_us ?backoff
+    Secure_rpc.call net ~creds ~retries ?timeout_us ?backoff ?dst ?fallback_dsts ?on_failover
       (Wire.L [ Wire.S "transfer"; Wire.S from_; Wire.S to_; Wire.S currency; Wire.I amount ])
   with
   | Ok _ -> Ok ()
   | Error e -> Error e
 
-let deposit ?(retries = 0) ?timeout_us ?backoff net ~creds ~endorser_key ~check ~to_account =
+let deposit ?(retries = 0) ?timeout_us ?backoff ?dst ?fallback_dsts ?on_failover net ~creds
+    ~endorser_key ~check ~to_account =
   let now = Sim.Net.now net in
   let bank = creds.Ticket.cred_service in
   match
@@ -384,7 +441,8 @@ let deposit ?(retries = 0) ?timeout_us ?backoff net ~creds ~endorser_key ~check 
   | Error e -> Error e
   | Ok endorsed -> (
       match
-        Secure_rpc.call net ~creds ~retries ?timeout_us ?backoff
+        Secure_rpc.call net ~creds ~retries ?timeout_us ?backoff ?dst ?fallback_dsts
+          ?on_failover
           (Wire.L [ Wire.S "deposit"; Check.to_wire endorsed; Wire.S to_account ])
       with
       | Error e -> Error e

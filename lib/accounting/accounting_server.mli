@@ -44,8 +44,35 @@ val ledger : t -> Ledger.t
 val account : t -> string -> Principal.Account.t
 (** Global name of a local account. *)
 
-val set_route : t -> drawee:Principal.t -> next_hop:Principal.t -> unit
-(** Forward checks drawn on [drawee] via [next_hop] (default: directly). *)
+val set_route :
+  t -> drawee:Principal.t -> ?via:string list -> next_hop:Principal.t -> unit -> unit
+(** Forward checks drawn on [drawee] via [next_hop] (default: directly).
+    [via] optionally lists the physical network destinations for the hop —
+    a sharded bank's primary and standby replicas; the endorsement still
+    names the logical [next_hop], and the transport fails over between the
+    replicas (see {!Secure_rpc.call}). *)
+
+val warm : t -> drawee:Principal.t -> (unit, string) result
+(** Pre-fetch this server's credentials for the hop that clears checks
+    drawn on [drawee], so no KDC exchange happens on the clearing path
+    later — a standby warms its routes before any fault plan goes in. *)
+
+val handle :
+  t -> Secure_rpc.server_context -> Wire.t -> (Wire.t, string) result
+(** The request handler behind {!install}, exposed so cluster shards can
+    wrap it (promotion gating, replication taps) and register it under a
+    physical node name via {!Secure_rpc.serve}. *)
+
+val set_redemption_observer : t -> (string -> unit) option -> unit
+(** Observer fired with the check number each time a check is paid here —
+    the replication feed for mirroring accept-once records to a standby. *)
+
+val apply_replicated :
+  t -> ops:Ledger.op list -> redeemed:string list -> (unit, string) result
+(** Standby side of replication: replay the primary's journalled ledger
+    ops (mirroring the ACL entry an [Op_open] installs) and record redeemed
+    check numbers in the guard's accept-once cache, without re-running any
+    handler. Standing-authority cumulative draws are not replicated. *)
 
 (** {2 Client operations} — each an authenticated exchange. [creds] are the
     caller's credentials for the accounting server. Every operation accepts
@@ -56,11 +83,15 @@ val set_route : t -> drawee:Principal.t -> next_hop:Principal.t -> unit
 
 val open_account :
   ?retries:int -> ?timeout_us:int -> ?backoff:Sim.Retry.backoff ->
+  ?dst:string -> ?fallback_dsts:string list ->
+  ?on_failover:(from_:string -> to_:string -> unit) ->
   Sim.Net.t -> creds:Ticket.credentials ->
   name:string -> (unit, string) result
 
 val balance :
   ?retries:int -> ?timeout_us:int -> ?backoff:Sim.Retry.backoff ->
+  ?dst:string -> ?fallback_dsts:string list ->
+  ?on_failover:(from_:string -> to_:string -> unit) ->
   Sim.Net.t -> creds:Ticket.credentials ->
   name:string -> currency:string ->
   (int * int, string) result
@@ -68,6 +99,8 @@ val balance :
 
 val transfer :
   ?retries:int -> ?timeout_us:int -> ?backoff:Sim.Retry.backoff ->
+  ?dst:string -> ?fallback_dsts:string list ->
+  ?on_failover:(from_:string -> to_:string -> unit) ->
   Sim.Net.t ->
   creds:Ticket.credentials ->
   from_:string ->
@@ -80,6 +113,8 @@ val transfer :
 
 val deposit :
   ?retries:int -> ?timeout_us:int -> ?backoff:Sim.Retry.backoff ->
+  ?dst:string -> ?fallback_dsts:string list ->
+  ?on_failover:(from_:string -> to_:string -> unit) ->
   Sim.Net.t ->
   creds:Ticket.credentials ->
   endorser_key:Crypto.Rsa.private_ ->

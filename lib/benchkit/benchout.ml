@@ -128,11 +128,24 @@ let parse_json s =
           | Some 'n' -> Buffer.add_char buf '\n'
           | Some 't' -> Buffer.add_char buf '\t'
           | Some 'u' ->
+              (* Exactly four hex digits, validated by hand: int_of_string
+                 would raise (escaping as an exception, not a parse error)
+                 and accepts underscores. *)
               advance ();
               if !pos + 4 > n then fail "bad \\u escape";
-              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              let hex_digit c =
+                match c with
+                | '0' .. '9' -> Char.code c - Char.code '0'
+                | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+                | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+                | _ -> fail "bad \\u escape"
+              in
+              let code = ref 0 in
+              for i = 0 to 3 do
+                code := (!code * 16) + hex_digit s.[!pos + i]
+              done;
               pos := !pos + 3;
-              Buffer.add_char buf (Char.chr (code land 0xff))
+              Buffer.add_char buf (Char.chr (!code land 0xff))
           | _ -> fail "bad escape");
           advance ();
           go ()

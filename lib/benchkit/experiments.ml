@@ -730,7 +730,7 @@ let fig5 () =
     let chain = (payee_bank_p, Option.get (Some _payee_bank)) :: hops in
     let rec wire_routes = function
       | (_, b) :: ((next_p, _) :: _ as rest) ->
-          Accounting_server.set_route b ~drawee:drawee_p ~next_hop:next_p;
+          Accounting_server.set_route b ~drawee:drawee_p ~next_hop:next_p ();
           wire_routes rest
       | [ _ ] | [] -> ()
     in
@@ -1271,6 +1271,67 @@ let c4 () =
       "conserved"; "double-redeem" ]
     rows
 
+(* ------------------------------------------------------------------ *)
+(* S1: sharded accounting cluster with replica failover               *)
+(* ------------------------------------------------------------------ *)
+
+(* Virtual-time simulation: every integer below (messages, failovers,
+   percentiles) is deterministic and identical in fast and full mode, so
+   the whole row set is gateable against a committed baseline. *)
+let s1 () =
+  section "S1: sharded accounting cluster under replica failover";
+  Printf.printf
+    "Buyers pay a shop by check across consistently-hashed bank shards, each a\n\
+     primary/standby pair with replay-log replication; a seeded fault plan drops\n\
+     and duplicates messages and permanently crashes the shop shard's primary\n\
+     mid-run. Goodput = operations whose caller saw success; latency percentiles\n\
+     are per-operation virtual time including timeouts and failover.\n";
+  let row shards =
+    let cfg =
+      { Cluster.Scenario.default with seed = Printf.sprintf "s1-%d" shards; shards }
+    in
+    (shards, Cluster.Scenario.run cfg)
+  in
+  let measured = List.map row [ 1; 2; 4; 8 ] in
+  print_table "S1: goodput/latency/messages vs shard count (primary crashed mid-run)"
+    [ "shards"; "goodput"; "failovers"; "promoted"; "repl ships"; "messages"; "p50";
+      "p99"; "conserved"; "double-redeem" ]
+    (List.map
+       (fun (shards, o) ->
+         [ string_of_int shards;
+           Printf.sprintf "%d/%d" o.Cluster.Scenario.succeeded o.Cluster.Scenario.attempted;
+           string_of_int o.Cluster.Scenario.failovers;
+           string_of_int o.Cluster.Scenario.promotions;
+           string_of_int o.Cluster.Scenario.repl_shipped;
+           string_of_int o.Cluster.Scenario.messages;
+           Printf.sprintf "%d us" o.Cluster.Scenario.p50_us;
+           Printf.sprintf "%d us" o.Cluster.Scenario.p99_us;
+           (match o.Cluster.Scenario.conserved with Ok () -> "yes" | Error _ -> "NO");
+           string_of_int o.Cluster.Scenario.double_redemptions ])
+       measured);
+  Benchout.write ~id:"s1"
+    ~title:"cluster: sharded accounting, replica failover, conservation"
+    (List.map
+       (fun (shards, o) ->
+         {
+           Benchout.label = Printf.sprintf "shards=%d" shards;
+           ints =
+             [ ("shards", shards);
+               ("succeeded", o.Cluster.Scenario.succeeded);
+               ("messages", o.Cluster.Scenario.messages);
+               ("failovers", o.Cluster.Scenario.failovers);
+               ("promotions", o.Cluster.Scenario.promotions);
+               ("repl_shipped", o.Cluster.Scenario.repl_shipped);
+               ("repl_failures", o.Cluster.Scenario.repl_failures);
+               ("conservation_ok",
+                if Result.is_ok o.Cluster.Scenario.conserved then 1 else 0);
+               ("double_redemptions", o.Cluster.Scenario.double_redemptions);
+               ("p50_us", o.Cluster.Scenario.p50_us);
+               ("p99_us", o.Cluster.Scenario.p99_us) ];
+           floats = [];
+         })
+       measured)
+
 (* The experiment registry: ids as used in DESIGN.md / EXPERIMENTS.md. *)
 let all =
   [ ("f1", "Fig 1: proxy grant/verify vs restriction count", fig1);
@@ -1283,7 +1344,8 @@ let all =
     ("c4", "chaos: goodput/latency/retries vs drop rate", c4);
     ("a1", "ablation: accept-once replay cache", a1);
     ("a2", "ablation: limit-restriction elision", a2);
-    ("a3", "Sec 6.3: TGS proxies vs per-server capabilities", a3) ]
+    ("a3", "Sec 6.3: TGS proxies vs per-server capabilities", a3);
+    ("s1", "cluster: sharded accounting, replica failover", s1) ]
 
 let run ids =
   let t0 = Unix.gettimeofday () in

@@ -1,0 +1,209 @@
+(* One bank shard: a primary/standby pair of accounting servers sharing a
+   single *logical* identity.
+
+   The sharing is the crux. Checks are drawn on, endorsed to, and
+   issued-for the logical shard principal, and the guard verifies
+   [Issued_for] against its own [me] — so both replicas run with the same
+   [me] and the same long-term key (one directory entry), differing only in
+   the physical node name each registers on the network. A ticket for the
+   shard is honoured by either replica, and a client that fails over
+   re-sends the *same* request bytes to the standby.
+
+   Replication is replay-log shipping: the primary journals every ledger
+   primitive its handler executes plus every check number it redeems, and
+   [on_handled] — which fires after the handler and the response-cache
+   insert but *before* the reply is transmitted — ships the batch, together
+   with the request's authenticator digest and sealed reply, to the standby
+   over an ordinary authenticated Secure_rpc exchange. Ordering gives the
+   guarantee: any reply a client ever saw was already replicated, so the
+   standby can answer that client's retransmission from its seeded response
+   cache without executing the request a second time.
+
+   The standby refuses fresh work ("standby: not primary") until it either
+   observes the primary down or has already promoted itself; promotion is
+   sticky, so a primary that flaps cannot re-split the shard's brain. *)
+
+type replica = {
+  node : string;
+  server : Accounting_server.t;
+  cache : Secure_rpc.cache;
+}
+
+type t = {
+  net : Sim.Net.t;
+  logical : Principal.t;
+  key : string;
+  primary : replica;
+  standby : replica;
+  repl_creds : Ticket.credentials;
+  repl_retry : Sim.Retry.policy option;
+  pending_ops : Ledger.op list ref;  (* newest first *)
+  pending_redeems : string list ref;  (* newest first *)
+  mutable promoted : bool;
+}
+
+let ( let* ) = Result.bind
+
+let journal_fn t op = t.pending_ops := op :: !(t.pending_ops)
+
+let create net ~me ~my_key ~kdc ~signing_key ~lookup ?collect_retry ?repl_retry
+    ~primary_node ~standby_node () =
+  if primary_node = standby_node then
+    invalid_arg "Shard.create: replicas need distinct node names";
+  let mk () =
+    Accounting_server.create net ~me ~my_key ~kdc ~signing_key ~lookup ?collect_retry ()
+  in
+  let* primary_server = mk () in
+  let* standby_server = mk () in
+  (* The primary authenticates to its own logical identity for the
+     replication channel: only the shard itself can feed its standby. *)
+  let* repl_creds =
+    Kdc.Client.authenticate net ~kdc ~client:me ~client_key:my_key ~service:me ()
+  in
+  let t =
+    {
+      net;
+      logical = me;
+      key = my_key;
+      primary = { node = primary_node; server = primary_server;
+                  cache = Secure_rpc.create_cache () };
+      standby = { node = standby_node; server = standby_server;
+                  cache = Secure_rpc.create_cache () };
+      repl_creds;
+      repl_retry;
+      pending_ops = ref [];
+      pending_redeems = ref [];
+      promoted = false;
+    }
+  in
+  Ledger.set_journal (Accounting_server.ledger primary_server) (Some (journal_fn t));
+  Accounting_server.set_redemption_observer primary_server
+    (Some (fun n -> t.pending_redeems := n :: !(t.pending_redeems)));
+  Ok t
+
+let logical t = t.logical
+let primary_node t = t.primary.node
+let standby_node t = t.standby.node
+let primary_server t = t.primary.server
+let standby_server t = t.standby.server
+let promoted t = t.promoted
+
+let primary_down t = Sim.Net.is_down t.net t.primary.node
+
+let authoritative t =
+  if t.promoted || primary_down t then t.standby.server else t.primary.server
+
+(* Ship the pending replay log. On failure the batch is put back so the
+   next handled request re-ships it: the replication request that carries
+   it then is a fresh authenticator, and the standby applies each op
+   exactly once (a *retransmission* of the same batch dedups on the
+   standby's own response cache instead). *)
+let ship t ~auth_id ~expires ~reply =
+  let ops = List.rev !(t.pending_ops) in
+  let redeems = List.rev !(t.pending_redeems) in
+  t.pending_ops := [];
+  t.pending_redeems := [];
+  let payload =
+    Wire.L
+      [
+        Wire.S "x-replicate";
+        Wire.S auth_id;
+        Wire.I expires;
+        Wire.S reply;
+        Wire.L (List.map Ledger.op_to_wire ops);
+        Wire.L (List.map (fun n -> Wire.S n) redeems);
+      ]
+  in
+  let metrics = Sim.Net.metrics t.net in
+  let result =
+    match t.repl_retry with
+    | None -> Secure_rpc.call t.net ~creds:t.repl_creds ~dst:t.standby.node payload
+    | Some p ->
+        Secure_rpc.call t.net ~creds:t.repl_creds ~dst:t.standby.node
+          ~retries:p.Sim.Retry.retries ~timeout_us:p.Sim.Retry.timeout_us
+          ~backoff:p.Sim.Retry.bo payload
+  in
+  match result with
+  | Ok _ -> Sim.Metrics.incr metrics "cluster.repl_shipped"
+  | Error _ ->
+      Sim.Metrics.incr metrics "cluster.repl_failures";
+      t.pending_ops := !(t.pending_ops) @ List.rev ops;
+      t.pending_redeems := !(t.pending_redeems) @ List.rev redeems
+
+let apply_replication t ctx v =
+  if not (Principal.equal ctx.Secure_rpc.rpc_client t.logical) then
+    Error "replication: caller is not this shard"
+  else
+    let open Wire in
+    let* auth_id = Result.bind (field v 1) to_string in
+    let* expires = Result.bind (field v 2) to_int in
+    let* reply = Result.bind (field v 3) to_string in
+    let* ops_w = Result.bind (field v 4) to_list in
+    let* redeems_w = Result.bind (field v 5) to_list in
+    let* ops =
+      List.fold_left
+        (fun acc w ->
+          let* acc = acc in
+          let* op = Ledger.op_of_wire w in
+          Ok (op :: acc))
+        (Ok []) ops_w
+      |> Result.map List.rev
+    in
+    let* redeemed =
+      List.fold_left
+        (fun acc w ->
+          let* acc = acc in
+          let* n = to_string w in
+          Ok (n :: acc))
+        (Ok []) redeems_w
+      |> Result.map List.rev
+    in
+    let* () = Accounting_server.apply_replicated t.standby.server ~ops ~redeemed in
+    Secure_rpc.seed_response t.standby.cache ~now:(Sim.Net.now t.net) ~auth_id ~expires
+      ~reply;
+    Sim.Metrics.incr (Sim.Net.metrics t.net) "cluster.repl_applied";
+    Ok (S "replicated")
+
+let standby_handle t ctx payload =
+  match payload with
+  | Wire.L (Wire.S "x-replicate" :: _) -> apply_replication t ctx payload
+  | _ ->
+      if t.promoted || primary_down t then begin
+        if not t.promoted then begin
+          t.promoted <- true;
+          Sim.Metrics.incr (Sim.Net.metrics t.net) "cluster.promotions";
+          Sim.Trace.record (Sim.Net.trace t.net) ~time:(Sim.Net.now t.net)
+            ~actor:t.standby.node
+            (Printf.sprintf "promoted to primary for %s"
+               (Principal.to_string t.logical))
+        end;
+        Accounting_server.handle t.standby.server ctx payload
+      end
+      else Error "standby: not primary"
+
+let install t =
+  Secure_rpc.serve t.net ~me:t.logical ~my_key:t.key ~node:t.primary.node
+    ~cache:t.primary.cache
+    ~on_handled:(fun ~auth_id ~expires ~reply -> ship t ~auth_id ~expires ~reply)
+    (Accounting_server.handle t.primary.server);
+  Secure_rpc.serve t.net ~me:t.logical ~my_key:t.key ~node:t.standby.node
+    ~cache:t.standby.cache (standby_handle t)
+
+(* Provision funds on both replicas identically. The primary's journal is
+   suppressed for the duration so setup minting is not double-applied when
+   the first real request ships the replay log. *)
+let mint t ~name ~currency amount =
+  let pl = Accounting_server.ledger t.primary.server in
+  Ledger.set_journal pl None;
+  let r = Ledger.mint pl ~name ~currency amount in
+  Ledger.set_journal pl (Some (journal_fn t));
+  let* () = r in
+  Ledger.mint (Accounting_server.ledger t.standby.server) ~name ~currency amount
+
+let set_route t ~drawee ?via ~next_hop () =
+  Accounting_server.set_route t.primary.server ~drawee ?via ~next_hop ();
+  Accounting_server.set_route t.standby.server ~drawee ?via ~next_hop ()
+
+let warm t ~drawee =
+  let* () = Accounting_server.warm t.primary.server ~drawee in
+  Accounting_server.warm t.standby.server ~drawee

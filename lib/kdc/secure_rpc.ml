@@ -6,47 +6,66 @@ type server_context = {
 
 let err msg = Wire.encode (Wire.L [ Wire.S "err"; Wire.S msg ])
 
-let serve net ~me ~my_key ?(max_skew_us = 5 * 60 * 1_000_000)
-    ?(response_cache_capacity = 4096) handler =
-  if response_cache_capacity < 1 then
-    invalid_arg "Secure_rpc.serve: response cache capacity must be positive";
-  let metrics = Sim.Net.metrics net in
-  (* Response cache over authenticator blobs: within the freshness window an
-     identical authenticator is a retransmission (or a replay), and the
-     handler must not run again — accept-once restrictions, check-number
-     redemption, and ledger mutations fire exactly once under at-least-once
-     delivery. The duplicate gets the original sealed response back: useless
-     to an eavesdropping replayer (sealed under the session key), and
-     exactly what a retrying legitimate client needs. Capacity-bounded:
-     when full, expired entries are purged; if every entry is still live,
-     the soonest-to-expire response is dropped (its retransmission window
-     closes first) and "rpc.cache_evictions" ticks. *)
-  let seen_auths : (string, int * string) Hashtbl.t = Hashtbl.create 64 in
-  let cache_insert ~now auth_id entry =
-    if Hashtbl.length seen_auths >= response_cache_capacity then begin
-      let stale =
+(* Response cache over authenticator blobs: within the freshness window an
+   identical authenticator is a retransmission (or a replay), and the
+   handler must not run again — accept-once restrictions, check-number
+   redemption, and ledger mutations fire exactly once under at-least-once
+   delivery. The duplicate gets the original sealed response back: useless
+   to an eavesdropping replayer (sealed under the session key), and
+   exactly what a retrying legitimate client needs. Capacity-bounded:
+   when full, expired entries are purged; if every entry is still live,
+   the soonest-to-expire response is dropped (its retransmission window
+   closes first) and "rpc.cache_evictions" ticks.
+
+   The cache is a first-class value so a standby replica can hold one and
+   have it seeded by replication: a client that fails over after the
+   primary executed its request but died before answering gets the
+   original sealed reply from the standby instead of a second execution. *)
+type cache = { capacity : int; seen_auths : (string, int * string) Hashtbl.t }
+
+let create_cache ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Secure_rpc.create_cache: capacity must be positive";
+  { capacity; seen_auths = Hashtbl.create 64 }
+
+let cache_insert ?metrics cache ~now auth_id entry =
+  let { capacity; seen_auths } = cache in
+  if Hashtbl.length seen_auths >= capacity then begin
+    let stale =
+      Hashtbl.fold
+        (fun k (expiry, _) acc -> if expiry <= now then k :: acc else acc)
+        seen_auths []
+    in
+    List.iter (Hashtbl.remove seen_auths) stale;
+    if Hashtbl.length seen_auths >= capacity then begin
+      match
         Hashtbl.fold
-          (fun k (expiry, _) acc -> if expiry <= now then k :: acc else acc)
-          seen_auths []
-      in
-      List.iter (Hashtbl.remove seen_auths) stale;
-      if Hashtbl.length seen_auths >= response_cache_capacity then begin
-        match
-          Hashtbl.fold
-            (fun k (expiry, _) best ->
-              match best with
-              | Some (_, e) when e <= expiry -> best
-              | _ -> Some (k, expiry))
-            seen_auths None
-        with
-        | None -> ()
-        | Some (k, _) ->
-            Hashtbl.remove seen_auths k;
-            Sim.Metrics.incr metrics "rpc.cache_evictions"
-      end
-    end;
-    Hashtbl.replace seen_auths auth_id entry
+          (fun k (expiry, _) best ->
+            match best with
+            | Some (_, e) when e <= expiry -> best
+            | _ -> Some (k, expiry))
+          seen_auths None
+      with
+      | None -> ()
+      | Some (k, _) ->
+          Hashtbl.remove seen_auths k;
+          (match metrics with
+          | Some m -> Sim.Metrics.incr m "rpc.cache_evictions"
+          | None -> ())
+    end
+  end;
+  Hashtbl.replace seen_auths auth_id entry
+
+let seed_response cache ~now ~auth_id ~expires ~reply =
+  cache_insert cache ~now auth_id (expires, reply)
+
+let serve net ~me ~my_key ?node ?(max_skew_us = 5 * 60 * 1_000_000)
+    ?(response_cache_capacity = 4096) ?cache ?on_handled handler =
+  let metrics = Sim.Net.metrics net in
+  let node = Option.value node ~default:(Principal.to_string me) in
+  let cache =
+    match cache with Some c -> c | None -> create_cache ~capacity:response_cache_capacity ()
   in
+  let seen_auths = cache.seen_auths in
   let handle request =
     let now = Sim.Net.now net in
     let open Wire in
@@ -123,17 +142,26 @@ let serve net ~me ~my_key ?(max_skew_us = 5 * 60 * 1_000_000)
                                ~nonce:(Sim.Net.fresh_nonce net) (Wire.encode body))
                         in
                         let reply = Wire.encode (Wire.L [ Wire.S "sealed"; Wire.S sealed ]) in
-                        cache_insert ~now auth_id (now + max_skew_us, reply);
+                        let expires = now + max_skew_us in
+                        cache_insert ~metrics cache ~now auth_id (expires, reply);
+                        (* The handler really ran (not a cache hit): feed the
+                           replication hook, reply bytes included, so a
+                           standby can answer this client's retransmissions
+                           verbatim. *)
+                        (match on_handled with
+                        | Some f -> f ~auth_id ~expires ~reply
+                        | None -> ());
                         reply
                   end
             end)
   in
-  Sim.Net.register net ~name:(Principal.to_string me) handle
+  Sim.Net.register net ~name:node handle
 
-let call net ~creds ?subkey ?(retries = 0) ?timeout_us ?backoff payload =
+let call net ~creds ?subkey ?(retries = 0) ?timeout_us ?backoff ?dst ?(fallback_dsts = [])
+    ?on_failover payload =
   let open Wire in
   let src = Principal.to_string creds.Ticket.cred_client in
-  let dst = Principal.to_string creds.Ticket.cred_service in
+  let dst = Option.value dst ~default:(Principal.to_string creds.Ticket.cred_service) in
   let sp = Sim.Net.spans net in
   Sim.Span.with_span sp ~actor:src ~kind:"rpc.call" ~attrs:[ ("dst", dst) ] @@ fun () ->
   let metrics = Sim.Net.metrics net in
@@ -171,13 +199,40 @@ let call net ~creds ?subkey ?(retries = 0) ?timeout_us ?backoff payload =
      keys the server's response cache, so a retried request is answered from
      that cache instead of re-running the handler (or being rejected as a
      replay). Only transient transport failures retry; in-band service
-     errors return immediately. *)
+     errors return immediately.
+
+     [fallback_dsts] are alternative physical destinations for the same
+     logical service (shard replicas sharing the ticket's service identity):
+     when the current target is observably down, or the whole retry budget
+     against it is exhausted with a transient error, the call moves to the
+     next target — still the same request bytes, so a standby whose response
+     cache was seeded by replication answers an already-executed request
+     instead of running it twice. *)
+  let targets = Array.of_list (dst :: fallback_dsts) in
+  let target = ref 0 in
+  let fail_over () =
+    if !target + 1 >= Array.length targets then false
+    else begin
+      let from_ = targets.(!target) in
+      incr target;
+      let to_ = targets.(!target) in
+      Sim.Metrics.incr metrics "cluster.failovers";
+      Sim.Span.with_span sp ~actor:src ~kind:"cluster.failover"
+        ~attrs:[ ("from", from_); ("to", to_) ]
+        (fun () -> ());
+      (match on_failover with Some f -> f ~from_ ~to_ | None -> ());
+      true
+    end
+  in
   let attempt = ref 0 in
   let send () =
+    (* Don't burn an attempt on a target already known to be down. *)
+    if Sim.Net.is_down net targets.(!target) then ignore (fail_over ());
     incr attempt;
+    let d = targets.(!target) in
     Sim.Span.with_span sp ~actor:src ~kind:"rpc.attempt"
-      ~attrs:[ ("dst", dst); ("n", string_of_int !attempt) ]
-      (fun () -> Sim.Net.rpc net ~src ~dst request)
+      ~attrs:[ ("dst", d); ("n", string_of_int !attempt) ]
+      (fun () -> Sim.Net.rpc net ~src ~dst:d request)
   in
   let exchange =
     if retries = 0 && timeout_us = None && backoff = None then send
@@ -188,7 +243,12 @@ let call net ~creds ?subkey ?(retries = 0) ?timeout_us ?backoff payload =
           ~metrics:(Sim.Net.metrics net) p send
     end
   in
-  match exchange () with
+  let rec exchange_all () =
+    match exchange () with
+    | Error e when Sim.Net.transient_error e && fail_over () -> exchange_all ()
+    | r -> r
+  in
+  match exchange_all () with
   | Error e -> Error e
   | Ok reply -> (
       let* v = Wire.decode reply in

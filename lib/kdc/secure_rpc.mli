@@ -14,12 +14,28 @@ type server_context = {
       (** restrictions carried by the caller's ticket + authenticator *)
 }
 
+type cache
+(** A response cache (authenticator digest -> expiry * sealed reply) as a
+    first-class value, so shard replicas can share or seed one another's:
+    replication ships each handled request's [auth_id]/reply pair to the
+    standby, whose seeded cache then answers a failed-over client's
+    retransmission without executing the request a second time. *)
+
+val create_cache : ?capacity:int -> unit -> cache
+(** Default capacity 4096; at capacity, expired entries are purged, then
+    the soonest-to-expire live entry is evicted. *)
+
+val seed_response : cache -> now:int -> auth_id:string -> expires:int -> reply:string -> unit
+
 val serve :
   Sim.Net.t ->
   me:Principal.t ->
   my_key:string ->
+  ?node:string ->
   ?max_skew_us:int ->
   ?response_cache_capacity:int ->
+  ?cache:cache ->
+  ?on_handled:(auth_id:string -> expires:int -> reply:string -> unit) ->
   (server_context -> Wire.t -> (Wire.t, string) result) ->
   unit
 (** Register the service on the network. The handler sees only
@@ -31,10 +47,20 @@ val serve :
     at-least-once delivery. (A replayer gains nothing: the cached response
     is sealed under the session key.)
 
-    The response cache holds at most [response_cache_capacity] entries
-    (default 4096). At capacity, expired entries are purged; if all are
-    live, the soonest-to-expire one is evicted and the net's
-    ["rpc.cache_evictions"] metric ticks. *)
+    [node] is the network registration name (default: the service
+    principal). Shard replicas register the {e same} logical identity [me]
+    (and key) under distinct physical nodes, so a ticket for the shard is
+    honoured by either replica.
+
+    [cache] supplies an externally owned response cache (a standby's,
+    seeded by replication); otherwise an internal one holding at most
+    [response_cache_capacity] entries (default 4096) is used. At capacity,
+    expired entries are purged; if all are live, the soonest-to-expire one
+    is evicted and the net's ["rpc.cache_evictions"] metric ticks.
+
+    [on_handled] fires after each request the handler {e actually ran}
+    (cache hits excluded) with the authenticator digest, the cache expiry,
+    and the sealed reply bytes — the feed a primary ships to its standby. *)
 
 val call :
   Sim.Net.t ->
@@ -43,6 +69,9 @@ val call :
   ?retries:int ->
   ?timeout_us:int ->
   ?backoff:Sim.Retry.backoff ->
+  ?dst:string ->
+  ?fallback_dsts:string list ->
+  ?on_failover:(from_:string -> to_:string -> unit) ->
   Wire.t ->
   (Wire.t, string) result
 (** One authenticated exchange with the service named by
@@ -53,4 +82,12 @@ val call :
     transport failures are retried under {!Sim.Retry}: each retransmission
     reuses the {e same} request bytes, so the server's response cache
     answers duplicates without re-running the handler. Defaults ([retries
-    = 0], no timeout) preserve the single-shot behaviour. *)
+    = 0], no timeout) preserve the single-shot behaviour.
+
+    [dst] overrides the physical destination (default: the service
+    principal's name). [fallback_dsts] are further replicas of the same
+    logical service, tried in order — before an attempt if the current
+    target is observably down, or after the retry budget against it is
+    exhausted with a transient error. Fail-over reuses the same request
+    bytes, ticks ["cluster.failovers"], opens a ["cluster.failover"] span,
+    and calls [on_failover]. *)

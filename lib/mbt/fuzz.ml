@@ -249,7 +249,22 @@ let run ~seed ~iters =
 (* Corpus files are hex, one value per file.  [valid-*.hex] must decode both
    at the wire layer and through their typed decoder; [mutant-*.hex] only
    must not crash anything.  The typed decoder is recovered from the file
-   name: valid-<seedname>.hex / mutant-<k>-<seedname>.hex. *)
+   name: valid-<seedname>.hex / mutant-<k>-<seedname>.hex.  [json-*.hex]
+   entries are raw JSON text (hex-encoded like the rest) fed to the bench
+   artifact parser instead of the wire codec — each is an input that once
+   crashed [Benchout]'s \u escape handling, pinned so the parser keeps
+   failing closed. *)
+
+(* Hostile \u escapes: non-hex digit, truncation mid-escape, and the
+   underscore [int_of_string "0x1_23"] used to silently accept. *)
+let json_crashers =
+  [
+    ("json-escape-nonhex", {|{"a": "\u00g1"}|});
+    ("json-escape-truncated", {|{"a": "\u12|});
+    ("json-escape-underscore", {|{"a": "\u1_23"}|});
+    ("json-escape-empty", {|{"a": "\u|});
+    ("json-escape-negative", {|{"a": "\u-123"}|});
+  ]
 
 let corpus_decoder seeds fname =
   List.find_map
@@ -284,7 +299,11 @@ let save_corpus ~dir =
           (Program.to_hex mutant)
       done)
     seeds;
-  4 * List.length seeds
+  List.iter
+    (fun (name, text) ->
+      write (Filename.concat dir (name ^ ".hex")) (Program.to_hex text))
+    json_crashers;
+  (4 * List.length seeds) + List.length json_crashers
 
 type corpus_result = { files : int; failures : (string * string) list }
 
@@ -302,6 +321,11 @@ let replay_corpus ~dir =
       close_in ic;
       match Program.of_hex hex with
       | Error e -> fail fname ("bad hex: " ^ e)
+      | Ok bytes when String.length fname >= 5 && String.sub fname 0 5 = "json-" -> (
+          (* Bench-artifact JSON: the parser must fail closed, never raise. *)
+          match no_crash "json-parse" fname bytes (fun () -> Benchout.valid_json bytes) with
+          | Error c -> fail fname ("json parser raised: " ^ c.c_exn)
+          | Ok `Ok | Ok `Err -> ())
       | Ok bytes -> (
           let must_be_valid =
             String.length fname >= 6 && String.sub fname 0 6 = "valid-"

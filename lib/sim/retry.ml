@@ -38,19 +38,21 @@ let run ~clock ~drbg ?metrics ?(should_retry = Net.transient_error) p f =
     | Ok _ as ok -> finish ok
     | Error e as error ->
         if not (should_retry e) then finish error
+        else if attempt > p.retries then begin
+          (* Out of budget: give up immediately. Only attempts that are
+             followed by a retransmission wait out their timeout — charging
+             the final attempt a full timeout it never waited for skewed
+             every latency distribution upward. *)
+          count "rpc.gave_up";
+          finish error
+        end
         else begin
           (* A transient failure is silent on the wire: the client only
              learns about it by waiting out its timeout. *)
           Clock.advance clock p.timeout_us;
-          if attempt > p.retries then begin
-            count "rpc.gave_up";
-            finish error
-          end
-          else begin
-            count "rpc.retries";
-            Clock.advance clock (delay_us p.bo ~drbg ~attempt);
-            go (attempt + 1)
-          end
+          count "rpc.retries";
+          Clock.advance clock (delay_us p.bo ~drbg ~attempt);
+          go (attempt + 1)
         end
   in
   go 1

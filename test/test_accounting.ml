@@ -60,6 +60,51 @@ let test_ledger_holds () =
   Alcotest.(check bool) "release" true (Ledger.release_hold l ~name:"a" ~id:"ck3" = Ok ());
   Alcotest.(check int) "released back" 70 (Ledger.balance l ~name:"a" ~currency:usd)
 
+(* Regression: balances are native ints and addition used to wrap. A credit
+   that would overflow must be refused with the balance intact, compound
+   operations must compensate their earlier steps, and read-side sums
+   (held, total) saturate at max_int instead of going negative. *)
+let test_ledger_overflow () =
+  let l = Ledger.create () in
+  ignore (Ledger.open_account l ~owner:carol_p ~name:"a");
+  ignore (Ledger.open_account l ~owner:carol_p ~name:"b");
+  Alcotest.(check bool) "mint max_int" true (Ledger.mint l ~name:"a" ~currency:usd max_int = Ok ());
+  (match Ledger.credit l ~name:"a" ~currency:usd 1 with
+  | Ok () -> Alcotest.fail "credit past max_int accepted (balance would wrap)"
+  | Error e -> Alcotest.(check string) "overflow named" "balance overflow" e);
+  Alcotest.(check int) "balance intact after refusal" max_int
+    (Ledger.balance l ~name:"a" ~currency:usd);
+  (* transfer into a full account: the already-performed debit is undone *)
+  ignore (Ledger.mint l ~name:"b" ~currency:usd 10);
+  Alcotest.(check bool) "transfer into full account refused" true
+    (Result.is_error (Ledger.transfer l ~from_:"b" ~to_:"a" ~currency:usd 5));
+  Alcotest.(check int) "debit compensated" 10 (Ledger.balance l ~name:"b" ~currency:usd);
+  Alcotest.(check int) "target untouched" max_int (Ledger.balance l ~name:"a" ~currency:usd)
+
+let test_ledger_held_saturates () =
+  let l = Ledger.create () in
+  ignore (Ledger.open_account l ~owner:carol_p ~name:"a");
+  ignore (Ledger.mint l ~name:"a" ~currency:usd max_int);
+  Alcotest.(check bool) "hold h1" true (Ledger.hold l ~name:"a" ~id:"h1" ~currency:usd max_int = Ok ());
+  ignore (Ledger.mint l ~name:"a" ~currency:usd max_int);
+  Alcotest.(check bool) "hold h2" true (Ledger.hold l ~name:"a" ~id:"h2" ~currency:usd max_int = Ok ());
+  (* 2 * max_int wraps negative as native addition; the fold saturates *)
+  Alcotest.(check int) "held saturates" max_int (Ledger.held l ~name:"a" ~currency:usd);
+  Alcotest.(check int) "total saturates" max_int (Ledger.total l ~currency:usd)
+
+let test_ledger_release_hold_compensates () =
+  let l = Ledger.create () in
+  ignore (Ledger.open_account l ~owner:carol_p ~name:"a");
+  ignore (Ledger.mint l ~name:"a" ~currency:usd 10);
+  Alcotest.(check bool) "hold" true (Ledger.hold l ~name:"a" ~id:"h" ~currency:usd 10 = Ok ());
+  ignore (Ledger.mint l ~name:"a" ~currency:usd max_int);
+  (* releasing the hold would credit past max_int: the hold must be
+     restored, not silently dropped with the money *)
+  Alcotest.(check bool) "release refused" true
+    (Result.is_error (Ledger.release_hold l ~name:"a" ~id:"h"));
+  Alcotest.(check int) "hold restored" 10 (Ledger.held l ~name:"a" ~currency:usd);
+  Alcotest.(check int) "balance untouched" max_int (Ledger.balance l ~name:"a" ~currency:usd)
+
 (* --- two-bank world --- *)
 
 type bank_world = {
@@ -230,7 +275,7 @@ let test_intermediary_chain () =
          ~signing_key:b3_rsa ~lookup:bw.lookup ())
   in
   Accounting_server.install bank3;
-  Accounting_server.set_route bw.bank1 ~drawee:bw.bank2_name ~next_hop:b3;
+  Accounting_server.set_route bw.bank1 ~drawee:bw.bank2_name ~next_hop:b3 ();
   let check = write_check bw ~amount:75 () in
   let creds = creds_for bw bw.shop bw.bank1_name in
   (match
@@ -454,7 +499,10 @@ let () =
     [ ( "ledger",
         [ ("basics", `Quick, test_ledger_basics);
           ("transfer and total", `Quick, test_ledger_transfer_and_total);
-          ("holds", `Quick, test_ledger_holds) ] );
+          ("holds", `Quick, test_ledger_holds);
+          ("overflow refused", `Quick, test_ledger_overflow);
+          ("held sum saturates", `Quick, test_ledger_held_saturates);
+          ("release-hold compensates", `Quick, test_ledger_release_hold_compensates) ] );
       ( "rpc",
         [ ("accounts, balances, transfers", `Slow, test_rpc_accounts) ] );
       ( "checks",

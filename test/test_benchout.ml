@@ -1,0 +1,91 @@
+(* Regression pins for the bench-output JSON validator, in particular the
+   \u escape parser that used to walk past the end of the buffer (or accept
+   junk) on truncated and non-hex escapes. *)
+
+let ok name s =
+  match Benchout.valid_json s with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: rejected valid json: %s" name e
+
+let rejected name s =
+  (* The bug was a crash (out-of-bounds raise); the fix must turn each of
+     these into a clean Error, never an exception. *)
+  match Benchout.valid_json s with
+  | Ok () -> Alcotest.failf "%s: accepted malformed json" name
+  | Error _ -> ()
+  | exception e -> Alcotest.failf "%s: parser raised %s" name (Printexc.to_string e)
+
+(* [u "0041"] is the six-character JSON escape for U+0041; built by
+   concatenation so the backslash is unmistakably in the payload. *)
+let u hex = "\\u" ^ hex
+let quoted body = {|{"a": "|} ^ body ^ {|"}|}
+
+let test_unicode_escapes_valid () =
+  ok "bmp" (quoted (u "0041"));
+  ok "lower hex" (quoted (u "00ff"));
+  ok "upper hex" (quoted (u "ABCD"));
+  ok "escape last in string" (quoted ("tail " ^ u "0041"));
+  ok "mixed escapes" (quoted ("\\n\\t\\\\ \\\"done\\\" " ^ u "0012"))
+
+let test_unicode_escapes_malformed () =
+  rejected "non-hex digit" {|{"a": "\u00g1"}|};
+  rejected "truncated at eof" {|{"a": "\u12|};
+  rejected "underscore" {|{"a": "\u1_23"}|};
+  rejected "nothing after u" {|{"a": "\u|};
+  rejected "minus sign" {|{"a": "\u-123"}|};
+  rejected "escape then close quote" {|{"a": "\u12"}|}
+
+let test_corpus_files_covered () =
+  (* The fuzz corpus carries the original crashing inputs; every json-*
+     entry must decode and hit the same clean-Error path. *)
+  let dir = "fuzz_corpus" in
+  let entries =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 5 && String.sub f 0 5 = "json-" && Filename.check_suffix f ".hex")
+  in
+  Alcotest.(check bool) "corpus has json crashers" true (List.length entries >= 5);
+  List.iter
+    (fun f ->
+      let ic = open_in (Filename.concat dir f) in
+      let rec lines acc =
+        match input_line ic with
+        | line -> lines (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      let ls = lines [] in
+      close_in ic;
+      List.iter
+        (fun hex ->
+          match Mbt.Program.of_hex hex with
+          | Error e -> Alcotest.failf "%s: bad hex: %s" f e
+          | Ok bytes -> rejected f bytes)
+        (List.filter (fun l -> String.trim l <> "") ls))
+    entries
+
+let doc rows = { Benchout.id = "t9"; title = "roundtrip"; mode = "full"; rows }
+
+let row label ops rate =
+  { Benchout.label; ints = [ ("ops", ops); ("errors", 0) ]; floats = [ ("rate", rate) ] }
+
+let test_check_compares_ints_only () =
+  let baseline = doc [ row "n=1" 10 1.5; row "n=2" 20 2.5 ] in
+  (match Benchout.check ~baseline ~current:baseline with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "self-check failed: %s" (String.concat "; " es));
+  (* Floats are physical measurements: drift must not gate. *)
+  (match Benchout.check ~baseline ~current:(doc [ row "n=1" 10 9.9; row "n=2" 20 0.1 ]) with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "float drift gated: %s" (String.concat "; " es));
+  (* Integers are logical: any shift is a regression. *)
+  match Benchout.check ~baseline ~current:(doc [ row "n=1" 10 1.5; row "n=2" 21 2.5 ]) with
+  | Ok () -> Alcotest.fail "integer drift passed the gate"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "benchout"
+    [ ( "json",
+        [ ("unicode escapes accepted", `Quick, test_unicode_escapes_valid);
+          ("malformed escapes rejected without raising", `Quick, test_unicode_escapes_malformed);
+          ("fuzz corpus json crashers stay fixed", `Quick, test_corpus_files_covered) ] );
+      ("check", [ ("ints gate, floats do not", `Quick, test_check_compares_ints_only) ]) ]

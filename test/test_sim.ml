@@ -260,6 +260,63 @@ let test_crash_window_and_partition () =
   | Ok _ -> ()
   | Error e -> Alcotest.fail e
 
+(* --- retry clock accounting --- *)
+
+(* Pinned elapsed-time math for [Sim.Retry.run] with jitter 0, so every
+   advance is deterministic: retries=2, timeout=10ms, backoff 1ms doubling.
+   Only attempts followed by a retransmission wait out their timeout; the
+   final give-up returns immediately. A regression here means latency
+   distributions are charged a timeout nobody waited for. *)
+let retry_fixture () =
+  let clock = Clock.create () in
+  let drbg = Crypto.Drbg.create ~seed:"retry-pin" in
+  let m = Metrics.create () in
+  let p =
+    Sim.Retry.policy ~retries:2 ~timeout_us:10_000
+      ~backoff:(Sim.Retry.backoff ~base_us:1_000 ~factor:2.0 ~jitter:0.0 ())
+      ()
+  in
+  (clock, drbg, m, p)
+
+let test_retry_gave_up_elapsed () =
+  let clock, drbg, m, p = retry_fixture () in
+  (match Sim.Retry.run ~clock ~drbg ~metrics:m p (fun () -> Error "request dropped") with
+  | Ok () -> Alcotest.fail "all attempts failed but run returned Ok"
+  | Error e -> Alcotest.(check string) "last error" "request dropped" e);
+  (* attempt 1: +10_000 timeout +1_000 backoff; attempt 2: +10_000 +2_000;
+     attempt 3 gives up without waiting — 23_000, not 33_000. *)
+  Alcotest.(check int) "elapsed excludes the give-up timeout" 23_000 (Clock.now clock);
+  Alcotest.(check int) "retries counted" 2 (Metrics.get m "rpc.retries");
+  Alcotest.(check int) "gave up" 1 (Metrics.get m "rpc.gave_up");
+  match Metrics.dist m "rpc.latency_us" with
+  | None -> Alcotest.fail "no latency sample"
+  | Some d ->
+      Alcotest.(check int) "one sample" 1 d.Metrics.count;
+      Alcotest.(check int) "latency matches the clock" 23_000 d.Metrics.sum
+
+let test_retry_success_elapsed () =
+  let clock, drbg, m, p = retry_fixture () in
+  let calls = ref 0 in
+  (match
+     Sim.Retry.run ~clock ~drbg ~metrics:m p (fun () ->
+         incr calls;
+         if !calls < 3 then Error "request dropped" else Ok ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Two failed attempts wait out timeout+backoff; the succeeding third
+     attempt adds nothing. *)
+  Alcotest.(check int) "elapsed" 23_000 (Clock.now clock);
+  Alcotest.(check int) "no give-up" 0 (Metrics.get m "rpc.gave_up")
+
+let test_retry_first_try_elapsed () =
+  let clock, drbg, m, p = retry_fixture () in
+  (match Sim.Retry.run ~clock ~drbg ~metrics:m p (fun () -> Ok ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "no waiting" 0 (Clock.now clock);
+  Alcotest.(check int) "no retries" 0 (Metrics.get m "rpc.retries")
+
 let () =
   Alcotest.run "sim"
     [ ("clock", [ ("advance", `Quick, test_clock) ]);
@@ -276,6 +333,10 @@ let () =
           ("fresh material", `Quick, test_fresh_material);
           ("unregister", `Quick, test_unregister);
           ("dropped response after handler ran", `Quick, test_dropped_response_after_handler_ran) ] );
+      ( "retry",
+        [ ("give-up charges no timeout", `Quick, test_retry_gave_up_elapsed);
+          ("success after retries", `Quick, test_retry_success_elapsed);
+          ("first-try success waits nothing", `Quick, test_retry_first_try_elapsed) ] );
       ( "faults",
         [ ("drop and duplicate", `Quick, test_fault_drop_and_duplicate);
           ("seeded determinism", `Quick, test_fault_determinism);

@@ -38,6 +38,15 @@ echo "== model-based conformance smoke =="
 # mutants) and replays the committed shrunk repros in test/repros/.
 dune exec --no-build bin/proxykit.exe -- mbt --smoke
 
+echo "== revocation storm smoke =="
+# Seeded revocation-under-churn scenario: bulletins revoke live chains while
+# a partition drives one server past its staleness bound. Fresh servers must
+# deny within one epoch, the stale server must fail closed and recover on
+# heal, refreshed short-TTL chains must survive a grantor-epoch revocation,
+# bulletins must land on both bank replicas, and a same-seed rerun must be
+# byte-identical.
+dune exec --no-build bin/proxykit.exe -- revoke --smoke
+
 echo "== causal tracing smoke =="
 # A traced cascaded-authorization run must show >= 4 causally nested spans
 # across >= 3 actors with a retry child under the injected drop, per-span
@@ -52,13 +61,14 @@ echo "== wire-codec fuzz smoke =="
 dune exec --no-build bin/proxykit.exe -- fuzz --smoke
 
 echo "== bench smoke (logical metrics vs committed baseline) =="
-# Reduced-iteration F1/F4/F6 regenerate BENCH_*.json into a scratch dir;
+# Reduced-iteration F1/F4/F6/S1/R1 regenerate BENCH_*.json into a scratch
+# dir;
 # bench-check validates the JSON schema and compares every integer metric
 # (ops, bytes, crypto-op counts) exactly against the committed baseline.
 # Wall-times are recorded in the artifacts but never gated.
 BENCH_SMOKE_DIR=$(mktemp -d)
 BENCH_FAST=1 BENCH_DIR="$BENCH_SMOKE_DIR" \
-    dune exec --no-build bin/proxykit.exe -- bench f1 f4 f6 s1
+    dune exec --no-build bin/proxykit.exe -- bench f1 f4 f6 s1 r1
 dune exec --no-build bin/proxykit.exe -- bench-check \
     bench/BENCH_F1.json "$BENCH_SMOKE_DIR/BENCH_F1.json"
 dune exec --no-build bin/proxykit.exe -- bench-check \
@@ -67,6 +77,8 @@ dune exec --no-build bin/proxykit.exe -- bench-check \
     bench/BENCH_F6.json "$BENCH_SMOKE_DIR/BENCH_F6.json"
 dune exec --no-build bin/proxykit.exe -- bench-check \
     bench/BENCH_S1.json "$BENCH_SMOKE_DIR/BENCH_S1.json"
+dune exec --no-build bin/proxykit.exe -- bench-check \
+    bench/BENCH_R1.json "$BENCH_SMOKE_DIR/BENCH_R1.json"
 rm -rf "$BENCH_SMOKE_DIR"
 
 echo "== OK =="

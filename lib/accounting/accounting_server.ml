@@ -21,14 +21,15 @@ type t = {
          paid here, so a standby can mirror the accept-once record *)
 }
 
-let create net ~me ~my_key ~kdc ~signing_key ~lookup ?collect_retry ?verify_cache
+let create net ~me ~my_key ~kdc ~signing_key ~lookup ?collect_retry ?verify_cache ?revocation
     ?(proxy_lifetime_us = 24 * 3600 * 1_000_000) () =
   match Granter.create net ~me ~my_key ~kdc with
   | Error e -> Error e
   | Ok granter ->
       let ledger = Ledger.create () in
       let guard =
-        Guard.create net ~me ~my_key ~lookup_pub:lookup ?verify_cache ~acl:(Acl.create ()) ()
+        Guard.create net ~me ~my_key ~lookup_pub:lookup ?verify_cache ?revocation
+          ~acl:(Acl.create ()) ()
       in
       let t =
         {
@@ -57,6 +58,8 @@ let create net ~me ~my_key ~kdc ~signing_key ~lookup ?collect_retry ?verify_cach
 
 let me t = t.me
 let ledger t = t.ledger
+let guard t = t.guard
+let apply_bulletin t b = Guard.apply_bulletin t.guard b
 let account t name = Principal.Account.make ~server:t.me name
 
 let set_route t ~drawee ?(via = []) ~next_hop () =
@@ -357,6 +360,18 @@ let handle t ctx payload =
               trace t "standing release: %d %s back to %S (cumulative %d)" amount currency
                 payor_account (already - amount);
               Ok (Wire.I (already - amount)))
+  | "apply-bulletin" ->
+      (* Bulletins are self-authenticating (authority-signed, monotonic
+         epoch), so any authenticated caller may deliver one — the push leg
+         of distribution. Replays and stale bulletins are ignored, not
+         errors, so a duplicated push is harmless. *)
+      let* bw = field payload 1 in
+      let* b = Revocation.bulletin_of_wire bw in
+      let* advanced = Guard.apply_bulletin t.guard b in
+      if advanced then
+        trace t "revocation bulletin epoch %d applied (pushed by %s)" b.Revocation.b_epoch
+          (Principal.to_string client);
+      Ok (Wire.I (if advanced then 1 else 0))
   | other -> Error (Printf.sprintf "accounting: unknown operation %S" other)
 
 let install t =
@@ -489,6 +504,14 @@ let standing_release net ~creds ~authority ~from_account ~amount =
         Wire.I amount ]
   in
   Result.bind (Secure_rpc.call net ~creds payload) Wire.to_int
+
+let push_bulletin ?(retries = 0) ?timeout_us ?backoff ?dst ?fallback_dsts net ~creds b =
+  match
+    Secure_rpc.call net ~creds ~retries ?timeout_us ?backoff ?dst ?fallback_dsts
+      (Wire.L [ Wire.S "apply-bulletin"; Revocation.bulletin_to_wire b ])
+  with
+  | Error e -> Error e
+  | Ok reply -> Result.map (fun n -> n = 1) (Wire.to_int reply)
 
 let verify_certification ~lookup ~now ~server ~check_number proxy =
   match proxy.Proxy.flavor with

@@ -26,6 +26,7 @@ val create :
   lookup:(Principal.t -> Crypto.Rsa.public option) ->
   ?collect_retry:Sim.Retry.policy ->
   ?verify_cache:Verify_cache.t ->
+  ?revocation:Revocation.t ->
   ?proxy_lifetime_us:int ->
   unit ->
   (t, string) result
@@ -34,10 +35,21 @@ val create :
     keys. [collect_retry] governs the inter-bank [collect] hop during check
     clearing: without it a transiently lost collect response strands money
     debited at the drawee; with it the hop retransmits (same authenticator,
-    so the remote response cache fires the collect exactly once). *)
+    so the remote response cache fires the collect exactly once).
+    [revocation] attaches local bulletin state to the guard, so checks
+    drawn by revoked grantors bounce (see {!Guard.create}). *)
 
 val install : t -> unit
 val me : t -> Principal.t
+
+val guard : t -> Guard.t
+(** The underlying guard — e.g. to read its revocation state or caches. *)
+
+val apply_bulletin : t -> Revocation.bulletin -> (bool, string) result
+(** Feed a revocation bulletin to this server's guard (local delivery —
+    the cluster replication path uses this to reach a standby directly).
+    [Ok true] when the guard's epoch advanced; see {!Guard.apply_bulletin}. *)
+
 val ledger : t -> Ledger.t
 (** Direct ledger access for provisioning (minting resource currencies). *)
 
@@ -168,6 +180,19 @@ val standing_release :
   (int, string) result
 (** Quota release: return funds from [from_account] to the grantor and
     lower the cumulative draw. Returns the new cumulative total. *)
+
+val push_bulletin :
+  ?retries:int -> ?timeout_us:int -> ?backoff:Sim.Retry.backoff ->
+  ?dst:string -> ?fallback_dsts:string list ->
+  Sim.Net.t ->
+  creds:Ticket.credentials ->
+  Revocation.bulletin ->
+  (bool, string) result
+(** Push a revocation bulletin to the server (the ["apply-bulletin"] verb).
+    Bulletins are self-authenticating — the guard verifies the authority's
+    signature — so any authenticated caller may deliver one; a forged or
+    foreign bulletin is refused by the guard, not the transport. [Ok true]
+    when the server's epoch advanced. *)
 
 val verify_certification :
   lookup:(Principal.t -> Crypto.Rsa.public option) ->

@@ -6,12 +6,15 @@ type t = {
   files : (string, string) Hashtbl.t;
 }
 
-let create net ~me ~my_key ?lookup_pub ?my_rsa ?verify_cache ~acl () =
-  let guard = Guard.create net ~me ~my_key ?lookup_pub ?my_rsa ?verify_cache ~acl () in
+let create net ~me ~my_key ?lookup_pub ?my_rsa ?verify_cache ?revocation ~acl () =
+  let guard =
+    Guard.create net ~me ~my_key ?lookup_pub ?my_rsa ?verify_cache ?revocation ~acl ()
+  in
   { net; me; my_key; guard; files = Hashtbl.create 16 }
 
 let me t = t.me
 let acl t = Guard.acl t.guard
+let guard t = t.guard
 let put_direct t ~path content = Hashtbl.replace t.files path content
 let get_direct t ~path = Hashtbl.find_opt t.files path
 

@@ -15,17 +15,24 @@ val create :
   ?lookup_pub:(Principal.t -> Crypto.Rsa.public option) ->
   ?my_rsa:Crypto.Rsa.private_ ->
   ?verify_cache:Verify_cache.t ->
+  ?revocation:Revocation.t ->
   acl:Acl.t ->
   unit ->
   t
 (** [my_rsa] lets the guard accept hybrid proxies (their symmetric proxy
     key is sealed to this server's public key); [verify_cache] overrides
     the guard's signature-verification memo cache (pass a capacity-0 cache
-    to disable caching, e.g. for differential testing). *)
+    to disable caching, e.g. for differential testing); [revocation]
+    attaches local bulletin state (see {!Guard.create}). *)
 
 val install : t -> unit
 val me : t -> Principal.t
 val acl : t -> Acl.t
+
+val guard : t -> Guard.t
+(** The underlying guard — e.g. to {!Guard.apply_bulletin} fetched
+    revocation bulletins, or to read its caches. *)
+
 val put_direct : t -> path:string -> string -> unit
 (** Provision content without going through authorization (setup). *)
 

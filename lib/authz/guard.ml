@@ -12,10 +12,11 @@ type t = {
   acl : Acl.t;
   replay : Replay_cache.t;
   verify_cache : Verify_cache.t;
+  mutable revocation : Revocation.t option;
 }
 
 let create net ~me ~my_key ?(lookup_pub = fun _ -> None) ?my_rsa
-    ?(max_skew_us = 5 * 60 * 1_000_000) ?verify_cache ~acl () =
+    ?(max_skew_us = 5 * 60 * 1_000_000) ?verify_cache ?revocation ~acl () =
   let decrypt =
     match my_rsa with None -> fun _ -> None | Some key -> Crypto.Rsa.decrypt key
   in
@@ -23,7 +24,11 @@ let create net ~me ~my_key ?(lookup_pub = fun _ -> None) ?my_rsa
   let verify_cache =
     match verify_cache with
     | Some c -> c
-    | None -> Verify_cache.create ~on_evict:(incr "verify_cache.evictions") ()
+    | None ->
+        Verify_cache.create
+          ~on_evict:(incr "verify_cache.evictions")
+          ~on_invalidate:(incr "verify_cache.invalidations")
+          ()
   in
   {
     net;
@@ -35,12 +40,15 @@ let create net ~me ~my_key ?(lookup_pub = fun _ -> None) ?my_rsa
     acl;
     replay = Replay_cache.create ~on_evict:(incr "replay_cache.evictions") ();
     verify_cache;
+    revocation;
   }
 
 let me t = t.me
 let acl t = t.acl
 let replay_cache t = t.replay
 let verify_cache t = t.verify_cache
+let revocation t = t.revocation
+let set_revocation t r = t.revocation <- Some r
 
 type presented = { pres : Proxy.presentation; pres_proof : Presentation.proof option }
 
@@ -134,13 +142,40 @@ let span_hook t =
               Sim.Span.with_span sp ~actor:(Principal.to_string t.me) ~kind:name ~attrs f);
         }
 
+(* A bulletin that actually extends revocation coverage retires the whole
+   verify-cache generation: the cache keys are one-way hashes, so the chains
+   depending on a freshly revoked link cannot be enumerated — everything is
+   invalidated in one bump and honest traffic re-verifies. A heartbeat
+   bulletin (same entries, newer epoch) only refreshes the staleness
+   anchor and leaves the cache warm. *)
+let apply_bulletin t bulletin =
+  match t.revocation with
+  | None -> Error "guard has no revocation state configured"
+  | Some r -> (
+      match Revocation.apply r bulletin with
+      | Error _ as e -> e
+      | Ok Revocation.Ignored -> Ok false
+      | Ok (Revocation.Applied { fresh }) ->
+          tally t "revocation.bulletins_applied";
+          if fresh > 0 then begin
+            let retired = Verify_cache.bump_generation t.verify_cache in
+            Sim.Metrics.incr (Sim.Net.metrics t.net) "verify_cache.generation_bumps";
+            Sim.Trace.record (Sim.Net.trace t.net) ~time:(Sim.Net.now t.net)
+              ~actor:(Principal.to_string t.me)
+              (Printf.sprintf
+                 "applied revocation bulletin epoch %d (%d new entries, %d cached chains \
+                  invalidated)"
+                 (Revocation.epoch r) fresh retired)
+          end;
+          Ok true)
+
 (* Verify a presented proxy and check it authorizes [req]; [Ok usable] if it
    contributes its grantor's authority to the request. *)
 let evaluate t ~req (p : presented) =
   match
     Verifier.verify ~open_base:(open_base t) ~lookup:t.lookup_pub ~decrypt:t.decrypt ~me:t.me
-      ~tally:(tally t) ~cache:t.verify_cache ?hook:(span_hook t) ~now:req.Restriction.time
-      p.pres
+      ~tally:(tally t) ~cache:t.verify_cache ?revocation:t.revocation ?hook:(span_hook t)
+      ~now:req.Restriction.time p.pres
   with
   | Error e -> Error e
   | Ok verified -> (

@@ -27,6 +27,7 @@ val create :
   ?my_rsa:Crypto.Rsa.private_ ->
   ?max_skew_us:int ->
   ?verify_cache:Verify_cache.t ->
+  ?revocation:Revocation.t ->
   acl:Acl.t ->
   unit ->
   t
@@ -34,13 +35,29 @@ val create :
     encrypted to this server's public key). [verify_cache] lets several
     guards (or a guard and a bare {!Verifier} call site) share one
     signature-verification memo cache; by default each guard gets its own,
-    wired to the net's metrics ("verify_cache.hits"/"misses"/"evictions",
-    and "replay_cache.evictions" for the accept-once cache). *)
+    wired to the net's metrics ("verify_cache.hits"/"misses"/"evictions"/
+    "invalidations", and "replay_cache.evictions" for the accept-once
+    cache). [revocation] attaches local bulletin state: every verification
+    then consults it ({!Verifier.verify}), and {!apply_bulletin} keeps it
+    current. Without it the guard never revokes (the pre-bulletin
+    behavior). *)
 
 val me : t -> Principal.t
 val acl : t -> Acl.t
 val replay_cache : t -> Replay_cache.t
 val verify_cache : t -> Verify_cache.t
+val revocation : t -> Revocation.t option
+val set_revocation : t -> Revocation.t -> unit
+
+val apply_bulletin : t -> Revocation.bulletin -> (bool, string) result
+(** Feed one signed bulletin to the guard's revocation state. [Ok true]
+    means the epoch advanced; if the bulletin added coverage, the whole
+    verify-cache generation is retired ({!Verify_cache.bump_generation})
+    so no cached chain sharing a revoked link can be re-hit. [Ok false]
+    means a replayed or out-of-order old bulletin was ignored. [Error]
+    means the bulletin failed authentication, or no revocation state is
+    configured. Metrics: ["revocation.bulletins_applied"],
+    ["verify_cache.generation_bumps"], ["verify_cache.invalidations"]. *)
 
 (** A proxy as it arrives at the server: certificates plus (for bearer
     proxies) a proof of possession bound to this request. *)

@@ -1332,6 +1332,119 @@ let s1 () =
          })
        measured)
 
+(* ------------------------------------------------------------------ *)
+(* R1: revocation rate vs verify throughput                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A warm verify cache serves a fixed population of public-key chains
+   while signed bulletins land at increasing rates. Cache keys are one-way
+   hashes, so a bulletin that adds coverage retires the whole generation
+   (the invalidation storm); the verify path then pays fresh RSA for every
+   live chain until the cache re-warms. Logical counters (verifies, hits,
+   invalidations, denials) are deterministic and CI-gated; CPU time is
+   informative only. *)
+
+let r1 () =
+  section "R1: revocation rate vs verify throughput";
+  let chains = 32 and verifies = 2_000 in
+  let drbg = Crypto.Drbg.create ~seed:"r1" in
+  let realm = "r" in
+  let authority = Principal.make ~realm "bulletin-board" in
+  let grantor = Principal.make ~realm "grantor" in
+  let ra_kp = Crypto.Rsa.generate drbg ~bits:512 in
+  let g_kp = Crypto.Rsa.generate drbg ~bits:512 in
+  let lookup q = if Principal.equal q grantor then Some g_kp.Crypto.Rsa.pub else None in
+  let population =
+    Array.init chains (fun i ->
+        let proxy =
+          Proxy.grant_pk ~drbg ~now:0 ~expires:1_000_000_000 ~grantor ~grantor_key:g_kp
+            ~proxy_bits:512
+            ~restrictions:
+              [ R.Authorized [ { R.target = Printf.sprintf "obj-%d" i; ops = [ "read" ] } ] ]
+            ()
+        in
+        match proxy.Proxy.flavor with
+        | Proxy.Public_key certs -> certs
+        | _ -> assert false)
+  in
+  let serial_of certs = (List.hd certs).Proxy_cert.pk_body.Proxy_cert.serial in
+  (* revocations per 1000 verifications *)
+  let rates = [ 0; 1; 4; 16; 64 ] in
+  let measured =
+    List.map
+      (fun rate ->
+        let sub = Revocation.create ~authority ~authority_pub:ra_kp.Crypto.Rsa.pub ~now:0 () in
+        let cache = Verify_cache.create () in
+        let epoch = ref 1 in
+        let entries = ref [] in
+        let revoked = ref 0 in
+        let bumps = ref 0 in
+        let denials = ref 0 in
+        let interval = if rate = 0 then 0 else 1_000 / rate in
+        (* One pass only (~iters:1): the logical counters below must not
+           depend on how often the wall clock sampled the loop. *)
+        let ns =
+          wall_ns ~iters:1 (fun () ->
+              for i = 1 to verifies do
+                if interval > 0 && i mod interval = 0 && !revoked < chains - 1 then begin
+                  entries :=
+                    Revocation.By_serial (serial_of population.(!revoked)) :: !entries;
+                  incr revoked;
+                  incr epoch;
+                  let b =
+                    Revocation.sign ~key:ra_kp ~authority ~epoch:!epoch ~issued_at:0 !entries
+                  in
+                  match Revocation.apply sub b with
+                  | Ok (Revocation.Applied { fresh }) when fresh > 0 ->
+                      ignore (Verify_cache.bump_generation cache);
+                      incr bumps
+                  | _ -> ()
+                end;
+                match
+                  Verifier.verify_pk ~lookup ~cache ~revocation:sub ~now:1
+                    population.(i mod chains)
+                with
+                | Ok _ -> ()
+                | Error _ -> incr denials
+              done)
+        in
+        let s = Verify_cache.stats cache in
+        (rate, !revoked, !bumps, !denials, s, ns))
+      rates
+  in
+  print_table "R1: bulletin-driven invalidation vs verify throughput"
+    [ "revocations/1k verifies"; "revoked"; "generation bumps"; "cache hits"; "misses";
+      "invalidated"; "denials"; "per-verify CPU" ]
+    (List.map
+       (fun (rate, revoked, bumps, denials, s, ns) ->
+         [ string_of_int rate;
+           string_of_int revoked;
+           string_of_int bumps;
+           string_of_int s.Verify_cache.hits;
+           string_of_int s.Verify_cache.misses;
+           string_of_int s.Verify_cache.invalidations;
+           string_of_int denials;
+           fmt_ns (ns /. float_of_int verifies) ])
+       measured);
+  Benchout.write ~id:"r1" ~title:"revocation: bulletin rate vs verify throughput"
+    (List.map
+       (fun (rate, revoked, bumps, denials, s, ns) ->
+         {
+           Benchout.label = Printf.sprintf "rate=%d/1k" rate;
+           ints =
+             [ ("verifies", verifies);
+               ("revocations", revoked);
+               ("generation_bumps", bumps);
+               ("cache_hits", s.Verify_cache.hits);
+               ("cache_misses", s.Verify_cache.misses);
+               ("invalidations", s.Verify_cache.invalidations);
+               ("denials", denials) ];
+           floats =
+             [ ("verify_ns", ns /. float_of_int verifies);
+               ("throughput_per_s", float_of_int verifies *. 1e9 /. ns) ];
+         })
+       measured)
+
 (* The experiment registry: ids as used in DESIGN.md / EXPERIMENTS.md. *)
 let all =
   [ ("f1", "Fig 1: proxy grant/verify vs restriction count", fig1);
@@ -1345,7 +1458,8 @@ let all =
     ("a1", "ablation: accept-once replay cache", a1);
     ("a2", "ablation: limit-restriction elision", a2);
     ("a3", "Sec 6.3: TGS proxies vs per-server capabilities", a3);
-    ("s1", "cluster: sharded accounting, replica failover", s1) ]
+    ("s1", "cluster: sharded accounting, replica failover", s1);
+    ("r1", "revocation: bulletin rate vs verify throughput", r1) ]
 
 let run ids =
   let t0 = Unix.gettimeofday () in

@@ -47,11 +47,22 @@ let ( let* ) = Result.bind
 let journal_fn t op = t.pending_ops := op :: !(t.pending_ops)
 
 let create net ~me ~my_key ~kdc ~signing_key ~lookup ?collect_retry ?repl_retry
-    ~primary_node ~standby_node () =
+    ?revocation_authority ?staleness_bound_us ~primary_node ~standby_node () =
   if primary_node = standby_node then
     invalid_arg "Shard.create: replicas need distinct node names";
   let mk () =
-    Accounting_server.create net ~me ~my_key ~kdc ~signing_key ~lookup ?collect_retry ()
+    (* Each replica subscribes to bulletins with its *own* state: a
+       partition that isolates one physical node must age that replica
+       toward its staleness bound without touching the other. *)
+    let revocation =
+      Option.map
+        (fun (authority, authority_pub) ->
+          Revocation.create ~authority ~authority_pub ?staleness_bound_us
+            ~now:(Sim.Net.now net) ())
+        revocation_authority
+    in
+    Accounting_server.create net ~me ~my_key ~kdc ~signing_key ~lookup ?collect_retry
+      ?revocation ()
   in
   let* primary_server = mk () in
   let* standby_server = mk () in
@@ -167,6 +178,11 @@ let apply_replication t ctx v =
 let standby_handle t ctx payload =
   match payload with
   | Wire.L (Wire.S "x-replicate" :: _) -> apply_replication t ctx payload
+  | Wire.L (Wire.S "apply-bulletin" :: _) ->
+      (* Revocation bulletins bypass the promotion gate: a standby that
+         refused them would fail open the moment it promoted. The bulletin
+         is self-authenticating, so accepting it here grants nothing. *)
+      Accounting_server.handle t.standby.server ctx payload
   | _ ->
       if t.promoted || primary_down t then begin
         if not t.promoted then begin
@@ -207,3 +223,8 @@ let set_route t ~drawee ?via ~next_hop () =
 let warm t ~drawee =
   let* () = Accounting_server.warm t.primary.server ~drawee in
   Accounting_server.warm t.standby.server ~drawee
+
+let apply_bulletin t b =
+  let* p = Accounting_server.apply_bulletin t.primary.server b in
+  let* s = Accounting_server.apply_bulletin t.standby.server b in
+  Ok (p || s)

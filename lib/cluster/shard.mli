@@ -21,13 +21,19 @@ val create :
   lookup:(Principal.t -> Crypto.Rsa.public option) ->
   ?collect_retry:Sim.Retry.policy ->
   ?repl_retry:Sim.Retry.policy ->
+  ?revocation_authority:Principal.t * Crypto.Rsa.public ->
+  ?staleness_bound_us:int ->
   primary_node:string ->
   standby_node:string ->
   unit ->
   (t, string) result
 (** Both replicas are created with the same [me]/[my_key]; [primary_node]
     and [standby_node] are their distinct physical network names.
-    [repl_retry] governs the primary->standby replication exchange. *)
+    [repl_retry] governs the primary->standby replication exchange.
+    [revocation_authority] subscribes {e each replica independently} to
+    that authority's bulletins (its own {!Revocation.t}, aged by its own
+    deliveries), so a partition isolating one physical node drives only
+    that replica past [staleness_bound_us] into fail-closed. *)
 
 val install : t -> unit
 (** Register both replicas on the network. *)
@@ -56,3 +62,11 @@ val set_route :
 val warm : t -> drawee:Principal.t -> (unit, string) result
 (** Pre-fetch clearing credentials on both replicas so no KDC traffic is
     needed once a fault plan is live (a freshly promoted standby included). *)
+
+val apply_bulletin : t -> Revocation.bulletin -> (bool, string) result
+(** Deliver a revocation bulletin to {e both} replicas locally. [Ok true]
+    when either epoch advanced. The remote path is
+    {!Accounting_server.push_bulletin} aimed at each physical node — the
+    standby accepts the ["apply-bulletin"] verb even before promotion
+    (unlike fresh work), because a standby with stale revocation state
+    would fail open the moment it took over. *)

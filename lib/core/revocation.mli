@@ -1,0 +1,102 @@
+(** Revocation lists distributed as signed epoch bulletins.
+
+    The paper's restrictions bound a proxy's lifetime at grant time; this
+    module handles withdrawal {e after} the grant. A revocation authority
+    accumulates per-grantor revocations — by certificate serial, or by
+    grantor epoch ("every certificate this grantor issued before T is
+    void") — and publishes the {e cumulative} list as a signed,
+    monotonically-numbered {b bulletin}. Verifying servers hold a local
+    {!t}: the latest applied bulletin plus a staleness bound.
+
+    Two properties drive the design:
+
+    - {b bounded inconsistency}: a server whose bulletin is within the
+      staleness bound serves normally — a freshly revoked chain may be
+      honored for at most one staleness window;
+    - {b fail closed beyond the bound}: once [now - as_of] exceeds the
+      bound (e.g. the server is partitioned away from the authority),
+      {!check} refuses {e every} proxy presentation, revoked or not, until
+      a fresh bulletin arrives. Direct-ACL requests carry no proxies and
+      are unaffected, and accept-once replay state is kept throughout.
+
+    Bulletins are cumulative and self-authenticating, so they can travel
+    over any channel (push or pull) and be applied in any order: only a
+    signature-valid bulletin with a strictly higher epoch than the one held
+    advances the state. *)
+
+type entry =
+  | By_serial of string  (** revoke one certificate by its serial *)
+  | By_grantor_epoch of { grantor : Principal.t; not_before : int }
+      (** revoke every certificate [grantor] issued strictly before
+          [not_before]; re-issued (refreshed) certificates carry a later
+          [issued_at] and survive *)
+
+type bulletin = {
+  b_authority : Principal.t;
+  b_epoch : int;  (** strictly increasing across publications *)
+  b_issued_at : int;  (** freshness anchor for the staleness bound *)
+  b_entries : entry list;  (** the {e full} cumulative revocation list *)
+  b_signature : string;  (** authority's RSA signature over the body *)
+}
+
+val sign :
+  key:Crypto.Rsa.private_ ->
+  authority:Principal.t ->
+  epoch:int ->
+  issued_at:int ->
+  entry list ->
+  bulletin
+
+val verify_bulletin : Crypto.Rsa.public -> bulletin -> (unit, string) result
+(** Signature check only; epoch ordering is {!apply}'s business. *)
+
+val entry_to_wire : entry -> Wire.t
+val entry_of_wire : Wire.t -> (entry, string) result
+val bulletin_to_wire : bulletin -> Wire.t
+val bulletin_of_wire : Wire.t -> (bulletin, string) result
+
+(** {2 Subscriber state} *)
+
+type t
+
+val default_staleness_bound_us : int
+(** 30 simulated minutes. *)
+
+val create :
+  authority:Principal.t ->
+  authority_pub:Crypto.Rsa.public ->
+  ?staleness_bound_us:int ->
+  now:int ->
+  unit ->
+  t
+(** Fresh state at epoch 0 with [as_of = now]: a just-created server is
+    considered fresh for one staleness window, giving it time to fetch its
+    first bulletin before failing closed. *)
+
+type applied =
+  | Applied of { fresh : int }
+      (** the epoch advanced; [fresh] counts entries not already covered by
+          the previous state (0 for a pure heartbeat re-publication) *)
+  | Ignored  (** valid signature but epoch not newer than what is held *)
+
+val apply : t -> bulletin -> (applied, string) result
+(** Verify authority identity and signature, then advance if the epoch is
+    strictly newer. [Error] means the bulletin is not authentic (wrong
+    authority or bad signature); replays and reordered old bulletins are
+    [Ok Ignored]. *)
+
+val authority : t -> Principal.t
+val epoch : t -> int
+val as_of : t -> int
+val staleness_bound_us : t -> int
+val entry_count : t -> int
+
+val stale : t -> now:int -> bool
+(** [now - as_of > staleness_bound_us]. *)
+
+val revoked : t -> Proxy_cert.body -> (unit, string) result
+(** Is this certificate body on the list? [Error] names the matching entry
+    kind. Does {e not} consider staleness. *)
+
+val check : t -> now:int -> Proxy_cert.body -> (unit, string) result
+(** The verifier-facing gate: fail closed when {!stale}, else {!revoked}. *)

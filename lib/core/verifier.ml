@@ -65,9 +65,38 @@ let check_window ~now (body : Proxy_cert.body) =
   else if body.Proxy_cert.expires <= now then Error "proxy-cert: expired"
   else Ok ()
 
-let verify_conventional ~open_base ?(tally = no_tally) ?(hook = no_hook) ~now
+(* Revocation is consulted on every presentation, cached or not: the verify
+   cache only memoizes RSA results, never this check, so a bulletin takes
+   effect on the very next presentation once applied. The staleness gate
+   runs once per chain (fail closed — a server cut off from the bulletin
+   distributor refuses all proxy-borne authority past the bound); the
+   per-certificate check runs on every link of the walk. *)
+let stale_gate ?revocation ~tally ~now () =
+  match revocation with
+  | None -> Ok ()
+  | Some r ->
+      if Revocation.stale r ~now then begin
+        tally "revocation.stale_denials";
+        Error
+          (Printf.sprintf "revocation bulletin stale (as of %d): failing closed"
+             (Revocation.as_of r))
+      end
+      else Ok ()
+
+let check_revocation ?revocation ~tally (body : Proxy_cert.body) =
+  match revocation with
+  | None -> Ok ()
+  | Some r -> (
+      match Revocation.revoked r body with
+      | Ok () -> Ok ()
+      | Error _ as e ->
+          tally "revocation.denials";
+          e)
+
+let verify_conventional ~open_base ?(tally = no_tally) ?revocation ?(hook = no_hook) ~now
     (chain : Proxy.conventional_chain) =
   let open Wire in
+  let* () = stale_gate ?revocation ~tally ~now () in
   tally "crypto.open";
   let* base = open_base chain.Proxy.base in
   if base.base_expires <= now then Error "base credentials expired"
@@ -95,6 +124,7 @@ let verify_conventional ~open_base ?(tally = no_tally) ?(hook = no_hook) ~now
                 tally "crypto.open";
                 let* body, proxy_key = Proxy_cert.open_conventional ~sealing_key:key blob in
                 let* () = check_window ~now body in
+                let* () = check_revocation ?revocation ~tally body in
                 let* () =
                   if idx = 0 && not (Principal.equal body.Proxy_cert.grantor base.base_client)
                   then Error "head certificate grantor does not match base credentials"
@@ -112,8 +142,9 @@ let verify_conventional ~open_base ?(tally = no_tally) ?(hook = no_hook) ~now
       chain.Proxy.cert_blobs
   end
 
-let verify_pk ~lookup ?(tally = no_tally) ?cache ?(hook = no_hook) ~now certs =
+let verify_pk ~lookup ?(tally = no_tally) ?cache ?revocation ?(hook = no_hook) ~now certs =
   let open Wire in
+  let* () = stale_gate ?revocation ~tally ~now () in
   match certs with
   | [] -> Error "empty certificate chain"
   | head :: _ ->
@@ -191,7 +222,8 @@ let verify_pk ~lookup ?(tally = no_tally) ?cache ?(hook = no_hook) ~now certs =
                       ~signature:cert.Proxy_cert.signature
                       (fun () -> Proxy_cert.verify_pk_signature pub cert)
                   in
-                  check_window ~now cert.Proxy_cert.pk_body)
+                  let* () = check_window ~now cert.Proxy_cert.pk_body in
+                  check_revocation ?revocation ~tally cert.Proxy_cert.pk_body)
             in
             let discharged =
               match cert.Proxy_cert.pk_signer with
@@ -213,7 +245,7 @@ let verify_pk ~lookup ?(tally = no_tally) ?cache ?(hook = no_hook) ~now certs =
 (* Walk conventionally-sealed cascade certificates from a known starting
    key, accumulating restrictions; shared by the conventional walk above in
    spirit, specialized here for the hybrid tail. *)
-let walk_cascade ~tally ~hook ~now ~start_key ~acc ~serials ~expires blobs =
+let walk_cascade ~tally ?revocation ~hook ~now ~start_key ~acc ~serials ~expires blobs =
   let open Wire in
   let rec go key acc serials expires idx = function
     | [] -> Ok (key, acc, List.rev serials, expires)
@@ -225,6 +257,7 @@ let walk_cascade ~tally ~hook ~now ~start_key ~acc ~serials ~expires blobs =
               tally "crypto.open";
               let* body, proxy_key = Proxy_cert.open_conventional ~sealing_key:key blob in
               let* () = check_window ~now body in
+              let* () = check_revocation ?revocation ~tally body in
               Ok (body, proxy_key))
         in
         go proxy_key
@@ -235,9 +268,11 @@ let walk_cascade ~tally ~hook ~now ~start_key ~acc ~serials ~expires blobs =
   in
   go start_key acc (List.rev serials) expires 1 blobs
 
-let verify_hybrid ~lookup ~decrypt ?me ?(tally = no_tally) ?cache ?(hook = no_hook) ~now ((head, blobs) : Proxy_cert.hybrid_cert * string list) =
+let verify_hybrid ~lookup ~decrypt ?me ?(tally = no_tally) ?cache ?revocation
+    ?(hook = no_hook) ~now ((head, blobs) : Proxy_cert.hybrid_cert * string list) =
   let open Wire in
   let grantor = head.Proxy_cert.h_body.Proxy_cert.grantor in
+  let* () = stale_gate ?revocation ~tally ~now () in
   let* () =
     match me with
     | Some me when not (Principal.equal me head.Proxy_cert.h_end_server) ->
@@ -268,11 +303,12 @@ let verify_hybrid ~lookup ~decrypt ?me ?(tally = no_tally) ?cache ?(hook = no_ho
             (fun () -> Proxy_cert.verify_hybrid_signature grantor_pub head)
         in
         let* () = check_window ~now head.Proxy_cert.h_body in
+        let* () = check_revocation ?revocation ~tally head.Proxy_cert.h_body in
         tally "crypto.rsa_decrypt";
         Proxy_cert.open_hybrid_key ~decrypt head)
   in
   let* final_key, restrictions, serials, expires =
-    walk_cascade ~tally ~hook ~now ~start_key:head_key
+    walk_cascade ~tally ?revocation ~hook ~now ~start_key:head_key
       ~acc:head.Proxy_cert.h_body.Proxy_cert.restrictions
       ~serials:[ head.Proxy_cert.h_body.Proxy_cert.serial ]
       ~expires:head.Proxy_cert.h_body.Proxy_cert.expires blobs
@@ -289,11 +325,13 @@ let verify_hybrid ~lookup ~decrypt ?me ?(tally = no_tally) ?cache ?(hook = no_ho
 
 let no_decrypt _ = None
 
-let verify ~open_base ~lookup ?(decrypt = no_decrypt) ?me ?tally ?cache ?hook ~now = function
-  | Proxy.Conventional chain -> verify_conventional ~open_base ?tally ?hook ~now chain
-  | Proxy.Public_key certs -> verify_pk ~lookup ?tally ?cache ?hook ~now certs
+let verify ~open_base ~lookup ?(decrypt = no_decrypt) ?me ?tally ?cache ?revocation ?hook
+    ~now = function
+  | Proxy.Conventional chain ->
+      verify_conventional ~open_base ?tally ?revocation ?hook ~now chain
+  | Proxy.Public_key certs -> verify_pk ~lookup ?tally ?cache ?revocation ?hook ~now certs
   | Proxy.Hybrid (head, blobs) ->
-      verify_hybrid ~lookup ~decrypt ?me ?tally ?cache ?hook ~now (head, blobs)
+      verify_hybrid ~lookup ~decrypt ?me ?tally ?cache ?revocation ?hook ~now (head, blobs)
 
 let authorize verified ~req ~proof ~max_skew =
   let open Wire in

@@ -43,6 +43,7 @@ val no_hook : span_hook
 val verify_conventional :
   open_base:(string -> (base_info, string) result) ->
   ?tally:(string -> unit) ->
+  ?revocation:Revocation.t ->
   ?hook:span_hook ->
   now:int ->
   Proxy.conventional_chain ->
@@ -52,6 +53,7 @@ val verify_pk :
   lookup:(Principal.t -> Crypto.Rsa.public option) ->
   ?tally:(string -> unit) ->
   ?cache:Verify_cache.t ->
+  ?revocation:Revocation.t ->
   ?hook:span_hook ->
   now:int ->
   Proxy_cert.pk_cert list ->
@@ -71,6 +73,7 @@ val verify_hybrid :
   ?me:Principal.t ->
   ?tally:(string -> unit) ->
   ?cache:Verify_cache.t ->
+  ?revocation:Revocation.t ->
   ?hook:span_hook ->
   now:int ->
   Proxy_cert.hybrid_cert * string list ->
@@ -87,6 +90,7 @@ val verify :
   ?me:Principal.t ->
   ?tally:(string -> unit) ->
   ?cache:Verify_cache.t ->
+  ?revocation:Revocation.t ->
   ?hook:span_hook ->
   now:int ->
   Proxy.presentation ->
@@ -97,7 +101,15 @@ val verify :
     tallies ["verify_cache.hits"] instead of ["crypto.rsa_verify"], a miss
     tallies both ["verify_cache.misses"] and the usual crypto counters —
     so the cache-miss metering is exactly the uncached metering. Time
-    windows, restrictions and proofs are never cached. *)
+    windows, restrictions and proofs are never cached.
+
+    When [revocation] is given, every certificate body on the walk is
+    checked against the local bulletin state (tallying
+    ["revocation.denials"] on a hit), and a chain is refused outright —
+    tallying ["revocation.stale_denials"] — when that state is stale past
+    its bound (fail closed). Like windows and restrictions, revocation is
+    re-checked on {e every} presentation: the verify cache never shields a
+    revoked link. *)
 
 val authorize :
   verified ->

@@ -2,6 +2,7 @@ type t = {
   capacity : int;
   ttl_us : int;
   on_evict : unit -> unit;
+  on_invalidate : unit -> unit;
   table : (string, int * int) Hashtbl.t; (* key -> (recorded_at, seq) *)
   order : (string * int) Queue.t;
       (* (key, seq) in recording order; an entry whose seq no longer matches
@@ -9,31 +10,36 @@ type t = {
          timestamp) carries eviction rank: the virtual clock may not advance
          between two records, but the sequence always does. *)
   mutable seq : int;
+  mutable generation : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable invalidations : int;
 }
 
-type stats = { hits : int; misses : int; evictions : int; size : int }
+type stats = { hits : int; misses : int; evictions : int; invalidations : int; size : int }
 
 let default_capacity = 1024
 let default_ttl_us = 3_600_000_000 (* matches Pki.Resolver's default TTL *)
 let no_evict () = ()
 
 let create ?(capacity = default_capacity) ?(ttl_us = default_ttl_us)
-    ?(on_evict = no_evict) () =
+    ?(on_evict = no_evict) ?(on_invalidate = no_evict) () =
   if capacity < 0 then invalid_arg "Verify_cache.create: capacity must be non-negative";
   if ttl_us < 1 then invalid_arg "Verify_cache.create: ttl must be positive";
   {
     capacity;
     ttl_us;
     on_evict;
+    on_invalidate;
     table = Hashtbl.create (min capacity 64);
     order = Queue.create ();
     seq = 0;
+    generation = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
+    invalidations = 0;
   }
 
 (* Length-framed concatenation, so ("ab","c") and ("a","bc") cannot key the
@@ -120,8 +126,44 @@ let flush t =
   Hashtbl.reset t.table;
   Queue.clear t.order
 
+(* Explicit invalidation: unlike TTL expiry (a passive freshness bound) and
+   capacity eviction (a space bound), these are {e correctness} events — a
+   revocation arrived and the memoized verdicts are no longer trustworthy.
+   They are counted separately so the invalidation storm is observable. *)
+
+let invalidate t k =
+  if Hashtbl.mem t.table k then begin
+    Hashtbl.remove t.table k;
+    t.invalidations <- t.invalidations + 1;
+    t.on_invalidate ()
+  end
+
+(* One bump retires the whole current generation: every cached chain that
+   shares the revoked link (and every other entry — the cache cannot map a
+   serial back to the hashed keys that depend on it) is dropped in one
+   sweep, and re-presentations pay the full RSA walk again. This is the
+   revocation storm the R1 bench measures. *)
+let bump_generation t =
+  t.generation <- t.generation + 1;
+  let n = Hashtbl.length t.table in
+  Hashtbl.reset t.table;
+  Queue.clear t.order;
+  t.invalidations <- t.invalidations + n;
+  for _ = 1 to n do
+    t.on_invalidate ()
+  done;
+  n
+
+let generation t = t.generation
+
 let stats (t : t) =
-  { hits = t.hits; misses = t.misses; evictions = t.evictions; size = Hashtbl.length t.table }
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    invalidations = t.invalidations;
+    size = Hashtbl.length t.table;
+  }
 
 let size t = Hashtbl.length t.table
 let capacity t = t.capacity

@@ -19,22 +19,40 @@
     Entries also carry a TTL (defaulting to [Pki.Resolver]'s): a cached
     verification asserts "this key signed these bytes", and the binding of
     that key to a principal is only as fresh as the resolver's cache, so
-    both expire on the same clock and revocation takes effect within one
-    TTL for cached and uncached paths alike.
+    both expire on the same clock.
 
-    The cache is FIFO-bounded; hit/miss/eviction totals are kept here and
-    callers (e.g. [Authz.Guard]) mirror them into [Sim.Metrics]. *)
+    {b Revocation does not wait for the TTL.} The TTL is a freshness
+    backstop only; the operative guarantee is {e explicit invalidation}:
+    when a revocation bulletin applies ([Revocation] / [Authz.Guard]),
+    the holder calls {!invalidate} for a known key or {!bump_generation}
+    to retire every current entry at once, and invalidated entries can
+    never be re-hit — the next presentation re-runs the full signature
+    walk, where the verifier's revocation check refuses the revoked link.
+    (Even a stale entry that somehow survived would not grant access:
+    the verifier re-checks time windows, restrictions, {e and} revocation
+    on every presentation; the cache only memoizes the RSA operation.)
+
+    The cache is FIFO-bounded; hit/miss/eviction/invalidation totals are
+    kept here and callers (e.g. [Authz.Guard]) mirror them into
+    [Sim.Metrics]. *)
 
 type t
 
-type stats = { hits : int; misses : int; evictions : int; size : int }
+type stats = { hits : int; misses : int; evictions : int; invalidations : int; size : int }
 
-val create : ?capacity:int -> ?ttl_us:int -> ?on_evict:(unit -> unit) -> unit -> t
+val create :
+  ?capacity:int ->
+  ?ttl_us:int ->
+  ?on_evict:(unit -> unit) ->
+  ?on_invalidate:(unit -> unit) ->
+  unit ->
+  t
 (** Defaults: capacity 1024 entries, TTL one simulated hour. [on_evict]
-    fires once per capacity eviction (not on TTL expiry). A [capacity] of 0
-    creates a {e disabled} cache: {!check} always misses and {!record} is a
-    no-op — differential tests use it to run identical guard wiring with
-    caching off. *)
+    fires once per capacity eviction (not on TTL expiry); [on_invalidate]
+    fires once per entry dropped by {!invalidate} or {!bump_generation}. A
+    [capacity] of 0 creates a {e disabled} cache: {!check} always misses
+    and {!record} is a no-op — differential tests use it to run identical
+    guard wiring with caching off. *)
 
 val key : signed_bytes:string -> signature:string -> signer:string -> string
 (** Cache key for a verification: SHA-256 over the length-framed signed
@@ -54,6 +72,23 @@ val record : t -> now:int -> string -> unit
 
 val flush : t -> unit
 (** Drop all entries (counters are kept). *)
+
+val invalidate : t -> string -> unit
+(** Drop one entry by cache key, counting an invalidation if it was
+    present. Used when the caller can name the exact verification to
+    distrust (the keys are hashes, so this requires re-deriving the key
+    from the certificate bytes). *)
+
+val bump_generation : t -> int
+(** Retire the {e whole} current generation: every entry is dropped and
+    counted as an invalidation, and the generation counter advances.
+    Returns the number of entries retired. This is the revocation-storm
+    path: cache keys are one-way hashes, so a revoked link cannot be
+    mapped back to the dependent entries — the bulletin holder retires
+    everything and lets honest traffic repopulate the cache. *)
+
+val generation : t -> int
+(** Starts at 0; incremented by every {!bump_generation}. *)
 
 val stats : t -> stats
 val size : t -> int

@@ -17,13 +17,18 @@ type mutation =
           lifetime instead *)
   | Misbind_proof
       (** proofs of possession are bound to the wrong request digest *)
+  | Ignore_bulletin
+      (** revocation bulletins are dropped on the floor instead of applied —
+          a revoked chain keeps verifying, the revoke-vs-present ordering the
+          model insists on is violated *)
 
 let mutation_name = function
   | Drop_derived_restriction -> "drop-derived-restriction"
   | Ignore_expiry -> "ignore-expiry"
   | Misbind_proof -> "misbind-proof"
+  | Ignore_bulletin -> "ignore-bulletin"
 
-let mutations = [ Drop_derived_restriction; Ignore_expiry; Misbind_proof ]
+let mutations = [ Drop_derived_restriction; Ignore_expiry; Misbind_proof; Ignore_bulletin ]
 
 let mutation_of_name s =
   List.find_opt (fun m -> mutation_name m = s) mutations
@@ -31,7 +36,12 @@ let mutation_of_name s =
 (* Long-term RSA keys are expensive to generate, deterministic, and carry no
    per-program state, so one process-global pool (generated eagerly, in a
    fixed order, from a dedicated DRBG) serves every program. *)
-type keypool = { pk_users : Crypto.Rsa.private_ array; pk_fs : Crypto.Rsa.private_; pk_bank : Crypto.Rsa.private_ }
+type keypool = {
+  pk_users : Crypto.Rsa.private_ array;
+  pk_fs : Crypto.Rsa.private_;
+  pk_bank : Crypto.Rsa.private_;
+  pk_authority : Crypto.Rsa.private_;  (** signs revocation bulletins *)
+}
 
 let pool =
   lazy
@@ -40,7 +50,8 @@ let pool =
      let pk_users = Array.init n_users (fun _ -> gen ()) in
      let pk_fs = gen () in
      let pk_bank = gen () in
-     { pk_users; pk_fs; pk_bank })
+     let pk_authority = gen () in
+     { pk_users; pk_fs; pk_bank; pk_authority })
 
 let uname i = Printf.sprintf "u%d" i
 
@@ -56,6 +67,7 @@ type univ = {
   bank : Accounting_server.t;
   bank_name : Principal.t;
   team : Principal.Group.t;
+  authority : Principal.t;  (** the revocation authority the fs subscribes to *)
 }
 
 let build ~cache ~seed =
@@ -81,9 +93,17 @@ let build ~cache ~seed =
   done;
   Acl.add acl ~target:(target_name Shared)
     { Acl.subject = Acl.Group team; rights = [ "read"; "write" ]; restrictions = [] };
+  let authority = Principal.make ~realm:w.World.realm "revoker" in
+  (* The staleness bound is effectively infinite: MBT programs probe
+     revocation *ordering* (revoke-vs-present races), not partition
+     staleness — that path is the revocation-storm scenario's business. *)
+  let revocation =
+    Revocation.create ~authority ~authority_pub:kp.pk_authority.Crypto.Rsa.pub
+      ~staleness_bound_us:max_int ~now:(Sim.Net.now net) ()
+  in
   let fs =
     File_server.create net ~me:fs_name ~my_key:fs_key ~lookup_pub ~my_rsa:kp.pk_fs
-      ~verify_cache:(vcache ()) ~acl ()
+      ~verify_cache:(vcache ()) ~revocation ~acl ()
   in
   File_server.install fs;
   for i = 0 to n_users - 1 do
@@ -128,7 +148,8 @@ let build ~cache ~seed =
     | Ok () -> ()
     | Error e -> failwith ("mbt: mint: " ^ e)
   done;
-  { net; users; fs_creds; bank_creds; gs_creds; fs; fs_name; gs; bank; bank_name; team }
+  { net; users; fs_creds; bank_creds; gs_creds; fs; fs_name; gs; bank; bank_name; team;
+    authority }
 
 (* --- lowering restriction specs to real restrictions --- *)
 
@@ -150,12 +171,34 @@ let rec lower u = function
 
 let nth_mod l i = match l with [] -> None | _ -> Some (List.nth l (i mod List.length l))
 
+(* The serial of a chain's head certificate — what a grantor quotes when
+   asking the authority to revoke a grant.  Public-key and hybrid heads are
+   world-readable; a conventional head is sealed under the grantor's own
+   session key, which the grantor of course holds. *)
+let head_serial u ~grantor (proxy : Proxy.t) =
+  match proxy.Proxy.flavor with
+  | Proxy.Public_key (c :: _) -> c.Proxy_cert.pk_body.Proxy_cert.serial
+  | Proxy.Public_key [] -> failwith "mbt: empty pk chain"
+  | Proxy.Hybrid (h, _) -> h.Proxy_cert.h_body.Proxy_cert.serial
+  | Proxy.Conventional { Proxy.cert_blobs; _ } -> (
+      match cert_blobs with
+      | [] -> failwith "mbt: empty conventional chain"
+      | head :: _ -> (
+          let creds = u.fs_creds.(grantor) in
+          match
+            Proxy_cert.open_conventional ~sealing_key:creds.Ticket.session_key head
+          with
+          | Ok (body, _) -> body.Proxy_cert.serial
+          | Error e -> failwith ("mbt: open conventional head: " ^ e)))
+
 let run ?mutation ~cache ~seed (prog : Program.t) : Program.run =
   let kp = Lazy.force pool in
   let u = build ~cache ~seed in
   let drbg = Sim.Net.drbg u.net in
-  let slots = ref [] in
+  let slots = ref [] (* (proxy, grantor) in creation order *) in
   let checks = ref [] in
+  let revoked_serials = ref [] in
+  let rev_epoch = ref 0 in
   let expires_for ~now expired =
     if expired && mutation <> Some Ignore_expiry then now else now + World.hour
   in
@@ -184,12 +227,12 @@ let run ?mutation ~cache ~seed (prog : Program.t) : Program.run =
               | Ok p -> p
               | Error e -> failwith ("mbt: grant_hybrid: " ^ e))
         in
-        slots := !slots @ [ proxy ];
+        slots := !slots @ [ (proxy, grantor) ];
         O_done
     | Derive { slot; expired; rs; delegate } -> (
         match nth_mod !slots slot with
         | None -> O_skip
-        | Some parent ->
+        | Some (parent, pgrantor) ->
             let now = Sim.Net.now u.net in
             let expires = expires_for ~now expired in
             let rs =
@@ -211,7 +254,7 @@ let run ?mutation ~cache ~seed (prog : Program.t) : Program.run =
                   Proxy.restrict_hybrid ~drbg ~now ~expires ~restrictions parent
             in
             (match derived with
-            | Ok p -> slots := !slots @ [ p ]
+            | Ok p -> slots := !slots @ [ (p, pgrantor) ]
             | Error e -> failwith ("mbt: derive: " ^ e));
             O_done)
     | Present { slot; presenter; verb; target } -> (
@@ -220,7 +263,7 @@ let run ?mutation ~cache ~seed (prog : Program.t) : Program.run =
         let proxies =
           match nth_mod !slots slot with
           | None -> []
-          | Some proxy ->
+          | Some (proxy, _) ->
               let bound_op = if mutation = Some Misbind_proof then "stat" else operation in
               [ Guard.present ~proxy ~time:(Sim.Net.now u.net) ~server:u.fs_name
                   ~operation:bound_op ~target:path () ]
@@ -235,6 +278,28 @@ let run ?mutation ~cache ~seed (prog : Program.t) : Program.run =
         Acl.remove_subject (File_server.acl u.fs) ~target:(target_name (File owner))
           (Acl.Principal_is u.users.(owner));
         O_done
+    | Revoke_proxy { slot } -> (
+        match nth_mod !slots slot with
+        | None -> O_skip
+        | Some (proxy, grantor) ->
+            let serial = head_serial u ~grantor proxy in
+            if not (List.mem serial !revoked_serials) then
+              revoked_serials := !revoked_serials @ [ serial ];
+            (* Bulletins carry the full cumulative list under a strictly
+               increasing epoch; the guard bumps its verify-cache generation
+               when coverage actually extends, so a re-revocation is a pure
+               heartbeat. *)
+            incr rev_epoch;
+            let bulletin =
+              Revocation.sign ~key:kp.pk_authority ~authority:u.authority
+                ~epoch:!rev_epoch ~issued_at:(Sim.Net.now u.net)
+                (List.map (fun s -> Revocation.By_serial s) !revoked_serials)
+            in
+            if mutation <> Some Ignore_bulletin then
+              (match Guard.apply_bulletin (File_server.guard u.fs) bulletin with
+              | Ok _ -> ()
+              | Error e -> failwith ("mbt: apply bulletin: " ^ e));
+            O_done)
     | Add_member { member } ->
         Group_server.add_member u.gs ~group u.users.(member);
         O_done

@@ -83,6 +83,13 @@ let seeds () : (string * Wire.t * (Wire.t -> (unit, string) result)) list =
   let presented =
     Guard.present ~proxy:pk2 ~time:now ~server:fs ~operation:"read" ~target:"u0.dat" ()
   in
+  let bulletin =
+    Revocation.sign ~key:kp.Exec.pk_authority ~authority:(Principal.make ~realm "revoker")
+      ~epoch:3 ~issued_at:now
+      [ Revocation.By_serial "serial-1";
+        Revocation.By_serial "serial-2";
+        Revocation.By_grantor_epoch { grantor = u0; not_before = now } ]
+  in
   let head_pk_cert =
     match pk.Proxy.flavor with
     | Proxy.Public_key (c :: _) -> c
@@ -116,6 +123,10 @@ let seeds () : (string * Wire.t * (Wire.t -> (unit, string) result)) list =
     ("presented", Guard.presented_to_wire presented, ign Guard.presented_of_wire);
     ("check", Check.to_wire check, ign Check.of_wire);
     ("check-endorsed", Check.to_wire endorsed, ign Check.of_wire);
+    ( "rev-entry",
+      Revocation.entry_to_wire (Revocation.By_serial "serial-1"),
+      ign Revocation.entry_of_wire );
+    ("rev-bulletin", Revocation.bulletin_to_wire bulletin, ign Revocation.bulletin_of_wire);
   ]
 
 (* --- mutations --- *)
@@ -303,7 +314,44 @@ let save_corpus ~dir =
     (fun (name, text) ->
       write (Filename.concat dir (name ^ ".hex")) (Program.to_hex text))
     json_crashers;
-  (4 * List.length seeds) + List.length json_crashers
+  (* Explicit bulletin negatives beyond the random mutants: a mid-structure
+     truncation, and a length bomb on the entries list's u32 count (wire
+     encoding is compositional, so the encoded entries list is a substring
+     of the encoded bulletin and its count sits right after the list tag).
+     Both must be refused without crashing or allocating per the claimed
+     length — the suffix-matched typed decoder runs on them in replay. *)
+  let bulletin_v =
+    match List.find_opt (fun (name, _, _) -> name = "rev-bulletin") seeds with
+    | Some (_, v, _) -> v
+    | None -> failwith "fuzz corpus: no rev-bulletin seed"
+  in
+  let bytes = Wire.encode bulletin_v in
+  write
+    (Filename.concat dir "neg-truncated-rev-bulletin.hex")
+    (Program.to_hex (String.sub bytes 0 (String.length bytes / 2)));
+  let entries_v =
+    match bulletin_v with
+    | Wire.L [ _; _; _; _; (Wire.L _ as entries); _ ] -> entries
+    | _ -> failwith "fuzz corpus: unexpected bulletin shape"
+  in
+  let sub = Wire.encode entries_v in
+  let off =
+    let n = String.length bytes and m = String.length sub in
+    let rec find i =
+      if i + m > n then failwith "fuzz corpus: entries not a substring"
+      else if String.sub bytes i m = sub then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let bomb = Bytes.of_string bytes in
+  for j = off + 1 to off + 4 do
+    Bytes.set bomb j '\xff'
+  done;
+  write
+    (Filename.concat dir "neg-lenbomb-rev-bulletin.hex")
+    (Program.to_hex (Bytes.to_string bomb));
+  (4 * List.length seeds) + List.length json_crashers + 2
 
 type corpus_result = { files : int; failures : (string * string) list }
 

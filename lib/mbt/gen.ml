@@ -106,9 +106,13 @@ let op g slots =
           verb = (if bool_pct g 50 then `Read else `Write);
           target;
         }
-  | n when n < 68 -> Revoke { owner = user g }
-  | n when n < 75 -> Add_member { member = user g }
-  | n when n < 78 -> Remove_member { member = user g }
+  | n when n < 67 -> Revoke { owner = user g }
+  | n when n < 71 ->
+      (* Biased (via pick_slot) toward the most recent chain, so the classic
+         race — grant, present, revoke, present again — is common. *)
+      Revoke_proxy { slot = pick_slot () }
+  | n when n < 76 -> Add_member { member = user g }
+  | n when n < 79 -> Remove_member { member = user g }
   | n when n < 84 -> Assert_group { member = user g }
   | n when n < 91 ->
       Write_check { payor = user g; payee = user g; amount = 1 + int g 150 }

@@ -32,12 +32,23 @@ type link = {
           preceding certificate. *)
 }
 
-type mproxy = { m_flavor : flavor; m_grantor : int; m_links : link list (* head first *) }
+type mproxy = {
+  m_flavor : flavor;
+  m_grantor : int;
+  m_root : int;
+      (** identity of the head certificate.  Every cascade derived from the
+          same grant shares the head, so revoking it by serial — the only
+          revocation the program vocabulary expresses — kills exactly the
+          slots sharing [m_root], mirroring [Revocation.By_serial] against
+          the real chain walk. *)
+  m_links : link list (* head first *);
+}
 
 type state = {
   mutable slots : mproxy list;  (** creation order *)
   mutable checks : mcheck list;  (** creation order *)
   revoked : bool array;
+  revoked_roots : (int, unit) Hashtbl.t;  (** bulletin-revoked head certificates *)
   members : bool array;
   fs_seen : (int, unit) Hashtbl.t;  (** consumed accept-once ids at fs *)
   bank_seen : (int, unit) Hashtbl.t;  (** consumed check numbers at the bank *)
@@ -121,6 +132,7 @@ let run (prog : Program.t) : Program.run =
       slots = [];
       checks = [];
       revoked = Array.make n_users false;
+      revoked_roots = Hashtbl.create 8;
       members = Array.make n_users false;
       fs_seen = Hashtbl.create 8;
       bank_seen = Hashtbl.create 8;
@@ -134,6 +146,7 @@ let run (prog : Program.t) : Program.run =
         st.slots <-
           st.slots
           @ [ { m_flavor = flavor; m_grantor = grantor;
+                m_root = List.length st.slots;
                 m_links = [ { l_rs = rs; l_expired = expired; l_signer = `Auto } ] } ];
         O_done
     | Derive { slot; expired; rs; delegate } -> (
@@ -177,6 +190,12 @@ let run (prog : Program.t) : Program.run =
             else (
               match nth_mod st.slots slot with
               | None -> O_ok false
+              | Some proxy when Hashtbl.mem st.revoked_roots proxy.m_root ->
+                  (* The verifier walks the chain, finds the head serial on
+                     the bulletin, and the proxy fails to contribute — the
+                     denial is indistinguishable from an invalid chain, and
+                     accept-once state is untouched. *)
+                  O_ok false
               | Some proxy -> (
                   match chain_restrictions proxy with
                   | None -> O_ok false
@@ -192,6 +211,12 @@ let run (prog : Program.t) : Program.run =
     | Revoke { owner } ->
         st.revoked.(owner) <- true;
         O_done
+    | Revoke_proxy { slot } -> (
+        match nth_mod st.slots slot with
+        | None -> O_skip
+        | Some p ->
+            Hashtbl.replace st.revoked_roots p.m_root ();
+            O_done)
     | Add_member { member } ->
         st.members.(member) <- true;
         O_done

@@ -36,6 +36,10 @@ type op =
       (** presenter exercises slot (mod live slots) at the file server; with
           no live slots the request goes proxy-less *)
   | Revoke of { owner : int }  (** drop the owner's ACL entry for their file *)
+  | Revoke_proxy of { slot : int }
+      (** the revocation authority revokes slot (mod live slots) by its head
+          certificate's serial and publishes a cumulative signed bulletin to
+          the file server; kills the grant and every cascade derived from it *)
   | Add_member of { member : int }  (** add to [group] at the group server *)
   | Remove_member of { member : int }
   | Assert_group of { member : int }
@@ -101,6 +105,7 @@ let pp_op fmt = function
         (match verb with `Read -> "read" | `Write -> "write")
         (target_name target)
   | Revoke { owner } -> Format.fprintf fmt "revoke u%d" owner
+  | Revoke_proxy { slot } -> Format.fprintf fmt "revoke-proxy #%d" slot
   | Add_member { member } -> Format.fprintf fmt "add-member u%d" member
   | Remove_member { member } -> Format.fprintf fmt "remove-member u%d" member
   | Assert_group { member } -> Format.fprintf fmt "assert-group u%d" member
@@ -237,6 +242,7 @@ let op_to_wire = function
         [ Wire.S "present"; Wire.I slot; Wire.I presenter;
           Wire.I (match verb with `Read -> 0 | `Write -> 1); target_to_wire target ]
   | Revoke { owner } -> Wire.L [ Wire.S "revoke"; Wire.I owner ]
+  | Revoke_proxy { slot } -> Wire.L [ Wire.S "revoke-proxy"; Wire.I slot ]
   | Add_member { member } -> Wire.L [ Wire.S "add-member"; Wire.I member ]
   | Remove_member { member } -> Wire.L [ Wire.S "remove-member"; Wire.I member ]
   | Assert_group { member } -> Wire.L [ Wire.S "assert-group"; Wire.I member ]
@@ -288,6 +294,7 @@ let op_of_wire v =
       let* target = Result.bind (field v 4) target_of_wire in
       Ok (Present { slot; presenter; verb; target })
   | "revoke" -> Result.map (fun owner -> Revoke { owner }) (int 1)
+  | "revoke-proxy" -> Result.map (fun slot -> Revoke_proxy { slot }) (int 1)
   | "add-member" -> Result.map (fun member -> Add_member { member }) (int 1)
   | "remove-member" -> Result.map (fun member -> Remove_member { member }) (int 1)
   | "assert-group" -> Result.map (fun member -> Assert_group { member }) (int 1)

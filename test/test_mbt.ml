@@ -234,7 +234,8 @@ let () =
             `Slow,
             kill_and_shrink Mbt.Exec.Drop_derived_restriction );
           ("kills ignore-expiry", `Slow, kill_and_shrink Mbt.Exec.Ignore_expiry);
-          ("kills misbind-proof", `Slow, kill_and_shrink Mbt.Exec.Misbind_proof) ] );
+          ("kills misbind-proof", `Slow, kill_and_shrink Mbt.Exec.Misbind_proof);
+          ("kills ignore-bulletin", `Slow, kill_and_shrink Mbt.Exec.Ignore_bulletin) ] );
       ( "codec and corpora",
         [ ("program wire roundtrip", `Quick, test_program_roundtrip);
           ("committed repros replay", `Slow, test_repro_corpus);

@@ -315,6 +315,113 @@ let cluster seed shards ops buyers drop duplicate no_crash crash_buyer crash_aft
     else 1
   end
 
+(* --- open-loop load --- *)
+
+let print_load_outcome (o : Load.Driver.outcome) =
+  let m k = Option.value (List.assoc_opt k o.Load.Driver.metrics) ~default:0 in
+  Printf.printf "  goodput:        %d/%d arrivals ok (%d failed)\n" o.Load.Driver.succeeded
+    o.Load.Driver.arrivals o.Load.Driver.failed;
+  Printf.printf "  latency:        p50 %d us, p99 %d us, max %d us (open-loop, incl. lateness)\n"
+    o.Load.Driver.p50_us o.Load.Driver.p99_us o.Load.Driver.max_us;
+  Printf.printf "  population:     %d touched, %d materializations, %d retired\n"
+    o.Load.Driver.touched o.Load.Driver.materializations o.Load.Driver.retired;
+  Printf.printf "  key pool:       %d generated, %d reused\n" o.Load.Driver.keys_generated
+    o.Load.Driver.keys_reused;
+  Printf.printf "  mix:            %d grants, %d presents, %d debits, %d clears, %d sweeps\n"
+    o.Load.Driver.grants o.Load.Driver.presents o.Load.Driver.debits o.Load.Driver.clears
+    o.Load.Driver.sweeps;
+  Printf.printf "  verification:   %d rsa verifies; link cache %d hit(s) / %d miss(es)\n"
+    (m "crypto.rsa_verify") (m "link_cache.hits") (m "link_cache.misses");
+  Printf.printf "  pipelining:     %d batch call(s), %d coalesced, %d item(s)\n"
+    (m "rpc.batch.calls") (m "rpc.batch.coalesced") (m "rpc.batch.items");
+  Printf.printf "  replication:    %d ship(s) (%d replies, %d ops), %d read skip(s)\n"
+    (m "cluster.repl_shipped") (m "cluster.repl_replies_shipped") (m "cluster.repl_ops_shipped")
+    (m "cluster.repl_read_skips");
+  Printf.printf "  spans:          %d\n" o.Load.Driver.span_count
+
+let load_determinism cfg (o : Load.Driver.outcome) =
+  let o2 = Load.Driver.run cfg in
+  o.Load.Driver.metrics = o2.Load.Driver.metrics
+  && o.Load.Driver.trace = o2.Load.Driver.trace
+  && o.Load.Driver.jsonl = o2.Load.Driver.jsonl
+
+let load seed population objects shards sweep_width churn_every no_link_cache no_pipeline retries
+    timeout smoke =
+  let cfg =
+    {
+      Load.Driver.default with
+      Load.Driver.seed;
+      population;
+      objects;
+      shards;
+      sweep_width;
+      churn_every;
+      link_cache = not no_link_cache;
+      pipeline = not no_pipeline;
+      retries;
+      timeout_us = timeout;
+    }
+  in
+  if not smoke then begin
+    Printf.printf
+      "load run: seed %S, %d principals (lazy), %d objects, %d shard(s), link cache %s, \
+       pipelining %s\n%!"
+      seed population objects shards
+      (if cfg.Load.Driver.link_cache then "on" else "off")
+      (if cfg.Load.Driver.pipeline then "on" else "off")
+    ;
+    let o = Load.Driver.run cfg in
+    print_load_outcome o;
+    if o.Load.Driver.succeeded > 0 then 0 else 1
+  end
+  else begin
+    (* Acceptance gates: the batched hot path must actually engage (link
+       cache hits, coalesced sweep batches, replication read-skips), and
+       same-seed reruns must be byte-identical — metrics, trace, and span
+       JSONL — with the batched path on AND off. *)
+    Printf.printf "load smoke: seed %S, %d principals (lazy), %d shard(s)\n%!" seed population
+      shards;
+    let on = { cfg with Load.Driver.link_cache = true; Load.Driver.pipeline = true } in
+    let off = { cfg with Load.Driver.link_cache = false; Load.Driver.pipeline = false } in
+    let o = Load.Driver.run on in
+    print_load_outcome o;
+    let m k = Option.value (List.assoc_opt k o.Load.Driver.metrics) ~default:0 in
+    let checks =
+      [ ("arrivals succeed", o.Load.Driver.succeeded > 0);
+        ("every op class exercised",
+         o.Load.Driver.grants > 0 && o.Load.Driver.presents > 0 && o.Load.Driver.debits > 0
+         && o.Load.Driver.sweeps > 0);
+        ("population churned and keys reused",
+         o.Load.Driver.retired > 0 && o.Load.Driver.keys_reused > 0);
+        ("keygens bounded by materializations",
+         o.Load.Driver.keys_generated <= o.Load.Driver.materializations);
+        ("link cache engaged", m "link_cache.hits" > 0);
+        ("sweeps coalesced", m "rpc.batch.calls" > 0 && m "rpc.batch.items" >= sweep_width);
+        ("replication read-skips", m "cluster.repl_read_skips" > 0);
+        ("spans captured", o.Load.Driver.span_count > 0);
+        ("same-seed rerun byte-identical (batched)", load_determinism on o);
+        ("same-seed rerun byte-identical (unbatched)",
+         let ooff = Load.Driver.run off in
+         let moff k = Option.value (List.assoc_opt k ooff.Load.Driver.metrics) ~default:0 in
+         moff "link_cache.hits" = 0 && moff "rpc.batch.calls" = 0 && load_determinism off ooff) ]
+    in
+    let ok =
+      List.fold_left
+        (fun acc (label, pass) ->
+          Printf.printf "  %s %s\n" (if pass then "ok  " else "FAIL") label;
+          acc && pass)
+        true checks
+    in
+    if ok then begin
+      print_endline "load smoke: OK";
+      0
+    end
+    else begin
+      print_endline "load smoke: FAILED";
+      1
+    end
+  end
+
 (* --- revocation --- *)
 
 module Storm = Cluster.Revocation_storm
@@ -750,6 +857,61 @@ let cluster_cmd =
     Term.(const cluster $ seed $ shards $ ops $ buyers $ drop $ duplicate $ no_crash
           $ crash_buyer $ crash_after $ retries $ timeout $ smoke)
 
+let load_cmd =
+  let seed =
+    Arg.(value & opt string "l1" & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed")
+  in
+  let population =
+    Arg.(value & opt int 100_000
+         & info [ "population" ] ~docv:"N"
+             ~doc:"Principal universe size (lazy: only touched principals are materialized)")
+  in
+  let objects =
+    Arg.(value & opt int 512 & info [ "objects" ] ~docv:"N" ~doc:"Guarded files on the server")
+  in
+  let shards =
+    Arg.(value & opt int 4
+         & info [ "shards" ] ~docv:"N" ~doc:"Accounting shards (each primary+standby)")
+  in
+  let sweep_width =
+    Arg.(value & opt int 6
+         & info [ "sweep-width" ] ~docv:"N" ~doc:"Balance queries coalesced per audit sweep")
+  in
+  let churn_every =
+    Arg.(value & opt int 16
+         & info [ "churn-every" ] ~docv:"N"
+             ~doc:"Retire the oldest materialized principal every N arrivals (0 = never)")
+  in
+  let no_link_cache =
+    Arg.(value & flag
+         & info [ "no-link-cache" ] ~doc:"Disable the guard's chain-prefix verification cache")
+  in
+  let no_pipeline =
+    Arg.(value & flag
+         & info [ "no-pipeline" ] ~doc:"Issue sweep balance queries as N serial calls")
+  in
+  let retries =
+    Arg.(value & opt int 4 & info [ "retries" ] ~docv:"N" ~doc:"Client retransmission budget")
+  in
+  let timeout =
+    Arg.(value & opt int 10_000 & info [ "timeout" ] ~docv:"US" ~doc:"Client timeout (us)")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Run the acceptance gates: batched hot path engaged (link-cache hits, \
+                   coalesced sweeps, replication read-skips) and byte-identical same-seed \
+                   reruns with batching on and off; exit non-zero on violation")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive a deterministic open-loop mixed workload (grants, presentations, debits, \
+          check clearing, audit sweeps) from a lazily-materialized Zipf population against \
+          the full stack, and report goodput and latency percentiles")
+    Term.(const load $ seed $ population $ objects $ shards $ sweep_width $ churn_every
+          $ no_link_cache $ no_pipeline $ retries $ timeout $ smoke)
+
 let revoke_cmd =
   let seed =
     Arg.(value & opt string "revocation-storm"
@@ -1056,6 +1218,6 @@ let main =
     (Cmd.info "proxykit" ~version:"1.0.0"
        ~doc:"Restricted proxies for distributed authorization and accounting (Neuman, ICDCS '93)")
     [ selftest_cmd; demo_cmd; keygen_cmd; inspect_cmd; bench_cmd; bench_check_cmd; chaos_cmd;
-      cluster_cmd; revoke_cmd; trace_cmd; mbt_cmd; fuzz_cmd ]
+      cluster_cmd; revoke_cmd; load_cmd; trace_cmd; mbt_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -47,6 +47,14 @@ echo "== revocation storm smoke =="
 # byte-identical.
 dune exec --no-build bin/proxykit.exe -- revoke --smoke
 
+echo "== open-loop load smoke =="
+# Deterministic open-loop mixed workload from a lazily-materialized 100k
+# Zipf population against the full stack. Gates: the batched hot path must
+# engage (link-cache hits, coalesced sweep batches, replication read-skips)
+# and same-seed reruns must be byte-identical — metrics, trace, and span
+# JSONL — with batching on and off.
+dune exec --no-build bin/proxykit.exe -- load --smoke
+
 echo "== causal tracing smoke =="
 # A traced cascaded-authorization run must show >= 4 causally nested spans
 # across >= 3 actors with a retry child under the injected drop, per-span
@@ -61,14 +69,14 @@ echo "== wire-codec fuzz smoke =="
 dune exec --no-build bin/proxykit.exe -- fuzz --smoke
 
 echo "== bench smoke (logical metrics vs committed baseline) =="
-# Reduced-iteration F1/F4/F6/S1/R1 regenerate BENCH_*.json into a scratch
-# dir;
+# Reduced-iteration F1/F4/F6/S1/R1/L1 regenerate BENCH_*.json into a
+# scratch dir;
 # bench-check validates the JSON schema and compares every integer metric
 # (ops, bytes, crypto-op counts) exactly against the committed baseline.
 # Wall-times are recorded in the artifacts but never gated.
 BENCH_SMOKE_DIR=$(mktemp -d)
 BENCH_FAST=1 BENCH_DIR="$BENCH_SMOKE_DIR" \
-    dune exec --no-build bin/proxykit.exe -- bench f1 f4 f6 s1 r1
+    dune exec --no-build bin/proxykit.exe -- bench f1 f4 f6 s1 r1 l1
 dune exec --no-build bin/proxykit.exe -- bench-check \
     bench/BENCH_F1.json "$BENCH_SMOKE_DIR/BENCH_F1.json"
 dune exec --no-build bin/proxykit.exe -- bench-check \
@@ -79,6 +87,8 @@ dune exec --no-build bin/proxykit.exe -- bench-check \
     bench/BENCH_S1.json "$BENCH_SMOKE_DIR/BENCH_S1.json"
 dune exec --no-build bin/proxykit.exe -- bench-check \
     bench/BENCH_R1.json "$BENCH_SMOKE_DIR/BENCH_R1.json"
+dune exec --no-build bin/proxykit.exe -- bench-check \
+    bench/BENCH_L1.json "$BENCH_SMOKE_DIR/BENCH_L1.json"
 rm -rf "$BENCH_SMOKE_DIR"
 
 echo "== OK =="

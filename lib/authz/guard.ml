@@ -12,11 +12,12 @@ type t = {
   acl : Acl.t;
   replay : Replay_cache.t;
   verify_cache : Verify_cache.t;
+  link_cache : Link_cache.t option;
   mutable revocation : Revocation.t option;
 }
 
 let create net ~me ~my_key ?(lookup_pub = fun _ -> None) ?my_rsa
-    ?(max_skew_us = 5 * 60 * 1_000_000) ?verify_cache ?revocation ~acl () =
+    ?(max_skew_us = 5 * 60 * 1_000_000) ?verify_cache ?link_cache ?revocation ~acl () =
   let decrypt =
     match my_rsa with None -> fun _ -> None | Some key -> Crypto.Rsa.decrypt key
   in
@@ -40,6 +41,7 @@ let create net ~me ~my_key ?(lookup_pub = fun _ -> None) ?my_rsa
     acl;
     replay = Replay_cache.create ~on_evict:(incr "replay_cache.evictions") ();
     verify_cache;
+    link_cache;
     revocation;
   }
 
@@ -47,6 +49,7 @@ let me t = t.me
 let acl t = t.acl
 let replay_cache t = t.replay
 let verify_cache t = t.verify_cache
+let link_cache t = t.link_cache
 let revocation t = t.revocation
 let set_revocation t r = t.revocation <- Some r
 
@@ -155,17 +158,39 @@ let apply_bulletin t bulletin =
       match Revocation.apply r bulletin with
       | Error _ as e -> e
       | Ok Revocation.Ignored -> Ok false
-      | Ok (Revocation.Applied { fresh }) ->
+      | Ok (Revocation.Applied { fresh; fresh_entries }) ->
           tally t "revocation.bulletins_applied";
           if fresh > 0 then begin
             let retired = Verify_cache.bump_generation t.verify_cache in
             Sim.Metrics.incr (Sim.Net.metrics t.net) "verify_cache.generation_bumps";
+            (match t.link_cache with
+            | Some lc ->
+                ignore (Link_cache.bump_generation lc);
+                Sim.Metrics.incr (Sim.Net.metrics t.net) "link_cache.generation_bumps"
+            | None -> ());
+            (* Shed the freshly killed grantors' accept-once records: their
+               credentials can no longer verify, so the records only burn
+               capacity — and a re-issued credential (same check number,
+               fresh post-revocation grant) must not collide with the dead
+               grant's entry. Entries recorded for grantors that stay valid
+               (or are re-recorded after re-issue) are untouched; only the
+               grantors newly covered by THIS bulletin are swept. *)
+            let shed =
+              List.fold_left
+                (fun n -> function
+                  | Revocation.By_grantor_epoch { grantor; _ } ->
+                      n + Replay_cache.shed t.replay ~tag:(Principal.to_string grantor)
+                  | Revocation.By_serial _ -> n)
+                0 fresh_entries
+            in
+            if shed > 0 then
+              Sim.Metrics.add (Sim.Net.metrics t.net) "replay_cache.shed" shed;
             Sim.Trace.record (Sim.Net.trace t.net) ~time:(Sim.Net.now t.net)
               ~actor:(Principal.to_string t.me)
               (Printf.sprintf
                  "applied revocation bulletin epoch %d (%d new entries, %d cached chains \
-                  invalidated)"
-                 (Revocation.epoch r) fresh retired)
+                  invalidated, %d replay records shed)"
+                 (Revocation.epoch r) fresh retired shed)
           end;
           Ok true)
 
@@ -174,8 +199,8 @@ let apply_bulletin t bulletin =
 let evaluate t ~req (p : presented) =
   match
     Verifier.verify ~open_base:(open_base t) ~lookup:t.lookup_pub ~decrypt:t.decrypt ~me:t.me
-      ~tally:(tally t) ~cache:t.verify_cache ?revocation:t.revocation ?hook:(span_hook t)
-      ~now:req.Restriction.time p.pres
+      ~tally:(tally t) ~cache:t.verify_cache ?link_cache:t.link_cache
+      ?revocation:t.revocation ?hook:(span_hook t) ~now:req.Restriction.time p.pres
   with
   | Error e -> Error e
   | Ok verified -> (
@@ -301,7 +326,10 @@ let decide t ~operation ?(target = "") ?presenter ?(extra_presenters = []) ?(pro
             (fun u ->
               List.iter
                 (fun id ->
-                  match Replay_cache.record t.replay ~now ~expires:u.u_expires id with
+                  match
+                    Replay_cache.record t.replay ~now ~expires:u.u_expires
+                      ~tag:(Principal.to_string u.u_grantor) id
+                  with
                   | Ok () -> ()
                   | Error _ -> () (* already checked by accept_once_seen *))
                 (accept_once_ids u.u_restrictions))

@@ -1395,7 +1395,7 @@ let r1 () =
                     Revocation.sign ~key:ra_kp ~authority ~epoch:!epoch ~issued_at:0 !entries
                   in
                   match Revocation.apply sub b with
-                  | Ok (Revocation.Applied { fresh }) when fresh > 0 ->
+                  | Ok (Revocation.Applied { fresh; _ }) when fresh > 0 ->
                       ignore (Verify_cache.bump_generation cache);
                       incr bumps
                   | _ -> ()
@@ -1445,6 +1445,121 @@ let r1 () =
          })
        measured)
 
+(* ------------------------------------------------------------------ *)
+(* L1: open-loop load harness + batched hot path                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Two halves. The cascade study isolates the link cache's O(k+M) claim:
+   M holders sharing one depth-k prefix, verified under four strategies,
+   with exact deterministic RSA totals. The load runs drive the full
+   stack (KDC, guarded file server, sharded cluster) open-loop from a
+   100k-principal lazy Zipf population, once with the batched hot path
+   (link cache + RPC pipelining) and once without. All integer metrics
+   are CI-gated; wall-clock goes in floats. *)
+
+let l1 () =
+  section "L1: open-loop load harness + batched hot path";
+  Printf.printf
+    "Cascade study: %d holders share one depth-%d chain prefix. The link cache\n\
+     verifies k+M signatures (the floor); whole-presentation memoization pays\n\
+     (k+1)*M because no holder's chain matches another's as a unit.\n"
+    16 8;
+  let c = Load.Driver.cascade_study ~seed:"l1-cascade" () in
+  print_table "L1a: RSA verifies, depth-8 prefix x 16 holders x 3 repeats"
+    [ "strategy"; "rsa verifies"; "cache hits"; "misses" ]
+    [ [ "uncached"; string_of_int c.Load.Driver.c_rsa_uncached; "-"; "-" ];
+      [ "whole-presentation memo"; string_of_int c.Load.Driver.c_rsa_whole_chain; "-"; "-" ];
+      [ "per-signature cache"; string_of_int c.Load.Driver.c_rsa_per_signature;
+        string_of_int c.Load.Driver.c_sig_hits; string_of_int c.Load.Driver.c_sig_misses ];
+      [ "link (chain-prefix) cache"; string_of_int c.Load.Driver.c_rsa_link;
+        string_of_int c.Load.Driver.c_link_hits; string_of_int c.Load.Driver.c_link_misses ] ];
+  Printf.printf
+    "Open-loop load: steady/burst/steady arrival profile against the full stack;\n\
+     lateness under the burst lands in p99, not in a throttled offered load.\n";
+  let base = { Load.Driver.default with Load.Driver.seed = "l1" } in
+  let timed label cfg =
+    let t0 = Unix.gettimeofday () in
+    let o = Load.Driver.run cfg in
+    (label, o, Unix.gettimeofday () -. t0)
+  in
+  let runs =
+    [ timed "batched" base;
+      timed "unbatched"
+        { base with Load.Driver.link_cache = false; Load.Driver.pipeline = false } ]
+  in
+  let met o k = Option.value (List.assoc_opt k o.Load.Driver.metrics) ~default:0 in
+  print_table "L1b: open-loop goodput/latency, batched hot path on vs off"
+    [ "config"; "goodput"; "touched"; "keygens"; "reused"; "rsa vfy"; "link hits";
+      "batch items"; "repl ships"; "read skips"; "p50"; "p99" ]
+    (List.map
+       (fun (label, o, _) ->
+         [ label;
+           Printf.sprintf "%d/%d" o.Load.Driver.succeeded o.Load.Driver.arrivals;
+           string_of_int o.Load.Driver.touched;
+           string_of_int o.Load.Driver.keys_generated;
+           string_of_int o.Load.Driver.keys_reused;
+           string_of_int (met o "crypto.rsa_verify");
+           string_of_int (met o "link_cache.hits");
+           string_of_int (met o "rpc.batch.items");
+           string_of_int (met o "cluster.repl_shipped");
+           string_of_int (met o "cluster.repl_read_skips");
+           Printf.sprintf "%d us" o.Load.Driver.p50_us;
+           Printf.sprintf "%d us" o.Load.Driver.p99_us ])
+       runs);
+  Benchout.write ~id:"l1" ~title:"load: open-loop harness + batched hot path"
+    ({
+       Benchout.label = "cascade depth=8 holders=16";
+       ints =
+         [ ("depth", c.Load.Driver.c_depth);
+           ("holders", c.Load.Driver.c_holders);
+           ("repeats", c.Load.Driver.c_repeats);
+           ("rsa_uncached", c.Load.Driver.c_rsa_uncached);
+           ("rsa_whole_chain", c.Load.Driver.c_rsa_whole_chain);
+           ("rsa_per_signature", c.Load.Driver.c_rsa_per_signature);
+           ("rsa_link", c.Load.Driver.c_rsa_link);
+           ("link_hits", c.Load.Driver.c_link_hits);
+           ("link_misses", c.Load.Driver.c_link_misses);
+           ("sig_hits", c.Load.Driver.c_sig_hits);
+           ("sig_misses", c.Load.Driver.c_sig_misses);
+           ("link_cheaper_than_whole_chain",
+            if c.Load.Driver.c_rsa_link < c.Load.Driver.c_rsa_whole_chain then 1 else 0) ];
+       floats = [];
+     }
+    :: List.map
+         (fun (label, o, secs) ->
+           {
+             Benchout.label = "load " ^ label;
+             ints =
+               [ ("population", base.Load.Driver.population);
+                 ("arrivals", o.Load.Driver.arrivals);
+                 ("succeeded", o.Load.Driver.succeeded);
+                 ("touched", o.Load.Driver.touched);
+                 ("materializations", o.Load.Driver.materializations);
+                 ("keys_generated", o.Load.Driver.keys_generated);
+                 ("keys_reused", o.Load.Driver.keys_reused);
+                 ("retired", o.Load.Driver.retired);
+                 ("grants", o.Load.Driver.grants);
+                 ("presents", o.Load.Driver.presents);
+                 ("debits", o.Load.Driver.debits);
+                 ("clears", o.Load.Driver.clears);
+                 ("sweeps", o.Load.Driver.sweeps);
+                 ("span_count", o.Load.Driver.span_count);
+                 ("rsa_verify", met o "crypto.rsa_verify");
+                 ("link_hits", met o "link_cache.hits");
+                 ("link_misses", met o "link_cache.misses");
+                 ("batch_calls", met o "rpc.batch.calls");
+                 ("batch_coalesced", met o "rpc.batch.coalesced");
+                 ("batch_items", met o "rpc.batch.items");
+                 ("repl_shipped", met o "cluster.repl_shipped");
+                 ("repl_read_skips", met o "cluster.repl_read_skips");
+                 ("repl_replies_shipped", met o "cluster.repl_replies_shipped");
+                 ("messages", met o "net.messages");
+                 ("p50_us", o.Load.Driver.p50_us);
+                 ("p99_us", o.Load.Driver.p99_us) ];
+             floats = [ ("wall_s", secs) ];
+           })
+         runs)
+
 (* The experiment registry: ids as used in DESIGN.md / EXPERIMENTS.md. *)
 let all =
   [ ("f1", "Fig 1: proxy grant/verify vs restriction count", fig1);
@@ -1459,7 +1574,8 @@ let all =
     ("a2", "ablation: limit-restriction elision", a2);
     ("a3", "Sec 6.3: TGS proxies vs per-server capabilities", a3);
     ("s1", "cluster: sharded accounting, replica failover", s1);
-    ("r1", "revocation: bulletin rate vs verify throughput", r1) ]
+    ("r1", "revocation: bulletin rate vs verify throughput", r1);
+    ("l1", "load: open-loop harness + batched hot path", l1) ]
 
 let run ids =
   let t0 = Unix.gettimeofday () in

@@ -37,8 +37,12 @@ type t = {
   standby : replica;
   repl_creds : Ticket.credentials;
   repl_retry : Sim.Retry.policy option;
+  bulk_every : int;
   pending_ops : Ledger.op list ref;  (* newest first *)
   pending_redeems : string list ref;  (* newest first *)
+  pending_triples : (string * int * string) list ref;
+      (* unshipped (auth_id, expires, sealed reply) triples, newest first *)
+  mutable handled_since_ship : int;
   mutable promoted : bool;
 }
 
@@ -47,9 +51,11 @@ let ( let* ) = Result.bind
 let journal_fn t op = t.pending_ops := op :: !(t.pending_ops)
 
 let create net ~me ~my_key ~kdc ~signing_key ~lookup ?collect_retry ?repl_retry
-    ?revocation_authority ?staleness_bound_us ~primary_node ~standby_node () =
+    ?(bulk_every = 1) ?revocation_authority ?staleness_bound_us ~primary_node ~standby_node
+    () =
   if primary_node = standby_node then
     invalid_arg "Shard.create: replicas need distinct node names";
+  if bulk_every < 1 then invalid_arg "Shard.create: bulk_every must be positive";
   let mk () =
     (* Each replica subscribes to bulletins with its *own* state: a
        partition that isolates one physical node must age that replica
@@ -82,8 +88,11 @@ let create net ~me ~my_key ~kdc ~signing_key ~lookup ?collect_retry ?repl_retry
                   cache = Secure_rpc.create_cache () };
       repl_creds;
       repl_retry;
+      bulk_every;
       pending_ops = ref [];
       pending_redeems = ref [];
+      pending_triples = ref [];
+      handled_since_ship = 0;
       promoted = false;
     }
   in
@@ -104,23 +113,26 @@ let primary_down t = Sim.Net.is_down t.net t.primary.node
 let authoritative t =
   if t.promoted || primary_down t then t.standby.server else t.primary.server
 
-(* Ship the pending replay log. On failure the batch is put back so the
-   next handled request re-ships it: the replication request that carries
-   it then is a fresh authenticator, and the standby applies each op
-   exactly once (a *retransmission* of the same batch dedups on the
-   standby's own response cache instead). *)
-let ship t ~auth_id ~expires ~reply =
+(* Ship every unshipped journal batch and reply triple in ONE replication
+   exchange. On failure everything is put back so the next handled request
+   re-ships it: the replication request that carries it then is a fresh
+   authenticator, and the standby applies each op exactly once (a
+   *retransmission* of the same bulk dedups on the standby's own response
+   cache instead). *)
+let ship_now t =
   let ops = List.rev !(t.pending_ops) in
   let redeems = List.rev !(t.pending_redeems) in
+  let triples = List.rev !(t.pending_triples) in
   t.pending_ops := [];
   t.pending_redeems := [];
+  t.pending_triples := [];
+  t.handled_since_ship <- 0;
   let payload =
     Wire.L
       [
-        Wire.S "x-replicate";
-        Wire.S auth_id;
-        Wire.I expires;
-        Wire.S reply;
+        Wire.S "x-replicate-bulk";
+        Wire.L
+          (List.map (fun (a, e, r) -> Wire.L [ Wire.S a; Wire.I e; Wire.S r ]) triples);
         Wire.L (List.map Ledger.op_to_wire ops);
         Wire.L (List.map (fun n -> Wire.S n) redeems);
       ]
@@ -135,22 +147,70 @@ let ship t ~auth_id ~expires ~reply =
           ~backoff:p.Sim.Retry.bo payload
   in
   match result with
-  | Ok _ -> Sim.Metrics.incr metrics "cluster.repl_shipped"
+  | Ok _ ->
+      Sim.Metrics.incr metrics "cluster.repl_shipped";
+      Sim.Metrics.add metrics "cluster.repl_ops_shipped" (List.length ops);
+      Sim.Metrics.add metrics "cluster.repl_replies_shipped" (List.length triples)
   | Error _ ->
       Sim.Metrics.incr metrics "cluster.repl_failures";
       t.pending_ops := !(t.pending_ops) @ List.rev ops;
-      t.pending_redeems := !(t.pending_redeems) @ List.rev redeems
+      t.pending_redeems := !(t.pending_redeems) @ List.rev redeems;
+      t.pending_triples := !(t.pending_triples) @ List.rev triples;
+      (* Force the next handled request to re-ship whatever its position in
+         the bulk window. *)
+      t.handled_since_ship <- t.bulk_every
+
+(* Per-handled-request replication policy, fired by [on_handled] after the
+   handler ran and the reply is cached but before it is transmitted.
+
+   Coalescing happens at three levels:
+
+   - a request that journalled nothing (a balance read) ships nothing and
+     seeds nothing: re-executing it on a failed-over retransmission is
+     idempotent, so replicating its reply bought nothing
+     ("cluster.repl_read_skips");
+   - a pipelined [Secure_rpc.call_batch] request journals all its items'
+     ops under ONE authenticator/reply, so they ride one ship instead of
+     one per op — with the strict reply-after-ship ordering fully intact;
+   - with [bulk_every = k > 1], mutating requests accumulate and every
+     k-th one ships the combined backlog ("cluster.repl_deferred" counts
+     the deferrals). The k-th request's own reply still ships before it is
+     released; replies released *between* bulk ships trade the strict
+     "reply seen => replicated" ordering for fewer replication round
+     trips — a client must both lose its reply AND see the primary die
+     before the next ship for a duplicate execution window to open. The
+     default k = 1 keeps the strict ordering everywhere. *)
+let ship t ~auth_id ~expires ~reply =
+  let metrics = Sim.Net.metrics t.net in
+  let mutating = !(t.pending_ops) <> [] || !(t.pending_redeems) <> [] in
+  if (not mutating) && !(t.pending_triples) = [] then
+    Sim.Metrics.incr metrics "cluster.repl_read_skips"
+  else begin
+    t.pending_triples := (auth_id, expires, reply) :: !(t.pending_triples);
+    t.handled_since_ship <- t.handled_since_ship + 1;
+    if t.handled_since_ship >= t.bulk_every then ship_now t
+    else Sim.Metrics.incr metrics "cluster.repl_deferred"
+  end
 
 let apply_replication t ctx v =
   if not (Principal.equal ctx.Secure_rpc.rpc_client t.logical) then
     Error "replication: caller is not this shard"
   else
     let open Wire in
-    let* auth_id = Result.bind (field v 1) to_string in
-    let* expires = Result.bind (field v 2) to_int in
-    let* reply = Result.bind (field v 3) to_string in
-    let* ops_w = Result.bind (field v 4) to_list in
-    let* redeems_w = Result.bind (field v 5) to_list in
+    let* triples_w = Result.bind (field v 1) to_list in
+    let* ops_w = Result.bind (field v 2) to_list in
+    let* redeems_w = Result.bind (field v 3) to_list in
+    let* triples =
+      List.fold_left
+        (fun acc w ->
+          let* acc = acc in
+          let* auth_id = Result.bind (field w 0) to_string in
+          let* expires = Result.bind (field w 1) to_int in
+          let* reply = Result.bind (field w 2) to_string in
+          Ok ((auth_id, expires, reply) :: acc))
+        (Ok []) triples_w
+      |> Result.map List.rev
+    in
     let* ops =
       List.fold_left
         (fun acc w ->
@@ -170,14 +230,19 @@ let apply_replication t ctx v =
       |> Result.map List.rev
     in
     let* () = Accounting_server.apply_replicated t.standby.server ~ops ~redeemed in
-    Secure_rpc.seed_response t.standby.cache ~now:(Sim.Net.now t.net) ~auth_id ~expires
-      ~reply;
+    let now = Sim.Net.now t.net in
+    List.iter
+      (fun (auth_id, expires, reply) ->
+        Secure_rpc.seed_response t.standby.cache ~now ~auth_id ~expires ~reply)
+      triples;
     Sim.Metrics.incr (Sim.Net.metrics t.net) "cluster.repl_applied";
+    Sim.Metrics.add (Sim.Net.metrics t.net) "cluster.repl_replies_seeded"
+      (List.length triples);
     Ok (S "replicated")
 
 let standby_handle t ctx payload =
   match payload with
-  | Wire.L (Wire.S "x-replicate" :: _) -> apply_replication t ctx payload
+  | Wire.L (Wire.S "x-replicate-bulk" :: _) -> apply_replication t ctx payload
   | Wire.L (Wire.S "apply-bulletin" :: _) ->
       (* Revocation bulletins bypass the promotion gate: a standby that
          refused them would fail open the moment it promoted. The bulletin

@@ -1,5 +1,5 @@
 type t = {
-  entries : (string, int) Hashtbl.t; (* identifier -> expiry *)
+  entries : (string, int * string option) Hashtbl.t; (* identifier -> (expiry, tag) *)
   capacity : int;
   on_evict : unit -> unit;
 }
@@ -14,7 +14,7 @@ let create ?(capacity = default_capacity) ?(on_evict = no_evict) () =
 let seen t ~now id =
   match Hashtbl.find_opt t.entries id with
   | None -> false
-  | Some expires ->
+  | Some (expires, _) ->
       if expires > now then true
       else begin
         Hashtbl.remove t.entries id;
@@ -23,7 +23,9 @@ let seen t ~now id =
 
 let purge t ~now =
   let stale =
-    Hashtbl.fold (fun id expires acc -> if expires <= now then id :: acc else acc) t.entries []
+    Hashtbl.fold
+      (fun id (expires, _) acc -> if expires <= now then id :: acc else acc)
+      t.entries []
   in
   List.iter (Hashtbl.remove t.entries) stale
 
@@ -34,7 +36,7 @@ let purge t ~now =
 let evict_soonest t =
   match
     Hashtbl.fold
-      (fun id expires best ->
+      (fun id (expires, _) best ->
         match best with
         | Some (_, e) when e <= expires -> best
         | _ -> Some (id, expires))
@@ -45,16 +47,32 @@ let evict_soonest t =
       Hashtbl.remove t.entries id;
       t.on_evict ()
 
-let record t ~now ~expires id =
+let record t ~now ~expires ?tag id =
   if seen t ~now id then Error (Printf.sprintf "accept-once identifier %S already recorded" id)
   else begin
     if Hashtbl.length t.entries >= t.capacity then begin
       purge t ~now;
       if Hashtbl.length t.entries >= t.capacity then evict_soonest t
     end;
-    Hashtbl.replace t.entries id expires;
+    Hashtbl.replace t.entries id (expires, tag);
     Ok ()
   end
+
+(* Revocation cleanup: a bulletin that kills a grantor makes every
+   accept-once identifier recorded under that grantor's authority moot —
+   the credential that carried it can no longer verify, so keeping the
+   record only burns capacity and, worse, collides with a legitimately
+   re-issued credential that reuses the identifier (a re-drawn check
+   number). One O(size) fold per freshly revoked tag; bounded by the
+   capacity and far rarer than record/seen traffic. *)
+let shed t ~tag =
+  let doomed =
+    Hashtbl.fold
+      (fun id (_, tg) acc -> if tg = Some tag then id :: acc else acc)
+      t.entries []
+  in
+  List.iter (Hashtbl.remove t.entries) doomed;
+  List.length doomed
 
 let size t = Hashtbl.length t.entries
 let capacity t = t.capacity

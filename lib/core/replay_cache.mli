@@ -17,9 +17,20 @@ val create : ?capacity:int -> ?on_evict:(unit -> unit) -> unit -> t
 val seen : t -> now:int -> string -> bool
 (** Has this identifier been recorded and not yet expired? *)
 
-val record : t -> now:int -> expires:int -> string -> (unit, string) result
+val record : t -> now:int -> expires:int -> ?tag:string -> string -> (unit, string) result
 (** Remember an identifier until [expires]. Fails if it is already live —
-    callers can rely on record-if-absent being atomic. *)
+    callers can rely on record-if-absent being atomic. [tag] optionally
+    names the authority the identifier was accepted under (the proxy
+    chain's grantor): {!shed} can then retire all of an authority's
+    records at once when a revocation bulletin kills it. *)
+
+val shed : t -> tag:string -> int
+(** Drop every entry recorded with [tag], returning how many were
+    dropped. Called when a revocation bulletin kills the tagged grantor:
+    the entries' credentials can no longer verify, so the records are
+    dead weight — and a legitimately re-issued credential (same
+    accept-once identifier, fresh post-revocation grant) must not collide
+    with them. *)
 
 val size : t -> int
 val capacity : t -> int

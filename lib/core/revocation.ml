@@ -117,7 +117,7 @@ let create ~authority ~authority_pub ?(staleness_bound_us = default_staleness_bo
     grantor_epochs = Hashtbl.create 8;
   }
 
-type applied = Applied of { fresh : int } | Ignored
+type applied = Applied of { fresh : int; fresh_entries : entry list } | Ignored
 
 let apply t b =
   if not (Principal.equal b.b_authority t.t_authority) then
@@ -135,18 +135,23 @@ let apply t b =
              scratch, counting how many entries extend the previous
              coverage (those are what warrant a cache invalidation). *)
           let fresh = ref 0 in
+          let fresh_entries = ref [] in
+          let note e =
+            incr fresh;
+            fresh_entries := e :: !fresh_entries
+          in
           let serials = Hashtbl.create (max 16 (List.length b.b_entries)) in
           let grantor_epochs = Hashtbl.create 8 in
           List.iter
             (fun e ->
               match e with
               | By_serial s ->
-                  if not (Hashtbl.mem t.serials s) then incr fresh;
+                  if not (Hashtbl.mem t.serials s) then note e;
                   Hashtbl.replace serials s ()
               | By_grantor_epoch { grantor; not_before } ->
                   let g = Principal.to_string grantor in
                   let prev = Option.value (Hashtbl.find_opt t.grantor_epochs g) ~default:min_int in
-                  if not_before > prev then incr fresh;
+                  if not_before > prev then note e;
                   let cur = Option.value (Hashtbl.find_opt grantor_epochs g) ~default:min_int in
                   if not_before > cur then Hashtbl.replace grantor_epochs g not_before)
             b.b_entries;
@@ -156,7 +161,7 @@ let apply t b =
           Hashtbl.iter (Hashtbl.replace t.grantor_epochs) grantor_epochs;
           t.t_epoch <- b.b_epoch;
           t.t_as_of <- max t.t_as_of b.b_issued_at;
-          Ok (Applied { fresh = !fresh })
+          Ok (Applied { fresh = !fresh; fresh_entries = List.rev !fresh_entries })
         end
 
 let authority t = t.t_authority

@@ -74,9 +74,12 @@ val create :
     first bulletin before failing closed. *)
 
 type applied =
-  | Applied of { fresh : int }
+  | Applied of { fresh : int; fresh_entries : entry list }
       (** the epoch advanced; [fresh] counts entries not already covered by
-          the previous state (0 for a pure heartbeat re-publication) *)
+          the previous state (0 for a pure heartbeat re-publication) and
+          [fresh_entries] lists them in bulletin order — the hook for
+          targeted cleanup, e.g. shedding a freshly revoked grantor's
+          accept-once replay records ([Authz.Guard]) *)
   | Ignored  (** valid signature but epoch not newer than what is held *)
 
 val apply : t -> bulletin -> (applied, string) result

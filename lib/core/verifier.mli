@@ -53,6 +53,7 @@ val verify_pk :
   lookup:(Principal.t -> Crypto.Rsa.public option) ->
   ?tally:(string -> unit) ->
   ?cache:Verify_cache.t ->
+  ?link_cache:Link_cache.t ->
   ?revocation:Revocation.t ->
   ?hook:span_hook ->
   now:int ->
@@ -65,7 +66,17 @@ val verify_pk :
     paper's audit-trail discipline). A delegate-cascade signature
     {e discharges} the Grantee restriction it exercised: a check endorsed
     from payee to bank no longer requires the payee among the final
-    presenters, only the endorsement target. *)
+    presenters, only the endorsement target.
+
+    When [link_cache] is given, the walk first probes for the longest
+    already-verified chain {e prefix} ({!Link_cache}): a hit (tallied
+    ["link_cache.hits"]) skips the prefix's signature verifications
+    entirely — re-checking each cached link's time window and revocation
+    status against the current clock first — and resumes the walk at the
+    first unverified certificate, recording every newly verified prefix
+    as a future resume point. A miss tallies ["link_cache.misses"] and
+    walks from the head. [cache] and [link_cache] compose: the per-
+    signature memo still serves certificates beyond the cached prefix. *)
 
 val verify_hybrid :
   lookup:(Principal.t -> Crypto.Rsa.public option) ->
@@ -90,6 +101,7 @@ val verify :
   ?me:Principal.t ->
   ?tally:(string -> unit) ->
   ?cache:Verify_cache.t ->
+  ?link_cache:Link_cache.t ->
   ?revocation:Revocation.t ->
   ?hook:span_hook ->
   now:int ->

@@ -3,7 +3,12 @@ type t = {
   ttl_us : int;
   on_evict : unit -> unit;
   on_invalidate : unit -> unit;
-  table : (string, int * int) Hashtbl.t; (* key -> (recorded_at, seq) *)
+  table : (string, int * int * int) Hashtbl.t;
+      (* key -> (recorded_at, seq, generation). An entry whose generation
+         predates [t.generation] was retired by a bump and is dead: it was
+         already counted as an invalidation when the bump happened, so the
+         lazy sweep that finds it later just drops it without touching any
+         counter. *)
   order : (string * int) Queue.t;
       (* (key, seq) in recording order; an entry whose seq no longer matches
          the table was re-recorded later and is skipped. The seq (not the
@@ -11,6 +16,11 @@ type t = {
          between two records, but the sequence always does. *)
   mutable seq : int;
   mutable generation : int;
+  mutable live : int;
+      (* number of table entries carrying the current generation — the
+         cache's logical size, and the exact count a bump must charge to
+         [invalidations]. Maintained incrementally so {!bump_generation}
+         never walks the table. *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -36,6 +46,7 @@ let create ?(capacity = default_capacity) ?(ttl_us = default_ttl_us)
     order = Queue.create ();
     seq = 0;
     generation = 0;
+    live = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -63,13 +74,20 @@ let check t ~now k =
   end
   else
   match Hashtbl.find_opt t.table k with
-  | Some (recorded_at, _) when fresh t ~now recorded_at ->
+  | Some (_, _, g) when g <> t.generation ->
+      (* Dead generation: retired (and counted) by an earlier bump; drop the
+         husk now that the lookup has found it. *)
+      Hashtbl.remove t.table k;
+      t.misses <- t.misses + 1;
+      false
+  | Some (recorded_at, _, _) when fresh t ~now recorded_at ->
       t.hits <- t.hits + 1;
       true
   | Some _ ->
       (* TTL expired: the signer binding may have been revoked since we
          verified — forget the entry and force a re-verification. *)
       Hashtbl.remove t.table k;
+      t.live <- t.live - 1;
       t.misses <- t.misses + 1;
       false
   | None ->
@@ -80,31 +98,38 @@ let evict_one t =
   let rec pop () =
     match Queue.take_opt t.order with
     | None -> ()
-    | Some (k, seq) ->
+    | Some (k, seq) -> (
         (* Evict only when this queue entry is the key's *latest* record: a
            mismatched seq means the entry was refreshed (re-pushed) later,
            so this one is stale and the key's turn comes with the newer
-           entry. (The old code kept one queue entry per key forever, so a
-           refresh left the hottest entry at the front of the line.) *)
-        let live = match Hashtbl.find_opt t.table k with Some (_, s) -> s = seq | None -> false in
-        if live then begin
-          Hashtbl.remove t.table k;
-          t.evictions <- t.evictions + 1;
-          t.on_evict ()
-        end
-        else pop () (* expired, evicted, or re-recorded since; skip *)
+           entry. Dead-generation entries are dropped in passing without
+           counting an eviction — their retirement was already charged to
+           [invalidations] when the generation bumped. *)
+        match Hashtbl.find_opt t.table k with
+        | Some (_, s, g) when s = seq && g = t.generation ->
+            Hashtbl.remove t.table k;
+            t.live <- t.live - 1;
+            t.evictions <- t.evictions + 1;
+            t.on_evict ()
+        | Some (_, s, g) when s = seq && g <> t.generation ->
+            Hashtbl.remove t.table k;
+            pop ()
+        | _ -> pop () (* expired, evicted, or re-recorded since; skip *))
   in
   pop ()
 
-(* Refreshes leave dead entries behind; when they dominate, drop them in one
-   O(queue) sweep so the queue stays within a constant factor of capacity. *)
+(* Refreshes and generation bumps leave dead entries behind; when they
+   dominate, drop them in one O(queue) sweep so both the queue and the
+   table stay within a constant factor of capacity. *)
 let compact t =
   if Queue.length t.order > 2 * t.capacity then begin
     let live = Queue.create () in
     Queue.iter
       (fun (k, seq) ->
         match Hashtbl.find_opt t.table k with
-        | Some (_, s) when s = seq -> Queue.push (k, seq) live
+        | Some (_, s, g) when s = seq ->
+            if g = t.generation then Queue.push (k, seq) live
+            else Hashtbl.remove t.table k
         | _ -> ())
       t.order;
     Queue.clear t.order;
@@ -114,17 +139,28 @@ let compact t =
 let record t ~now k =
   if t.capacity = 0 then ()
   else begin
-    let refresh = Hashtbl.mem t.table k in
-    if (not refresh) && Hashtbl.length t.table >= t.capacity then evict_one t;
+    let refresh =
+      match Hashtbl.find_opt t.table k with
+      | Some (_, _, g) when g = t.generation -> true
+      | Some _ ->
+          (* A dead-generation husk under the same key: replaced below, and
+             the replacement is a fresh insertion, not a refresh. *)
+          Hashtbl.remove t.table k;
+          false
+      | None -> false
+    in
+    if (not refresh) && t.live >= t.capacity then evict_one t;
     t.seq <- t.seq + 1;
-    Hashtbl.replace t.table k (now, t.seq);
+    Hashtbl.replace t.table k (now, t.seq, t.generation);
     Queue.push (k, t.seq) t.order;
+    if not refresh then t.live <- t.live + 1;
     compact t
   end
 
 let flush t =
   Hashtbl.reset t.table;
-  Queue.clear t.order
+  Queue.clear t.order;
+  t.live <- 0
 
 (* Explicit invalidation: unlike TTL expiry (a passive freshness bound) and
    capacity eviction (a space bound), these are {e correctness} events — a
@@ -132,22 +168,30 @@ let flush t =
    They are counted separately so the invalidation storm is observable. *)
 
 let invalidate t k =
-  if Hashtbl.mem t.table k then begin
-    Hashtbl.remove t.table k;
-    t.invalidations <- t.invalidations + 1;
-    t.on_invalidate ()
-  end
+  match Hashtbl.find_opt t.table k with
+  | Some (_, _, g) ->
+      Hashtbl.remove t.table k;
+      if g = t.generation then begin
+        t.live <- t.live - 1;
+        t.invalidations <- t.invalidations + 1;
+        t.on_invalidate ()
+      end
+  | None -> ()
 
 (* One bump retires the whole current generation: every cached chain that
    shares the revoked link (and every other entry — the cache cannot map a
-   serial back to the hashed keys that depend on it) is dropped in one
-   sweep, and re-presentations pay the full RSA walk again. This is the
-   revocation storm the R1 bench measures. *)
+   serial back to the hashed keys that depend on it) is dropped, and
+   re-presentations pay the full RSA walk again. The drop is *lazy*: the
+   bump only advances the generation counter and charges the maintained
+   live count to [invalidations]; dead entries are reaped as lookups,
+   evictions and compactions stumble over them. A bulletin storm that
+   bumps k times in a row therefore costs O(live-at-first-bump), not
+   O(k * table), which is what keeps the verifier responsive under the
+   L1 revocation-churn load. *)
 let bump_generation t =
+  let n = t.live in
   t.generation <- t.generation + 1;
-  let n = Hashtbl.length t.table in
-  Hashtbl.reset t.table;
-  Queue.clear t.order;
+  t.live <- 0;
   t.invalidations <- t.invalidations + n;
   for _ = 1 to n do
     t.on_invalidate ()
@@ -162,8 +206,8 @@ let stats (t : t) =
     misses = t.misses;
     evictions = t.evictions;
     invalidations = t.invalidations;
-    size = Hashtbl.length t.table;
+    size = t.live;
   }
 
-let size t = Hashtbl.length t.table
+let size t = t.live
 let capacity t = t.capacity

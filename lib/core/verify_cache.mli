@@ -85,7 +85,15 @@ val bump_generation : t -> int
     Returns the number of entries retired. This is the revocation-storm
     path: cache keys are one-way hashes, so a revoked link cannot be
     mapped back to the dependent entries — the bulletin holder retires
-    everything and lets honest traffic repopulate the cache. *)
+    everything and lets honest traffic repopulate the cache.
+
+    The retirement is lazy: entries carry generation tags and the bump
+    itself is O(1) apart from firing [on_invalidate] once per entry
+    retired ([stats.invalidations] stays exact — the maintained live
+    count is charged at bump time). Dead-generation entries are reaped
+    as later lookups, evictions and compactions encounter them, so a
+    storm of consecutive bumps costs O(entries live at the first bump),
+    not O(bumps x table size). *)
 
 val generation : t -> int
 (** Starts at 0; incremented by every {!bump_generation}. *)

@@ -91,3 +91,32 @@ val call :
     exhausted with a transient error. Fail-over reuses the same request
     bytes, ticks ["cluster.failovers"], opens a ["cluster.failover"] span,
     and calls [on_failover]. *)
+
+val call_batch :
+  Sim.Net.t ->
+  creds:Ticket.credentials ->
+  ?subkey:string ->
+  ?retries:int ->
+  ?timeout_us:int ->
+  ?backoff:Sim.Retry.backoff ->
+  ?dst:string ->
+  ?fallback_dsts:string list ->
+  ?on_failover:(from_:string -> to_:string -> unit) ->
+  Wire.t list ->
+  ((Wire.t, string) result list, string) result
+(** Request pipelining: N payloads under {e one} ticket/authenticator
+    exchange — one client seal, one round trip, one server open + sealed
+    coalesced reply — instead of N full exchanges. Transport semantics
+    (retries, timeout, backoff, replica fail-over, same-bytes
+    retransmission) are exactly {!call}'s, applied to the batch as a
+    whole; the server runs its ordinary handler once per item, in order,
+    and caches the coalesced reply under the single authenticator, so
+    however often the batch is retransmitted or fails over each item
+    executes exactly once. The outer [Error] is a transport or
+    authentication failure (no item is known to have executed... or the
+    whole batch was already executed and the cached reply was lost to the
+    skew window — the same at-least-once caveat as [call]); the inner
+    results are the per-item handler outcomes, positionally matching the
+    payloads. An empty payload list returns [Ok []] without touching the
+    network. Metrics: ["rpc.batch.calls"]/["rpc.batch.coalesced"] client
+    side, ["rpc.batch.requests"]/["rpc.batch.items"] server side. *)

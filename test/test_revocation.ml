@@ -71,7 +71,7 @@ let test_apply_is_monotonic () =
   let b2 = sign ~epoch:2 ~issued_at:100 [ Revocation.By_serial "s1" ] in
   let b3 = sign ~epoch:3 ~issued_at:200 [ Revocation.By_serial "s1" ] in
   (match Revocation.apply t b3 with
-  | Ok (Revocation.Applied { fresh }) -> Alcotest.(check int) "b3 fresh" 1 fresh
+  | Ok (Revocation.Applied { fresh; _ }) -> Alcotest.(check int) "b3 fresh" 1 fresh
   | _ -> Alcotest.fail "b3 should apply");
   Alcotest.(check int) "epoch" 3 (Revocation.epoch t);
   Alcotest.(check int) "as_of" 200 (Revocation.as_of t);
@@ -84,7 +84,7 @@ let test_apply_is_monotonic () =
   (* A heartbeat (same entries, newer epoch) applies with nothing fresh. *)
   let b4 = sign ~epoch:4 ~issued_at:300 [ Revocation.By_serial "s1" ] in
   (match Revocation.apply t b4 with
-  | Ok (Revocation.Applied { fresh }) -> Alcotest.(check int) "heartbeat fresh" 0 fresh
+  | Ok (Revocation.Applied { fresh; _ }) -> Alcotest.(check int) "heartbeat fresh" 0 fresh
   | _ -> Alcotest.fail "heartbeat should apply");
   Alcotest.(check int) "as_of advanced by heartbeat" 300 (Revocation.as_of t);
   (* A bulletin signed by the wrong key never applies. *)
@@ -236,6 +236,61 @@ let test_guard_bulletin_invalidates_and_meters () =
   | _ -> Alcotest.fail "old bulletin must be ignored");
   Alcotest.(check bool) "still revoked" true (Result.is_error (decide ()))
 
+let test_shed_frees_reissued_accept_once () =
+  (* Section 7.7 meets revocation: a check's accept-once record outlives
+     the revocation of the grantor who wrote it. The bulletin must shed
+     the dead grantor's records, or a legitimately re-issued check reusing
+     the identifier bounces against a record that can never be redeemed. *)
+  let net = Sim.Net.create ~seed:"guard-shed" () in
+  let fs = p "fileserver" in
+  let acl = Acl.create () in
+  Acl.add acl ~target:"*"
+    { Acl.subject = Acl.Principal_is gina; rights = [ "read" ]; restrictions = [] };
+  let guard =
+    Guard.create net ~me:fs ~my_key:"k" ~lookup_pub:lookup ~revocation:(subscriber ()) ~acl ()
+  in
+  let check_no = "check-0042" in
+  let issue ~now () =
+    Proxy.grant_pk ~drbg ~now ~expires:(10 * hour) ~grantor:gina ~grantor_key:gina_kp
+      ~proxy_bits:512
+      ~restrictions:
+        [ R.Authorized [ { R.target = "file1"; ops = [ "read" ] } ]; R.Accept_once check_no ]
+      ()
+  in
+  let decide proxy =
+    let presented =
+      Guard.present ~proxy ~time:(Sim.Net.now net) ~server:fs ~operation:"read" ~target:"file1" ()
+    in
+    Guard.decide guard ~operation:"read" ~target:"file1" ~presenter:(p "carol")
+      ~proxies:[ presented ] ()
+  in
+  let original = issue ~now:0 () in
+  Alcotest.(check bool) "original check accepted" true (Result.is_ok (decide original));
+  Alcotest.(check bool) "identifier recorded" true
+    (Replay_cache.seen (Guard.replay_cache guard) ~now:(Sim.Net.now net) check_no);
+  Alcotest.(check bool) "second presentation bounces" true (Result.is_error (decide original));
+  (* Gina is revoked by grantor epoch; her accept-once records are shed
+     with her. *)
+  (match
+     Guard.apply_bulletin guard
+       (sign ~epoch:2 [ Revocation.By_grantor_epoch { grantor = gina; not_before = 100 } ])
+   with
+  | Ok true -> ()
+  | _ -> Alcotest.fail "revoking bulletin should advance");
+  Alcotest.(check bool) "records shed and metered" true
+    (Sim.Metrics.get (Sim.Net.metrics net) "replay_cache.shed" > 0);
+  Alcotest.(check bool) "identifier no longer held" false
+    (Replay_cache.seen (Guard.replay_cache guard) ~now:(Sim.Net.now net) check_no);
+  Alcotest.(check bool) "revoked check refused" true (Result.is_error (decide original));
+  (* The re-issued check — same number, fresh post-revocation grant — must
+     not collide with the dead record... *)
+  Sim.Clock.advance (Sim.Net.clock net) 100;
+  let reissued = issue ~now:100 () in
+  Alcotest.(check bool) "re-issued check accepted" true (Result.is_ok (decide reissued));
+  (* ...and accept-once still holds for the new incarnation. *)
+  Alcotest.(check bool) "re-issued check is still accept-once" true
+    (Result.is_error (decide reissued))
+
 (* --- the storm scenario --- *)
 
 let test_storm () =
@@ -306,7 +361,9 @@ let () =
           ("revoked link never served from cache", `Quick,
            test_revoked_link_never_served_from_cache);
           ("guard bulletin invalidates and meters", `Quick,
-           test_guard_bulletin_invalidates_and_meters) ] );
+           test_guard_bulletin_invalidates_and_meters);
+          ("shed frees re-issued accept-once identifiers", `Quick,
+           test_shed_frees_reissued_accept_once) ] );
       ( "storm",
         [ ("revocation storm under churn", `Quick, test_storm);
           ("same seed, same bytes", `Quick, test_storm_deterministic) ] ) ]

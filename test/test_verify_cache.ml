@@ -184,6 +184,156 @@ let test_replay_cache_bound () =
   Alcotest.(check int) "no eviction when purge suffices" before !evictions;
   Alcotest.(check bool) "live entry kept" true (Replay_cache.seen rc2 ~now:500 "live")
 
+(* --- Lazy generation retirement (amortized bump_generation) --- *)
+
+let test_bump_generation_lazy_amortized () =
+  let invalidated = ref 0 in
+  let cache = Verify_cache.create ~on_invalidate:(fun () -> incr invalidated) () in
+  let k i = Verify_cache.key ~signed_bytes:(Printf.sprintf "c%d" i) ~signature:"s" ~signer:"k" in
+  for i = 1 to 5 do
+    Verify_cache.record cache ~now:0 (k i)
+  done;
+  Alcotest.(check int) "five live" 5 (Verify_cache.size cache);
+  Alcotest.(check int) "first bump retires all five" 5 (Verify_cache.bump_generation cache);
+  Alcotest.(check int) "on_invalidate fired per entry" 5 !invalidated;
+  Alcotest.(check int) "size reflects retirement immediately" 0 (Verify_cache.size cache);
+  Alcotest.(check int) "invalidations exact" 5
+    (Verify_cache.stats cache).Verify_cache.invalidations;
+  (* The dead generation is unreachable: lookups miss, and the miss does
+     not resurrect anything. *)
+  Alcotest.(check bool) "dead entry misses" false (Verify_cache.check cache ~now:1 (k 1));
+  (* A storm of consecutive bumps costs nothing further: each retires the
+     (empty) current generation, not the whole table again. *)
+  for _ = 1 to 100 do
+    Alcotest.(check int) "empty generation bump is free" 0 (Verify_cache.bump_generation cache)
+  done;
+  Alcotest.(check int) "storm charged no phantom invalidations" 5
+    (Verify_cache.stats cache).Verify_cache.invalidations;
+  Alcotest.(check int) "generation counter advanced" 101 (Verify_cache.generation cache);
+  (* New-generation entries live normally and are charged exactly on the
+     next bump. *)
+  Verify_cache.record cache ~now:2 (k 9);
+  Alcotest.(check bool) "new entry hits" true (Verify_cache.check cache ~now:2 (k 9));
+  Alcotest.(check int) "next bump retires exactly the new entry" 1
+    (Verify_cache.bump_generation cache);
+  Alcotest.(check int) "total invalidations exact" 6
+    (Verify_cache.stats cache).Verify_cache.invalidations
+
+(* --- Link-level (chain-prefix) cache --- *)
+
+(* A shared cascade re-delegated to several holders: grantor -> depth-k
+   prefix, then each holder extends it by one certificate. This is the
+   fan-out where per-presentation caching is O(k*M) and the link cache
+   must be O(k+M). *)
+let fanout ~prefix_len ~holders =
+  let base =
+    Proxy.grant_pk ~drbg ~now:0 ~expires:t_exp ~grantor:alice ~grantor_key:alice_kp
+      ~proxy_bits:512
+      ~restrictions:[ R.Authorized [ { R.target = "file1"; ops = [ "read" ] } ] ]
+      ()
+  in
+  let rec extend proxy = function
+    | 0 -> proxy
+    | n ->
+        extend
+          (Result.get_ok
+             (Proxy.restrict_pk ~drbg ~now:0 ~expires:t_exp ~proxy_bits:512 ~restrictions:[]
+                proxy))
+          (n - 1)
+  in
+  let shared = extend base (prefix_len - 1) in
+  List.init holders (fun _ ->
+      match (extend shared 1).Proxy.flavor with
+      | Proxy.Public_key certs -> certs
+      | _ -> Alcotest.fail "expected public-key chain")
+
+let link_stats label (want_hits, want_misses) lc =
+  let s = Link_cache.stats lc in
+  Alcotest.(check int) (label ^ ": hits") want_hits s.Link_cache.hits;
+  Alcotest.(check int) (label ^ ": misses") want_misses s.Link_cache.misses
+
+let test_link_cache_shared_prefix_fanout () =
+  let prefix_len = 3 and holders = 4 in
+  let chains = fanout ~prefix_len ~holders in
+  let lc = Link_cache.create () in
+  let rsa = ref 0 in
+  List.iter
+    (fun certs ->
+      let (r, count) =
+        with_tally (fun tally -> Verifier.verify_pk ~lookup ~tally ~link_cache:lc ~now:100 certs)
+      in
+      Alcotest.(check bool) "holder chain verifies" true (Result.is_ok r);
+      rsa := !rsa + count "crypto.rsa_verify")
+    chains;
+  (* First holder walks prefix + tail cold; every later holder resumes
+     after the shared prefix and pays only its own tail. *)
+  Alcotest.(check int) "O(k+M) RSA total" (prefix_len + holders) !rsa;
+  link_stats "after fan-out" (holders - 1, 1) lc;
+  (* A full re-presentation is one prefix hit and zero RSA. *)
+  let (r, count) =
+    with_tally (fun tally ->
+        Verifier.verify_pk ~lookup ~tally ~link_cache:lc ~now:200 (List.hd chains))
+  in
+  Alcotest.(check bool) "re-presentation verifies" true (Result.is_ok r);
+  Alcotest.(check int) "re-presentation pays no RSA" 0 (count "crypto.rsa_verify");
+  link_stats "after re-presentation" (holders, 1) lc
+
+let test_link_cache_bump_generation () =
+  let certs = List.hd (fanout ~prefix_len:3 ~holders:1) in
+  let lc = Link_cache.create () in
+  Alcotest.(check bool) "cold chain verifies" true
+    (Result.is_ok (Verifier.verify_pk ~lookup ~link_cache:lc ~now:100 certs));
+  let live = Link_cache.size lc in
+  Alcotest.(check bool) "walk recorded resume points" true (live > 0);
+  Alcotest.(check int) "bump retires every prefix" live (Link_cache.bump_generation lc);
+  Alcotest.(check int) "invalidations exact" live
+    (Link_cache.stats lc).Link_cache.invalidations;
+  Alcotest.(check int) "immediate re-bump is free" 0 (Link_cache.bump_generation lc);
+  (* The next presentation re-pays the full RSA walk. *)
+  let (r, count) =
+    with_tally (fun tally -> Verifier.verify_pk ~lookup ~tally ~link_cache:lc ~now:200 certs)
+  in
+  Alcotest.(check bool) "re-verifies after bump" true (Result.is_ok r);
+  Alcotest.(check int) "full RSA walk re-paid" (List.length certs) (count "crypto.rsa_verify")
+
+let test_link_cache_tamper_and_expiry () =
+  (* Tampering: a re-signed certificate changes the rolling digest, so a
+     warm prefix can never vouch for altered bytes. *)
+  let certs = List.hd (fanout ~prefix_len:2 ~holders:1) in
+  let lc = Link_cache.create () in
+  Alcotest.(check bool) "honest chain verifies" true
+    (Result.is_ok (Verifier.verify_pk ~lookup ~link_cache:lc ~now:100 certs));
+  let tamper cert =
+    let b = Bytes.of_string cert.Proxy_cert.signature in
+    Bytes.set b 3 (Char.chr (Char.code (Bytes.get b 3) lxor 0x40));
+    { cert with Proxy_cert.signature = Bytes.to_string b }
+  in
+  let tampered = tamper (List.hd certs) :: List.tl certs in
+  (match Verifier.verify_pk ~lookup ~link_cache:lc ~now:100 tampered with
+  | Ok _ -> Alcotest.fail "tampered chain served from warm prefix"
+  | Error _ -> ());
+  Alcotest.(check bool) "honest chain still hits" true
+    (Result.is_ok (Verifier.verify_pk ~lookup ~link_cache:lc ~now:100 certs));
+  (* Expiry: a cached prefix re-checks every link's time window, so an
+     expired certificate is refused even on a prefix hit. *)
+  let short =
+    match
+      (Proxy.grant_pk ~drbg ~now:0 ~expires:1000 ~grantor:alice ~grantor_key:alice_kp
+         ~proxy_bits:512
+         ~restrictions:[ R.Authorized [ { R.target = "file1"; ops = [ "read" ] } ] ]
+         ())
+        .Proxy.flavor
+    with
+    | Proxy.Public_key certs -> certs
+    | _ -> Alcotest.fail "expected public-key chain"
+  in
+  let lc2 = Link_cache.create () in
+  Alcotest.(check bool) "within window ok" true
+    (Result.is_ok (Verifier.verify_pk ~lookup ~link_cache:lc2 ~now:100 short));
+  match Verifier.verify_pk ~lookup ~link_cache:lc2 ~now:2000 short with
+  | Ok _ -> Alcotest.fail "expired certificate served from cached prefix"
+  | Error _ -> ()
+
 let () =
   Alcotest.run "verify_cache"
     [ ( "memoized verification",
@@ -192,5 +342,10 @@ let () =
           ("ttl expiry re-verifies", `Quick, test_ttl_expiry_reverifies);
           ("expired cert refused despite warm cache", `Quick,
            test_expired_cert_refused_despite_warm_cache);
-          ("capacity bound + evictions", `Quick, test_capacity_bound_and_evictions) ] );
+          ("capacity bound + evictions", `Quick, test_capacity_bound_and_evictions);
+          ("bump_generation is lazy and exact", `Quick, test_bump_generation_lazy_amortized) ] );
+      ( "link cache",
+        [ ("shared prefix fan-out is O(k+M)", `Quick, test_link_cache_shared_prefix_fanout);
+          ("bump_generation retires prefixes", `Quick, test_link_cache_bump_generation);
+          ("tamper and expiry never served", `Quick, test_link_cache_tamper_and_expiry) ] );
       ("replay cache", [ ("bounded under flood", `Quick, test_replay_cache_bound) ]) ]

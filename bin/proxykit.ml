@@ -315,6 +315,69 @@ let cluster seed shards ops buyers drop duplicate no_crash crash_buyer crash_aft
     else 1
   end
 
+(* --- two-server sequence scenario --- *)
+
+let print_seq_outcome (o : Cluster.Seq_scenario.outcome) =
+  let open Cluster.Seq_scenario in
+  Printf.printf "  out-of-order:   debit before open %s\n"
+    (if o.attack_denied then "denied" else "GRANTED (violation)");
+  Printf.printf "  in-order open:  %s; reopen %s\n"
+    (if o.open_ok then "granted" else "DENIED")
+    (if o.reopen_denied then "denied (step consumed)" else "GRANTED (violation)");
+  Printf.printf "  handover:       standby progress %d before the crash (%d advance(s), %d import(s))\n"
+    o.standby_progress_before_crash o.seq_advances o.seq_imports;
+  Printf.printf "  failover:       %s crashed, %d promotion(s); debit %s, repeat %s\n"
+    o.crashed_node o.promotions
+    (if o.failover_debit_ok then "granted once" else "DENIED")
+    (if o.second_debit_denied then "denied (sequence exhausted)" else "GRANTED (violation)");
+  Printf.printf "  balances:       alice %d, bob %d\n" o.alice_available o.bob_available
+
+let seq_ok (o : Cluster.Seq_scenario.outcome) =
+  let open Cluster.Seq_scenario in
+  o.attack_denied && o.open_ok && o.reopen_denied
+  && o.standby_progress_before_crash = 1
+  && o.failover_debit_ok && o.second_debit_denied && o.promotions >= 1
+
+let seq_run seed drop duplicate retries timeout crash_after smoke =
+  let cfg =
+    {
+      Cluster.Seq_scenario.seed;
+      drop;
+      duplicate;
+      retries;
+      timeout_us = timeout;
+      crash_after_us = crash_after;
+    }
+  in
+  if not smoke then begin
+    Printf.printf "seq run: seed %S, drop %.0f%%, duplicate %.0f%%, crash at +%d us\n%!" seed
+      (drop *. 100.) (duplicate *. 100.) crash_after;
+    let o = Cluster.Seq_scenario.run cfg in
+    print_seq_outcome o;
+    if seq_ok o then 0 else 1
+  end
+  else begin
+    (* Acceptance gates: the sequence must drive in-order exactly-once
+       behaviour across two servers and a mid-sequence primary crash, and
+       a same-seed rerun must be byte-identical (metrics and trace). *)
+    Printf.printf "seq smoke: seed %S, forced mid-sequence primary crash\n%!" seed;
+    let o = Cluster.Seq_scenario.run cfg in
+    print_seq_outcome o;
+    let o2 = Cluster.Seq_scenario.run cfg in
+    let deterministic =
+      o.Cluster.Seq_scenario.metrics = o2.Cluster.Seq_scenario.metrics
+      && o.Cluster.Seq_scenario.trace = o2.Cluster.Seq_scenario.trace
+    in
+    Printf.printf "  deterministic:  %s (same-seed rerun %s)\n"
+      (if deterministic then "yes" else "NO")
+      (if deterministic then "byte-identical" else "DIVERGED");
+    if seq_ok o && deterministic then begin
+      print_endline "seq smoke: OK";
+      0
+    end
+    else 1
+  end
+
 (* --- open-loop load --- *)
 
 let print_load_outcome (o : Load.Driver.outcome) =
@@ -857,6 +920,43 @@ let cluster_cmd =
     Term.(const cluster $ seed $ shards $ ops $ buyers $ drop $ duplicate $ no_crash
           $ crash_buyer $ crash_after $ retries $ timeout $ smoke)
 
+let seq_cmd =
+  let seed =
+    Arg.(value & opt string "seq" & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed")
+  in
+  let drop =
+    Arg.(value & opt float 0.05 & info [ "drop" ] ~docv:"P" ~doc:"Per-message drop probability")
+  in
+  let duplicate =
+    Arg.(value & opt float 0.05
+         & info [ "duplicate" ] ~docv:"P" ~doc:"Per-message duplication probability")
+  in
+  let retries =
+    Arg.(value & opt int 8 & info [ "retries" ] ~docv:"N" ~doc:"Client retransmission budget")
+  in
+  let timeout =
+    Arg.(value & opt int 10_000 & info [ "timeout" ] ~docv:"US" ~doc:"Client timeout (us)")
+  in
+  let crash_after =
+    Arg.(value & opt int 40_000
+         & info [ "crash-after" ] ~docv:"US"
+             ~doc:"Bank-primary crash instant relative to chaos start (us)")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Run the acceptance gates: out-of-order presentations denied, the in-order \
+                   sequence accepted exactly once across a mid-sequence primary crash, and a \
+                   byte-identical same-seed rerun; exit non-zero on violation")
+  in
+  Cmd.v
+    (Cmd.info "seq"
+       ~doc:
+         "Run the two-server sequence scenario: one Sequence restriction spans a file server \
+          and a sharded bank (an fs open gates a bank debit); earned progress is handed over \
+          and journalled to the standby, surviving a mid-sequence primary crash")
+    Term.(const seq_run $ seed $ drop $ duplicate $ retries $ timeout $ crash_after $ smoke)
+
 let load_cmd =
   let seed =
     Arg.(value & opt string "l1" & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed")
@@ -1004,7 +1104,8 @@ let replay_repro_dir dir =
     List.for_all replay_one (List.map (Filename.concat dir) files)
   end
 
-let run_campaign ?mutation ~seed_base ~n_seeds ~per_seed ~shrink_budget ~save () =
+let run_campaign ?mutation ?(require_seq = false) ~seed_base ~n_seeds ~per_seed ~shrink_budget
+    ~save () =
   let seeds = List.init n_seeds (fun i -> Printf.sprintf "%s-%d" seed_base i) in
   let t0 = Unix.gettimeofday () in
   let finding, stats =
@@ -1012,16 +1113,25 @@ let run_campaign ?mutation ~seed_base ~n_seeds ~per_seed ~shrink_budget ~save ()
   in
   let dt = Unix.gettimeofday () -. t0 in
   let rate = if dt > 0. then float_of_int stats.Mbt.Runner.programs /. dt else 0. in
-  Printf.printf "mbt: %d program(s), %d op(s) across %d seed(s)%s — %.1f programs/s\n"
-    stats.Mbt.Runner.programs stats.Mbt.Runner.ops n_seeds
+  Printf.printf
+    "mbt: %d program(s), %d op(s) (%d carrying sequences) across %d seed(s)%s — %.1f programs/s\n"
+    stats.Mbt.Runner.programs stats.Mbt.Runner.ops stats.Mbt.Runner.seq_ops n_seeds
     (match mutation with
     | Some m -> Printf.sprintf " [mutation: %s]" (Mbt.Exec.mutation_name m)
     | None -> "")
     rate;
+  let seq_ok =
+    if require_seq && stats.Mbt.Runner.seq_ops = 0 then begin
+      Printf.printf "mbt: FAIL — the campaign exercised no sequence restrictions\n";
+      false
+    end
+    else true
+  in
   match (finding, mutation) with
   | None, None ->
-      Printf.printf "mbt: conformance OK — stack, cache differential and model agree\n";
-      true
+      if seq_ok then
+        Printf.printf "mbt: conformance OK — stack, cache differential and model agree\n";
+      seq_ok
   | None, Some m ->
       Printf.printf "mbt: FAIL — injected mutation %s survived %d program(s)\n"
         (Mbt.Exec.mutation_name m) stats.Mbt.Runner.programs;
@@ -1064,7 +1174,8 @@ let mbt smoke replay repros mutation_name seed_base n_seeds per_seed shrink_budg
       (* CI budget: a clean mini-campaign, one kill check per mutation, and a
          replay of the committed repro corpus. *)
       let clean =
-        run_campaign ~seed_base:"smoke" ~n_seeds:2 ~per_seed:20 ~shrink_budget ~save:None ()
+        run_campaign ~require_seq:true ~seed_base:"smoke" ~n_seeds:2 ~per_seed:20 ~shrink_budget
+          ~save:None ()
       in
       let kills =
         (* Seed chosen (deterministically probed) so every mutation is
@@ -1072,7 +1183,7 @@ let mbt smoke replay repros mutation_name seed_base n_seeds per_seed shrink_budg
            against generator drift, not randomness. *)
         List.for_all
           (fun m ->
-            run_campaign ~mutation:m ~seed_base:"rk-1" ~n_seeds:1 ~per_seed:80
+            run_campaign ~mutation:m ~seed_base:"rk-4" ~n_seeds:1 ~per_seed:80
               ~shrink_budget:120 ~save:None ())
           Mbt.Exec.mutations
       in
@@ -1111,7 +1222,8 @@ let mbt_cmd =
     Arg.(value & opt (some string) None
          & info [ "mutation" ] ~docv:"NAME"
              ~doc:"Inject a named stack mutation; the campaign must find and shrink a disagreement \
-                   (drop-derived-restriction, ignore-expiry, misbind-proof, ignore-bulletin)")
+                   (drop-derived-restriction, ignore-expiry, misbind-proof, ignore-bulletin, \
+                   ignore-sequence-order, reset-progress-on-retry)")
   in
   let seed_base =
     Arg.(value & opt string "mbt" & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed base")
@@ -1144,9 +1256,10 @@ let mbt_cmd =
 let fuzz smoke iters seed corpus save_corpus =
   let report (s : Mbt.Fuzz.stats) =
     Printf.printf
-      "fuzz: %d mutant(s): wire decode ok/err %d/%d, typed decode ok/err %d/%d, %d crash(es)\n"
-      s.Mbt.Fuzz.iterations s.Mbt.Fuzz.decode_ok s.Mbt.Fuzz.decode_error s.Mbt.Fuzz.typed_ok
-      s.Mbt.Fuzz.typed_error
+      "fuzz: %d mutant(s) (%d from the sequence seed): wire decode ok/err %d/%d, typed decode \
+       ok/err %d/%d, %d crash(es)\n"
+      s.Mbt.Fuzz.iterations s.Mbt.Fuzz.seq_iters s.Mbt.Fuzz.decode_ok s.Mbt.Fuzz.decode_error
+      s.Mbt.Fuzz.typed_ok s.Mbt.Fuzz.typed_error
       (List.length s.Mbt.Fuzz.crashes);
     List.iter
       (fun (c : Mbt.Fuzz.crash) ->
@@ -1170,13 +1283,21 @@ let fuzz smoke iters seed corpus save_corpus =
         replay_dir dir
     | None ->
         if smoke then
-          let run_ok = report (Mbt.Fuzz.run ~seed:"fuzz-smoke" ~iters:2_000) in
+          let stats = Mbt.Fuzz.run ~seed:"fuzz-smoke" ~iters:2_000 in
+          let run_ok = report stats in
+          let seq_ok =
+            if stats.Mbt.Fuzz.seq_iters = 0 then begin
+              Printf.printf "fuzz: FAIL — no mutants drawn from the sequence-restriction seed\n";
+              false
+            end
+            else true
+          in
           let corpus_ok =
             if Sys.file_exists "test/fuzz_corpus" && Sys.is_directory "test/fuzz_corpus" then
               replay_dir "test/fuzz_corpus"
             else true
           in
-          run_ok && corpus_ok
+          run_ok && seq_ok && corpus_ok
         else (
           match corpus with
           | Some dir -> replay_dir dir
@@ -1218,6 +1339,6 @@ let main =
     (Cmd.info "proxykit" ~version:"1.0.0"
        ~doc:"Restricted proxies for distributed authorization and accounting (Neuman, ICDCS '93)")
     [ selftest_cmd; demo_cmd; keygen_cmd; inspect_cmd; bench_cmd; bench_check_cmd; chaos_cmd;
-      cluster_cmd; revoke_cmd; load_cmd; trace_cmd; mbt_cmd; fuzz_cmd ]
+      cluster_cmd; seq_cmd; revoke_cmd; load_cmd; trace_cmd; mbt_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -38,6 +38,14 @@ echo "== model-based conformance smoke =="
 # mutants) and replays the committed shrunk repros in test/repros/.
 dune exec --no-build bin/proxykit.exe -- mbt --smoke
 
+echo "== permission-sequence smoke =="
+# Two-server context-aware sequence scenario: a stateful Sequence restriction
+# requires a file-server 'open' before a bank 'debit'. Gates: the out-of-order
+# debit is denied, the in-order run clears exactly once, progress replicates
+# to the standby and survives a mid-sequence primary crash (the post-failover
+# debit succeeds without re-opening), and a same-seed rerun is byte-identical.
+dune exec --no-build bin/proxykit.exe -- seq --smoke
+
 echo "== revocation storm smoke =="
 # Seeded revocation-under-churn scenario: bulletins revoke live chains while
 # a partition drives one server past its staleness bound. Fresh servers must

@@ -299,6 +299,44 @@ let handle t ctx payload =
           trace t "cashier's check %s: %d %s for %s" check.Check.number amount currency
             (Principal.to_string payee);
           Ok (Check.to_wire check))
+  | "proxy-transfer" ->
+      (* Single-decision presented-proxy transfer: unlike "proxy-debit"
+         (whose probe pass runs the guard twice per request), exactly one
+         [Guard.decide] evaluates — and therefore advances — any stateful
+         Sequence restriction the chain carries exactly once per grant. *)
+      let* pw = field payload 1 in
+      let* presented = Guard.presented_of_wire pw in
+      let* payor_account = Result.bind (field payload 2) to_string in
+      let* to_account = Result.bind (field payload 3) to_string in
+      let* currency = Result.bind (field payload 4) to_string in
+      let* amount = Result.bind (field payload 5) to_int in
+      if amount <= 0 then Error "proxy-transfer: amount must be positive"
+      else
+        owner_only to_account (fun () ->
+            let* _decision =
+              Guard.decide t.guard ~operation:"debit" ~target:payor_account ~presenter:client
+                ~proxies:[ presented ]
+                ~spend:(currency, amount) ()
+            in
+            let* () = Ledger.debit t.ledger ~name:payor_account ~currency amount in
+            let* () = Ledger.credit t.ledger ~name:to_account ~currency amount in
+            trace t "proxy transfer: %d %s from %S to %S" amount currency payor_account
+              to_account;
+            Ok (Wire.I amount))
+  | "seq-advance" ->
+      (* Cross-server sequence progress handover: the guard re-derives the
+         sequence from the self-describing key and only accepts the push
+         when the authenticated caller is the server that ran the attested
+         step (see {!Guard.import_seq_progress}). *)
+      let* key = Result.bind (field payload 1) to_string in
+      let* progress = Result.bind (field payload 2) to_int in
+      let* expires = Result.bind (field payload 3) to_int in
+      let* stag = Result.bind (field payload 4) to_string in
+      let* () =
+        Guard.import_seq_progress t.guard ~caller:client ~key ~progress ~expires ~tag:stag
+      in
+      trace t "sequence progress %d imported from %s" progress (Principal.to_string client);
+      Ok (Wire.L [])
   | "proxy-debit" ->
       (* Standing-authority draw (quota allocation, Section 4): cumulative
          spending against one delegate proxy is tracked and capped by its
@@ -383,7 +421,7 @@ let install t =
    handler. The [drawn] table for standing authorities is not replicated —
    standing draws against a failed-over shard restart their cumulative
    count. *)
-let apply_replicated t ~ops ~redeemed =
+let apply_replicated t ?(seq = []) ~ops ~redeemed () =
   let now = Sim.Net.now t.net in
   let rec apply_ops = function
     | [] -> Ok ()
@@ -406,6 +444,14 @@ let apply_replicated t ~ops ~redeemed =
             (Replay_cache.record (Guard.replay_cache t.guard) ~now
                ~expires:(now + t.proxy_lifetime_us) number))
         redeemed;
+      (* Mirrored sequence progress lands directly in the tracker: the
+         replication channel already authenticated the primary, and the
+         max-monotone store makes re-applied batches harmless. *)
+      List.iter
+        (fun (key, progress, expires, tag) ->
+          Seq_tracker.set_progress (Guard.seq_tracker t.guard) ~now ~expires ~tag key
+            progress)
+        seq;
       Ok ()
 
 (* --- client side --- *)
@@ -504,6 +550,31 @@ let standing_release net ~creds ~authority ~from_account ~amount =
         Wire.I amount ]
   in
   Result.bind (Secure_rpc.call net ~creds payload) Wire.to_int
+
+let proxy_transfer ?(retries = 0) ?timeout_us ?backoff ?dst ?fallback_dsts ?on_failover net
+    ~creds ~presented ~payor_account ~to_account ~currency ~amount =
+  let payload =
+    Wire.L
+      [ Wire.S "proxy-transfer";
+        Guard.presented_to_wire presented;
+        Wire.S payor_account;
+        Wire.S to_account;
+        Wire.S currency;
+        Wire.I amount ]
+  in
+  Result.bind
+    (Secure_rpc.call net ~creds ~retries ?timeout_us ?backoff ?dst ?fallback_dsts ?on_failover
+       payload)
+    Wire.to_int
+
+let seq_advance ?(retries = 0) ?timeout_us ?backoff ?dst ?fallback_dsts ?on_failover net
+    ~creds ~key ~progress ~expires ~tag =
+  match
+    Secure_rpc.call net ~creds ~retries ?timeout_us ?backoff ?dst ?fallback_dsts ?on_failover
+      (Wire.L [ Wire.S "seq-advance"; Wire.S key; Wire.I progress; Wire.I expires; Wire.S tag ])
+  with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
 
 let push_bulletin ?(retries = 0) ?timeout_us ?backoff ?dst ?fallback_dsts net ~creds b =
   match

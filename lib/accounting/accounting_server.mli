@@ -80,11 +80,19 @@ val set_redemption_observer : t -> (string -> unit) option -> unit
     the replication feed for mirroring accept-once records to a standby. *)
 
 val apply_replicated :
-  t -> ops:Ledger.op list -> redeemed:string list -> (unit, string) result
+  t ->
+  ?seq:(string * int * int * string) list ->
+  ops:Ledger.op list ->
+  redeemed:string list ->
+  unit ->
+  (unit, string) result
 (** Standby side of replication: replay the primary's journalled ledger
     ops (mirroring the ACL entry an [Op_open] installs) and record redeemed
     check numbers in the guard's accept-once cache, without re-running any
-    handler. Standing-authority cumulative draws are not replicated. *)
+    handler. [seq] mirrors the primary's sequence-progress movements as
+    [(key, progress, expires, grantor-tag)] entries straight into the
+    guard's {!Seq_tracker} (max-monotone, so re-application is harmless).
+    Standing-authority cumulative draws are not replicated. *)
 
 (** {2 Client operations} — each an authenticated exchange. [creds] are the
     caller's credentials for the accounting server. Every operation accepts
@@ -180,6 +188,43 @@ val standing_release :
   (int, string) result
 (** Quota release: return funds from [from_account] to the grantor and
     lower the cumulative draw. Returns the new cumulative total. *)
+
+val proxy_transfer :
+  ?retries:int -> ?timeout_us:int -> ?backoff:Sim.Retry.backoff ->
+  ?dst:string -> ?fallback_dsts:string list ->
+  ?on_failover:(from_:string -> to_:string -> unit) ->
+  Sim.Net.t ->
+  creds:Ticket.credentials ->
+  presented:Guard.presented ->
+  payor_account:string ->
+  to_account:string ->
+  currency:string ->
+  amount:int ->
+  (int, string) result
+(** Move [amount] from [payor_account] (authorized by the presented
+    delegate-proxy chain — the guard checks "debit" on it) into
+    [to_account], owned by the caller. Exactly one guard decision runs per
+    executed request, so a stateful {!Restriction.Sequence} on the chain
+    advances exactly once per grant — use this, not the double-decision
+    ["proxy-debit"] probe, for sequence-gated draws. Returns the amount
+    moved. *)
+
+val seq_advance :
+  ?retries:int -> ?timeout_us:int -> ?backoff:Sim.Retry.backoff ->
+  ?dst:string -> ?fallback_dsts:string list ->
+  ?on_failover:(from_:string -> to_:string -> unit) ->
+  Sim.Net.t ->
+  creds:Ticket.credentials ->
+  key:string ->
+  progress:int ->
+  expires:int ->
+  tag:string ->
+  (unit, string) result
+(** Hand sequence progress to this server (the ["seq-advance"] verb): the
+    glue a {!Guard.set_seq_forward} hook calls when a sequence's next step
+    lives here. The server validates the push with
+    {!Guard.import_seq_progress} — the caller must be the server that ran
+    the attested step. *)
 
 val push_bulletin :
   ?retries:int -> ?timeout_us:int -> ?backoff:Sim.Retry.backoff ->

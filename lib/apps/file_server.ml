@@ -56,6 +56,12 @@ let handle t ctx payload =
       match Hashtbl.find_opt t.files path with
       | Some content -> Ok (Wire.I (String.length content))
       | None -> Error (Printf.sprintf "no such file %S" path))
+  | "open" -> (
+      (* Access check only — the op that typically heads a sequence
+         restriction (open-before-read, open-before-debit). *)
+      match Hashtbl.find_opt t.files path with
+      | Some _ -> Ok (Wire.L [])
+      | None -> Error (Printf.sprintf "no such file %S" path))
   | other -> Error (Printf.sprintf "file-server: unknown operation %S" other)
 
 let install t =
@@ -95,3 +101,9 @@ let stat net ~creds ?(retries = 0) ?timeout_us ?backoff ?(proxies = []) ?(group_
     (request net ~creds ~retries ?timeout_us ?backoff ~proxies ~group_proxies ~op:"stat" ~path
        ~data:"" ())
     Wire.to_int
+
+let open_ net ~creds ?(retries = 0) ?timeout_us ?backoff ?(proxies = []) ?(group_proxies = [])
+    ~path () =
+  Result.map ignore
+    (request net ~creds ~retries ?timeout_us ?backoff ~proxies ~group_proxies ~op:"open" ~path
+       ~data:"" ())

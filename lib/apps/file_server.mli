@@ -84,6 +84,21 @@ val stat :
   (int, string) result
 (** Size in bytes. *)
 
+val open_ :
+  Sim.Net.t ->
+  creds:Ticket.credentials ->
+  ?retries:int ->
+  ?timeout_us:int ->
+  ?backoff:Sim.Retry.backoff ->
+  ?proxies:Guard.presented list ->
+  ?group_proxies:Guard.presented list ->
+  path:string ->
+  unit ->
+  (unit, string) result
+(** Access check on an existing file, no content transfer — the op that
+    typically heads a {!Restriction.Sequence} (open-before-read,
+    open-before-debit). *)
+
 val attach :
   Sim.Net.t ->
   proxy:Proxy.t ->

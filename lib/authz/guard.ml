@@ -11,9 +11,15 @@ type t = {
   max_skew_us : int;
   acl : Acl.t;
   replay : Replay_cache.t;
+  seq : Seq_tracker.t;
   verify_cache : Verify_cache.t;
   link_cache : Link_cache.t option;
   mutable revocation : Revocation.t option;
+  mutable seq_observer :
+    (key:string -> progress:int -> expires:int -> tag:string -> unit) option;
+  mutable seq_forward :
+    (server:Principal.t -> key:string -> progress:int -> expires:int -> tag:string -> unit)
+    option;
 }
 
 let create net ~me ~my_key ?(lookup_pub = fun _ -> None) ?my_rsa
@@ -40,14 +46,20 @@ let create net ~me ~my_key ?(lookup_pub = fun _ -> None) ?my_rsa
     max_skew_us;
     acl;
     replay = Replay_cache.create ~on_evict:(incr "replay_cache.evictions") ();
+    seq = Seq_tracker.create ~on_evict:(incr "seq_tracker.evictions") ();
     verify_cache;
     link_cache;
     revocation;
+    seq_observer = None;
+    seq_forward = None;
   }
 
 let me t = t.me
 let acl t = t.acl
 let replay_cache t = t.replay
+let seq_tracker t = t.seq
+let set_seq_observer t f = t.seq_observer <- f
+let set_seq_forward t f = t.seq_forward <- f
 let verify_cache t = t.verify_cache
 let link_cache t = t.link_cache
 let revocation t = t.revocation
@@ -185,6 +197,20 @@ let apply_bulletin t bulletin =
             in
             if shed > 0 then
               Sim.Metrics.add (Sim.Net.metrics t.net) "replay_cache.shed" shed;
+            (* Sequence progress is keyed like the accept-once records and
+               dies with its grantor for the same reason: a fresh
+               post-revocation grant of the same sequence must restart at
+               step one, not inherit the dead grant's progress. *)
+            let seq_shed =
+              List.fold_left
+                (fun n -> function
+                  | Revocation.By_grantor_epoch { grantor; _ } ->
+                      n + Seq_tracker.shed t.seq ~tag:(Principal.to_string grantor)
+                  | Revocation.By_serial _ -> n)
+                0 fresh_entries
+            in
+            if seq_shed > 0 then
+              Sim.Metrics.add (Sim.Net.metrics t.net) "seq_tracker.shed" seq_shed;
             Sim.Trace.record (Sim.Net.trace t.net) ~time:(Sim.Net.now t.net)
               ~actor:(Principal.to_string t.me)
               (Printf.sprintf
@@ -238,6 +264,42 @@ let accept_once_ids restrictions =
     (function Restriction.Accept_once id -> Some id | _ -> None)
     restrictions
 
+(* Like accept-once consumption, sequence advancement reads only the
+   chain's top-level restrictions: a limit-scoped sequence is checked by
+   the servers it names but never advanced here. *)
+let top_sequences restrictions =
+  List.filter_map
+    (function Restriction.Sequence steps -> Some steps | _ -> None)
+    restrictions
+
+(* Cross-server progress import (the receiving half of [seq_forward]): the
+   key is self-describing, so we re-derive the sequence it claims to
+   advance and insist the authenticated [caller] is the server the
+   just-completed step named — only the server that granted step k-1 may
+   attest progress k. Max-monotone storage makes retransmissions and
+   replica replays harmless. *)
+let import_seq_progress t ~caller ~key ~progress ~expires ~tag =
+  match Restriction.seq_key_parse key with
+  | Error e -> Error (Printf.sprintf "seq-advance refused: %s" e)
+  | Ok (_head, steps) ->
+      if progress < 1 || progress > List.length steps then
+        Error "seq-advance refused: progress out of range"
+      else (
+        match (List.nth steps (progress - 1)).Restriction.step_server with
+        | None -> Error "seq-advance refused: attested step names no server"
+        | Some s when not (Principal.equal s caller) ->
+            Error
+              (Printf.sprintf "seq-advance refused: %s did not run step %d"
+                 (Principal.to_string caller) (progress - 1))
+        | Some _ ->
+            Seq_tracker.set_progress t.seq ~now:(Sim.Net.now t.net) ~expires ~tag key
+              progress;
+            Sim.Metrics.incr (Sim.Net.metrics t.net) "seq_tracker.imports";
+            (match t.seq_observer with
+            | Some f -> f ~key ~progress ~expires ~tag
+            | None -> ());
+            Ok ())
+
 let decide t ~operation ?(target = "") ?presenter ?(extra_presenters = []) ?(proxies = [])
     ?(group_proxies = []) ?spend () =
   let sp = Sim.Net.spans t.net in
@@ -272,7 +334,9 @@ let decide t ~operation ?(target = "") ?presenter ?(extra_presenters = []) ?(pro
      operation? *)
   let req =
     Restriction.request ~server:t.me ~time:now ~operation ~target ~presenters ~groups_asserted
-      ?spend ~accept_once_seen:seen ()
+      ?spend ~accept_once_seen:seen
+      ~sequence_progress:(fun key -> Seq_tracker.progress t.seq ~now key)
+      ()
   in
   let contributions = List.map (fun p -> evaluate t ~req p) proxies in
   let usable = List.filter_map Result.to_option contributions in
@@ -333,6 +397,43 @@ let decide t ~operation ?(target = "") ?presenter ?(extra_presenters = []) ?(pro
                   | Ok () -> ()
                   | Error _ -> () (* already checked by accept_once_seen *))
                 (accept_once_ids u.u_restrictions))
+            used;
+          (* Advance each distinct sequence a used chain carries: its check
+             just matched this operation at the current step, so the step is
+             consumed. Keys dedup across chains — derivations of one grant
+             share a head serial and must advance once, not once per copy. *)
+          let advanced = ref [] in
+          List.iter
+            (fun u ->
+              match u.u_serials with
+              | [] -> ()
+              | head :: _ ->
+                  List.iter
+                    (fun steps ->
+                      let canon = Restriction.seq_canonical steps in
+                      let key = Restriction.seq_key ~head canon in
+                      if not (List.mem key !advanced) then begin
+                        advanced := key :: !advanced;
+                        let tag = Principal.to_string u.u_grantor in
+                        let k =
+                          Seq_tracker.advance t.seq ~now ~expires:u.u_expires ~tag key
+                        in
+                        Sim.Metrics.incr (Sim.Net.metrics t.net) "seq_tracker.advances";
+                        (match t.seq_observer with
+                        | Some f -> f ~key ~progress:k ~expires:u.u_expires ~tag
+                        | None -> ());
+                        match t.seq_forward with
+                        | Some f when k < List.length steps -> (
+                            (* The next step belongs to another server: hand
+                               the progress over so the sequence can continue
+                               there. *)
+                            match (List.nth steps k).Restriction.step_server with
+                            | Some s when not (Principal.equal s t.me) ->
+                                f ~server:s ~key ~progress:k ~expires:u.u_expires ~tag
+                            | Some _ | None -> ())
+                        | Some _ | None -> ()
+                      end)
+                    (top_sequences u.u_restrictions))
             used;
           let decision =
             {

@@ -53,6 +53,46 @@ val link_cache : t -> Link_cache.t option
 val revocation : t -> Revocation.t option
 val set_revocation : t -> Revocation.t -> unit
 
+val seq_tracker : t -> Seq_tracker.t
+(** The guard's {!Restriction.Sequence} progress state, keyed per presented
+    chain head ({!Restriction.seq_key}), tagged by grantor. Each granted
+    decision advances every distinct sequence the contributing chains carry
+    (tallying ["seq_tracker.advances"]); {!apply_bulletin} sheds a freshly
+    revoked grantor's progress alongside its accept-once records (tallying
+    ["seq_tracker.shed"]). *)
+
+val set_seq_observer :
+  t -> (key:string -> progress:int -> expires:int -> tag:string -> unit) option -> unit
+(** Observer fired whenever sequence progress moves here — after a granted
+    decision advances a step and after {!import_seq_progress} accepts a
+    forwarded one. The replication feed: a cluster primary journals these
+    so its standby's tracker survives a failover. *)
+
+val set_seq_forward :
+  t ->
+  (server:Principal.t -> key:string -> progress:int -> expires:int -> tag:string -> unit)
+  option ->
+  unit
+(** Hook fired after an advancement when the sequence's {e next} step names
+    a different server: the glue forwards the (self-describing) key and new
+    progress so the sequence can continue there — typically by calling that
+    server's ["seq-advance"] verb, which lands in {!import_seq_progress}. *)
+
+val import_seq_progress :
+  t ->
+  caller:Principal.t ->
+  key:string ->
+  progress:int ->
+  expires:int ->
+  tag:string ->
+  (unit, string) result
+(** Accept forwarded sequence progress. The key is parsed back into its
+    sequence ({!Restriction.seq_key_parse}) and the authenticated [caller]
+    must be the server named by the step the new progress claims was just
+    completed — only the server that granted step [progress - 1] may attest
+    it. Storage is max-monotone, so retransmissions and replica replays are
+    harmless. Tallies ["seq_tracker.imports"] and fires the observer. *)
+
 val apply_bulletin : t -> Revocation.bulletin -> (bool, string) result
 (** Feed one signed bulletin to the guard's revocation state. [Ok true]
     means the epoch advanced; if the bulletin added coverage, the whole

@@ -1,0 +1,43 @@
+(** Two-server sequence scenario: a {!Restriction.Sequence} spanning a
+    file server and a sharded bank — an fs ["open"] step gates a bank
+    ["debit"] step — under message noise, retries, and a mid-sequence
+    permanent crash of the bank primary.
+
+    The file server hands earned progress to the bank over the
+    ["seq-advance"] verb; the bank primary journals it to the standby
+    before releasing the reply (the PR-5 replication path), so the
+    sequence completes exactly once across the failover. A same-seed
+    rerun is byte-identical (metrics and trace). *)
+
+type config = {
+  seed : string;
+  drop : float;
+  duplicate : float;
+  retries : int;
+  timeout_us : int;
+  crash_after_us : int;  (** primary crash time, relative to chaos start *)
+}
+
+val default : config
+
+type outcome = {
+  attack_denied : bool;  (** the pre-open debit attempt bounced *)
+  open_ok : bool;  (** the in-order fs open was granted *)
+  reopen_denied : bool;  (** a second open bounced (step consumed) *)
+  standby_progress_before_crash : int;
+      (** the standby tracker's view of the sequence right after the open
+          — 1 proves the journal path carried the handover pre-crash *)
+  crashed_node : string;
+  failover_debit_ok : bool;  (** the debit succeeded on the standby *)
+  second_debit_denied : bool;  (** sequence exhausted after completion *)
+  promotions : int;
+  seq_advances : int;
+  seq_imports : int;
+  alice_available : int;
+  bob_available : int;
+  metrics : (string * int) list;
+  trace : string list;
+}
+
+val run : config -> outcome
+(** Raises [Failure] only on setup errors (before any fault goes in). *)

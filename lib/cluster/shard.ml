@@ -40,6 +40,9 @@ type t = {
   bulk_every : int;
   pending_ops : Ledger.op list ref;  (* newest first *)
   pending_redeems : string list ref;  (* newest first *)
+  pending_seq : (string * int * int * string) list ref;
+      (* unshipped sequence-progress movements (key, progress, expires,
+         grantor tag), newest first *)
   pending_triples : (string * int * string) list ref;
       (* unshipped (auth_id, expires, sealed reply) triples, newest first *)
   mutable handled_since_ship : int;
@@ -91,6 +94,7 @@ let create net ~me ~my_key ~kdc ~signing_key ~lookup ?collect_retry ?repl_retry
       bulk_every;
       pending_ops = ref [];
       pending_redeems = ref [];
+      pending_seq = ref [];
       pending_triples = ref [];
       handled_since_ship = 0;
       promoted = false;
@@ -99,6 +103,15 @@ let create net ~me ~my_key ~kdc ~signing_key ~lookup ?collect_retry ?repl_retry
   Ledger.set_journal (Accounting_server.ledger primary_server) (Some (journal_fn t));
   Accounting_server.set_redemption_observer primary_server
     (Some (fun n -> t.pending_redeems := n :: !(t.pending_redeems)));
+  (* Sequence progress is server-side authorization state just like the
+     accept-once records: every movement on the primary — a granted
+     sequence step or an imported cross-server handover — journals here so
+     the standby's tracker survives a failover. *)
+  Guard.set_seq_observer
+    (Accounting_server.guard primary_server)
+    (Some
+       (fun ~key ~progress ~expires ~tag ->
+         t.pending_seq := (key, progress, expires, tag) :: !(t.pending_seq)));
   Ok t
 
 let logical t = t.logical
@@ -122,20 +135,33 @@ let authoritative t =
 let ship_now t =
   let ops = List.rev !(t.pending_ops) in
   let redeems = List.rev !(t.pending_redeems) in
+  let seq = List.rev !(t.pending_seq) in
   let triples = List.rev !(t.pending_triples) in
   t.pending_ops := [];
   t.pending_redeems := [];
+  t.pending_seq := [];
   t.pending_triples := [];
   t.handled_since_ship <- 0;
   let payload =
     Wire.L
-      [
-        Wire.S "x-replicate-bulk";
-        Wire.L
-          (List.map (fun (a, e, r) -> Wire.L [ Wire.S a; Wire.I e; Wire.S r ]) triples);
-        Wire.L (List.map Ledger.op_to_wire ops);
-        Wire.L (List.map (fun n -> Wire.S n) redeems);
-      ]
+      ([
+         Wire.S "x-replicate-bulk";
+         Wire.L
+           (List.map (fun (a, e, r) -> Wire.L [ Wire.S a; Wire.I e; Wire.S r ]) triples);
+         Wire.L (List.map Ledger.op_to_wire ops);
+         Wire.L (List.map (fun n -> Wire.S n) redeems);
+       ]
+      (* The sequence-progress field is optional and appended only when
+         non-empty, so runs without sequences ship byte-identical bulks
+         (and an older standby parses them unchanged). *)
+      @
+      match seq with
+      | [] -> []
+      | _ ->
+          [ Wire.L
+              (List.map
+                 (fun (k, p, e, tg) -> Wire.L [ Wire.S k; Wire.I p; Wire.I e; Wire.S tg ])
+                 seq) ])
   in
   let metrics = Sim.Net.metrics t.net in
   let result =
@@ -155,6 +181,7 @@ let ship_now t =
       Sim.Metrics.incr metrics "cluster.repl_failures";
       t.pending_ops := !(t.pending_ops) @ List.rev ops;
       t.pending_redeems := !(t.pending_redeems) @ List.rev redeems;
+      t.pending_seq := !(t.pending_seq) @ List.rev seq;
       t.pending_triples := !(t.pending_triples) @ List.rev triples;
       (* Force the next handled request to re-ship whatever its position in
          the bulk window. *)
@@ -182,7 +209,9 @@ let ship_now t =
      default k = 1 keeps the strict ordering everywhere. *)
 let ship t ~auth_id ~expires ~reply =
   let metrics = Sim.Net.metrics t.net in
-  let mutating = !(t.pending_ops) <> [] || !(t.pending_redeems) <> [] in
+  let mutating =
+    !(t.pending_ops) <> [] || !(t.pending_redeems) <> [] || !(t.pending_seq) <> []
+  in
   if (not mutating) && !(t.pending_triples) = [] then
     Sim.Metrics.incr metrics "cluster.repl_read_skips"
   else begin
@@ -229,7 +258,25 @@ let apply_replication t ctx v =
         (Ok []) redeems_w
       |> Result.map List.rev
     in
-    let* () = Accounting_server.apply_replicated t.standby.server ~ops ~redeemed in
+    (* Optional trailing field: bulks from runs without sequence traffic
+       (and from older primaries) simply omit it. *)
+    let* seq =
+      match field v 4 with
+      | Error _ -> Ok []
+      | Ok w ->
+          let* seq_w = to_list w in
+          List.fold_left
+            (fun acc sw ->
+              let* acc = acc in
+              let* key = Result.bind (field sw 0) to_string in
+              let* progress = Result.bind (field sw 1) to_int in
+              let* expires = Result.bind (field sw 2) to_int in
+              let* tag = Result.bind (field sw 3) to_string in
+              Ok ((key, progress, expires, tag) :: acc))
+            (Ok []) seq_w
+          |> Result.map List.rev
+    in
+    let* () = Accounting_server.apply_replicated t.standby.server ~seq ~ops ~redeemed () in
     let now = Sim.Net.now t.net in
     List.iter
       (fun (auth_id, expires, reply) ->

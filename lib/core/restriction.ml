@@ -2,6 +2,12 @@ type currency = string
 
 type authorized_entry = { target : string; ops : string list }
 
+type seq_step = {
+  step_op : string;
+  step_server : Principal.t option;
+  step_target : string option;
+}
+
 type t =
   | Grantee of Principal.t list * int
   | For_use_by_group of Principal.Group.t list * int
@@ -10,8 +16,26 @@ type t =
   | Authorized of authorized_entry list
   | Group_membership of string list
   | Accept_once of string
+  | Sequence of seq_step list
   | Limit_restriction of Principal.t list * t list
   | Unknown of string
+
+let seq_step_equal a b =
+  a.step_op = b.step_op
+  && Option.equal Principal.equal a.step_server b.step_server
+  && Option.equal String.equal a.step_target b.step_target
+
+(* A usable sequence is non-empty with pairwise-distinct steps: duplicate
+   steps would make "which step just ran" ambiguous, so both the decoder
+   and the checker refuse them (fail closed). *)
+let seq_validate steps =
+  if steps = [] then Error "sequence: empty step list"
+  else
+    let rec dup = function
+      | [] -> false
+      | st :: rest -> List.exists (seq_step_equal st) rest || dup rest
+    in
+    if dup steps then Error "sequence: duplicate step" else Ok ()
 
 let rec equal a b =
   match (a, b) with
@@ -25,6 +49,8 @@ let rec equal a b =
   | Authorized es, Authorized es' -> es = es'
   | Group_membership gs, Group_membership gs' -> gs = gs'
   | Accept_once id, Accept_once id' -> id = id'
+  | Sequence steps, Sequence steps' ->
+      List.length steps = List.length steps' && List.for_all2 seq_step_equal steps steps'
   | Limit_restriction (ss, rs), Limit_restriction (ss', rs') ->
       List.length ss = List.length ss'
       && List.for_all2 Principal.equal ss ss'
@@ -32,9 +58,16 @@ let rec equal a b =
       && List.for_all2 equal rs rs'
   | Unknown tag, Unknown tag' -> tag = tag'
   | ( ( Grantee _ | For_use_by_group _ | Issued_for _ | Quota _ | Authorized _
-      | Group_membership _ | Accept_once _ | Limit_restriction _ | Unknown _ ),
+      | Group_membership _ | Accept_once _ | Sequence _ | Limit_restriction _ | Unknown _ ),
       _ ) ->
       false
+
+let pp_seq_step fmt st =
+  Format.fprintf fmt "%s%s%s" st.step_op
+    (match st.step_server with
+    | None -> ""
+    | Some s -> "@" ^ Principal.to_string s)
+    (match st.step_target with None -> "" | Some tg -> "/" ^ tg)
 
 let rec pp fmt = function
   | Grantee (ps, q) ->
@@ -53,6 +86,10 @@ let rec pp fmt = function
       Format.fprintf fmt "authorized[%s]" (String.concat "; " (List.map entry es))
   | Group_membership gs -> Format.fprintf fmt "group-membership[%s]" (String.concat "; " gs)
   | Accept_once id -> Format.fprintf fmt "accept-once(%s)" id
+  | Sequence steps ->
+      Format.fprintf fmt "sequence[%a]"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " -> ") pp_seq_step)
+        steps
   | Limit_restriction (ss, rs) ->
       Format.fprintf fmt "limit-restriction([%s], [%a])"
         (String.concat "; " (List.map Principal.to_string ss))
@@ -74,6 +111,14 @@ let rec to_wire = function
   | Group_membership gs ->
       Wire.L [ Wire.S "group-membership"; Wire.L (List.map (fun g -> Wire.S g) gs) ]
   | Accept_once id -> Wire.L [ Wire.S "accept-once"; Wire.S id ]
+  | Sequence steps ->
+      let step st =
+        Wire.L
+          [ Wire.S st.step_op;
+            Wire.L (match st.step_server with None -> [] | Some s -> [ Principal.to_wire s ]);
+            Wire.L (match st.step_target with None -> [] | Some tg -> [ Wire.S tg ]) ]
+      in
+      Wire.L [ Wire.S "sequence"; Wire.L (List.map step steps) ]
   | Limit_restriction (ss, rs) ->
       Wire.L
         [ Wire.S "limit-restriction";
@@ -126,6 +171,29 @@ let rec of_wire v =
   | "accept-once" ->
       let* id = Result.bind (field v 1) to_string in
       Ok (Accept_once id)
+  | "sequence" ->
+      let* steps_w = Result.bind (field v 1) to_list in
+      let step w =
+        let* step_op = Result.bind (field w 0) to_string in
+        let* sv = Result.bind (field w 1) to_list in
+        let* step_server =
+          match sv with
+          | [] -> Ok None
+          | [ p ] -> Result.map Option.some (Principal.of_wire p)
+          | _ -> Error "sequence: malformed step server"
+        in
+        let* tv = Result.bind (field w 2) to_list in
+        let* step_target =
+          match tv with
+          | [] -> Ok None
+          | [ s ] -> Result.map Option.some (to_string s)
+          | _ -> Error "sequence: malformed step target"
+        in
+        Ok { step_op; step_server; step_target }
+      in
+      let* steps = map_result step steps_w in
+      let* () = seq_validate steps in
+      Ok (Sequence steps)
   | "limit-restriction" ->
       let* ss = Result.bind (field v 1) to_list in
       let* ss = map_result Principal.of_wire ss in
@@ -147,10 +215,12 @@ type request = {
   claimed_memberships : string list;
   spend : (currency * int) option;
   accept_once_seen : string -> bool;
+  sequence_progress : string -> int;
 }
 
 let request ~server ~time ~operation ?(target = "") ?(presenters = []) ?(groups_asserted = [])
-    ?(claimed_memberships = []) ?spend ?(accept_once_seen = fun _ -> false) () =
+    ?(claimed_memberships = []) ?spend ?(accept_once_seen = fun _ -> false)
+    ?(sequence_progress = fun _ -> 0) () =
   {
     server;
     time;
@@ -161,7 +231,33 @@ let request ~server ~time ~operation ?(target = "") ?(presenters = []) ?(groups_
     claimed_memberships;
     spend;
     accept_once_seen;
+    sequence_progress;
   }
+
+(* The canonical form of a sequence is its own wire encoding: two sequences
+   share progress state iff their encodings are byte-identical. *)
+let seq_canonical steps = Wire.encode (to_wire (Sequence steps))
+
+(* Progress-tracker key: the canonical sequence scoped under the presented
+   chain's head serial (wire-framed, so binary serials cannot collide with a
+   crafted canonical form). Keyed like accept-once state: revoking the
+   grantor sheds it, and two chains derived from one grant share progress. *)
+let seq_key ~head canon = Wire.encode (Wire.L [ Wire.S head; Wire.S canon ])
+
+let seq_key_parse key =
+  let open Wire in
+  let* v = decode key in
+  let* head = Result.bind (field v 0) to_string in
+  let* canon = Result.bind (field v 1) to_string in
+  let* cv = decode canon in
+  let* r = of_wire cv in
+  match r with
+  | Sequence steps -> Ok (head, steps)
+  | _ -> Error "sequence key does not carry a sequence restriction"
+
+let tighten_sequence ~keep steps =
+  let keep = max 1 (min keep (List.length steps)) in
+  List.filteri (fun i _ -> i < keep) steps
 
 let rec check r req =
   match r with
@@ -209,6 +305,34 @@ let rec check r req =
   | Accept_once id ->
       if req.accept_once_seen id then Error (Printf.sprintf "accept-once: %s already used" id)
       else Ok ()
+  | Sequence steps -> (
+      match seq_validate steps with
+      | Error e -> Error e
+      | Ok () ->
+          let len = List.length steps in
+          let k = req.sequence_progress (seq_canonical steps) in
+          if k >= len then
+            Error (Printf.sprintf "sequence: all %d steps already consumed" len)
+          else
+            let st = List.nth steps k in
+            if st.step_op <> req.operation then
+              Error
+                (Printf.sprintf "sequence: step %d permits %s, not %s" k st.step_op
+                   req.operation)
+            else if
+              match st.step_server with
+              | Some s -> not (Principal.equal s req.server)
+              | None -> false
+            then
+              Error
+                (Printf.sprintf "sequence: step %d is not for server %s" k
+                   (Principal.to_string req.server))
+            else if
+              match st.step_target with Some tg -> tg <> req.target | None -> false
+            then
+              Error
+                (Printf.sprintf "sequence: step %d is not for target %S" k req.target)
+            else Ok ())
   | Limit_restriction (ss, rs) ->
       if List.exists (Principal.equal req.server) ss then check_all rs req else Ok ()
   | Unknown tag -> Error (Printf.sprintf "unknown restriction type %S" tag)

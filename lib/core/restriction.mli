@@ -12,6 +12,15 @@ type currency = string
     [ops] list authorizes every operation on the object. *)
 type authorized_entry = { target : string; ops : string list }
 
+(** One step of a {!Sequence} restriction: the operation it permits, plus
+    optional context predicates — the end-server that must evaluate it and
+    the target it must name. [None] leaves that dimension unconstrained. *)
+type seq_step = {
+  step_op : string;
+  step_server : Principal.t option;
+  step_target : string option;
+}
+
 type t =
   | Grantee of Principal.t list * int
       (** principals allowed to exercise the proxy, and how many of them
@@ -29,6 +38,13 @@ type t =
           (7.6) *)
   | Accept_once of string
       (** single-use identifier, e.g. a check number (7.7) *)
+  | Sequence of seq_step list
+      (** context-aware permission sequence: operations are permitted only
+          in the stated order, one grant per step, with progress tracked
+          server-side per presented chain head (cf. Section 7's typed
+          catalogue; sequences make a restriction {e stateful}). A sequence
+          must be non-empty with pairwise-distinct steps; malformed
+          sequences fail closed at both decode and check time *)
   | Limit_restriction of Principal.t list * t list
       (** restrictions enforced only by the named servers (7.8) *)
   | Unknown of string
@@ -59,6 +75,15 @@ type request = {
       (** resource amount the operation would consume *)
   accept_once_seen : string -> bool;
       (** replay-cache lookup supplied by the server *)
+  sequence_progress : string -> int;
+      (** progress-tracker lookup supplied by the server: given a sequence's
+          canonical form ({!seq_canonical}), how many of its steps have
+          already been granted under the presented chain. The default
+          ([fun _ -> 0]) means "no progress": only a sequence's first step
+          can ever pass, and nothing advances — fail closed for call sites
+          that track no state. {!Verifier.authorize} composes the presented
+          chain's head serial into the lookup ({!seq_key}), so the raw
+          canonical form never reaches the tracker unscoped. *)
 }
 
 val request :
@@ -71,8 +96,36 @@ val request :
   ?claimed_memberships:string list ->
   ?spend:currency * int ->
   ?accept_once_seen:(string -> bool) ->
+  ?sequence_progress:(string -> int) ->
   unit ->
   request
+
+val seq_step_equal : seq_step -> seq_step -> bool
+
+val seq_validate : seq_step list -> (unit, string) result
+(** [Ok ()] iff the step list is non-empty with pairwise-distinct steps. *)
+
+val seq_canonical : seq_step list -> string
+(** Canonical form of a sequence — its own wire encoding. Two sequences
+    share progress state iff their canonical forms are byte-identical. *)
+
+val seq_key : head:string -> string -> string
+(** [seq_key ~head canon] scopes a canonical sequence under a presented
+    chain's head certificate serial — the progress-tracker key. Keyed like
+    {!Replay_cache} accept-once state: per chain head, so revocation
+    shedding (by grantor tag) and verify-cache invalidation compose, and
+    every chain derived from one grant shares one progress line. *)
+
+val seq_key_parse : string -> (string * seq_step list, string) result
+(** Invert {!seq_key}: recover the head serial and the decoded steps. The
+    key is self-describing, so a server receiving forwarded progress can
+    re-validate the sequence it claims to advance. *)
+
+val tighten_sequence : keep:int -> seq_step list -> seq_step list
+(** Keep only the first [keep] steps (clamped to [1 .. length]) — the only
+    sequence transformation a delegate may apply: dropping trailing steps
+    tightens, while reordering or extending would widen and is simply not
+    expressible through this function. *)
 
 val check : t -> request -> (unit, string) result
 (** Does this single restriction permit the request? *)

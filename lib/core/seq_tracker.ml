@@ -1,0 +1,87 @@
+type t = {
+  entries : (string, int * int * string option) Hashtbl.t;
+      (* key -> (progress, expiry, tag) *)
+  capacity : int;
+  on_evict : unit -> unit;
+}
+
+let default_capacity = 1 lsl 17
+let no_evict () = ()
+
+let create ?(capacity = default_capacity) ?(on_evict = no_evict) () =
+  if capacity < 1 then invalid_arg "Seq_tracker.create: capacity must be positive";
+  { entries = Hashtbl.create 64; capacity; on_evict }
+
+let progress t ~now key =
+  match Hashtbl.find_opt t.entries key with
+  | None -> 0
+  | Some (k, expires, _) ->
+      if expires > now then k
+      else begin
+        Hashtbl.remove t.entries key;
+        0
+      end
+
+let purge t ~now =
+  let stale =
+    Hashtbl.fold
+      (fun key (_, expires, _) acc -> if expires <= now then key :: acc else acc)
+      t.entries []
+  in
+  List.iter (Hashtbl.remove t.entries) stale
+
+(* Capacity pressure mirrors {!Replay_cache}: purge the dead first; if the
+   tracker is genuinely full of live entries, forget the one whose window
+   closes soonest — losing it resets that sequence to its first step, which
+   only ever narrows what the proxy can do. *)
+let evict_soonest t =
+  match
+    Hashtbl.fold
+      (fun key (_, expires, _) best ->
+        match best with
+        | Some (_, e) when e <= expires -> best
+        | _ -> Some (key, expires))
+      t.entries None
+  with
+  | None -> ()
+  | Some (key, _) ->
+      Hashtbl.remove t.entries key;
+      t.on_evict ()
+
+let make_room t ~now =
+  if Hashtbl.length t.entries >= t.capacity then begin
+    purge t ~now;
+    if Hashtbl.length t.entries >= t.capacity then evict_soonest t
+  end
+
+(* Progress is max-monotone: concurrent advancement, replicated imports and
+   retransmitted forwards can only move a sequence forward, never rewind
+   it — rewinding would re-open already-consumed steps. *)
+let set_progress t ~now ~expires ?tag key k =
+  let current = progress t ~now key in
+  if k > current then begin
+    if not (Hashtbl.mem t.entries key) then make_room t ~now;
+    Hashtbl.replace t.entries key (k, expires, tag)
+  end
+
+let advance t ~now ~expires ?tag key =
+  let k = progress t ~now key + 1 in
+  set_progress t ~now ~expires ?tag key k;
+  k
+
+(* Revocation cleanup, same contract as {!Replay_cache.shed}: a bulletin
+   that kills a grantor makes every progress line recorded under that
+   grantor moot — the chains that fed it can no longer verify, and a fresh
+   post-revocation grant must start its sequence from the first step. *)
+let shed t ~tag =
+  let doomed =
+    Hashtbl.fold
+      (fun key (_, _, tg) acc -> if tg = Some tag then key :: acc else acc)
+      t.entries []
+  in
+  List.iter (Hashtbl.remove t.entries) doomed;
+  List.length doomed
+
+let clear t = Hashtbl.reset t.entries
+let size t = Hashtbl.length t.entries
+let capacity t = t.capacity

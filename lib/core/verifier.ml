@@ -397,6 +397,20 @@ let authorize verified ~req ~proof ~max_skew =
   let* () =
     if verified.expires <= req.Restriction.time then Error "proxy expired" else Ok ()
   in
+  (* Sequence progress is tracked per presented chain head: scope the
+     server-supplied lookup under this chain's head serial before any
+     restriction consults it, so two grants carrying byte-identical
+     sequences advance independently. *)
+  let req =
+    match verified.serials with
+    | [] -> req
+    | head :: _ ->
+        {
+          req with
+          Restriction.sequence_progress =
+            (fun canon -> req.Restriction.sequence_progress (Restriction.seq_key ~head canon));
+        }
+  in
   let* () = Restriction.check_all verified.restrictions req in
   match Proxy.classify verified.restrictions with
   | `Delegate _ ->

@@ -21,14 +21,25 @@ type mutation =
       (** revocation bulletins are dropped on the floor instead of applied —
           a revoked chain keeps verifying, the revoke-vs-present ordering the
           model insists on is violated *)
+  | Ignore_sequence_order
+      (** a Sequence restriction is lowered to a stateless Authorized set of
+          its steps — any step usable in any order, any number of times *)
+  | Reset_progress_on_retry
+      (** the guard's sequence tracker is wiped after every presentation, as
+          if retry handling reset earned progress — in-order second steps
+          that the model grants are denied by the stack *)
 
 let mutation_name = function
   | Drop_derived_restriction -> "drop-derived-restriction"
   | Ignore_expiry -> "ignore-expiry"
   | Misbind_proof -> "misbind-proof"
   | Ignore_bulletin -> "ignore-bulletin"
+  | Ignore_sequence_order -> "ignore-sequence-order"
+  | Reset_progress_on_retry -> "reset-progress-on-retry"
 
-let mutations = [ Drop_derived_restriction; Ignore_expiry; Misbind_proof; Ignore_bulletin ]
+let mutations =
+  [ Drop_derived_restriction; Ignore_expiry; Misbind_proof; Ignore_bulletin;
+    Ignore_sequence_order; Reset_progress_on_retry ]
 
 let mutation_of_name s =
   List.find_opt (fun m -> mutation_name m = s) mutations
@@ -158,7 +169,7 @@ let server_principal u = function
   | Bank -> u.bank_name
   | Gs -> Group_server.me u.gs
 
-let rec lower u = function
+let rec lower ~mutation u = function
   | R_grantee us -> Restriction.Grantee (List.map (fun i -> u.users.(i)) us, 1)
   | R_issued_for ss -> Restriction.Issued_for (List.map (server_principal u) ss)
   | R_quota n -> Restriction.Quota (currency, n)
@@ -166,7 +177,22 @@ let rec lower u = function
       Restriction.Authorized
         (List.map (fun (t, ops) -> { Restriction.target = target_name t; ops }) es)
   | R_accept_once n -> Restriction.Accept_once (string_of_int n)
-  | R_limit (s, rs) -> Restriction.Limit_restriction ([ server_principal u s ], List.map (lower u) rs)
+  | R_limit (s, rs) ->
+      Restriction.Limit_restriction
+        ([ server_principal u s ], List.map (lower ~mutation u) rs)
+  | R_sequence steps ->
+      if mutation = Some Ignore_sequence_order then
+        (* The deliberate bug: forget the ordering and the consumption — the
+           steps become a plain stateless permission set. *)
+        Restriction.Authorized
+          (List.map (fun (op, t) -> { Restriction.target = target_name t; ops = [ op ] }) steps)
+      else
+        Restriction.Sequence
+          (List.map
+             (fun (op, t) ->
+               { Restriction.step_op = op; step_server = None;
+                 step_target = Some (target_name t) })
+             steps)
   | R_unknown -> Restriction.Unknown "mbt-unrecognized"
 
 let nth_mod l i = match l with [] -> None | _ -> Some (List.nth l (i mod List.length l))
@@ -207,7 +233,7 @@ let run ?mutation ~cache ~seed (prog : Program.t) : Program.run =
     | Grant { grantor; flavor; expired; rs } ->
         let now = Sim.Net.now u.net in
         let expires = expires_for ~now expired in
-        let restrictions = List.map (lower u) rs in
+        let restrictions = List.map (lower ~mutation u) rs in
         let proxy =
           match flavor with
           | Conv ->
@@ -240,7 +266,7 @@ let run ?mutation ~cache ~seed (prog : Program.t) : Program.run =
                 match rs with [] -> [] | _ :: tl -> tl
               else rs
             in
-            let restrictions = List.map (lower u) rs in
+            let restrictions = List.map (lower ~mutation u) rs in
             let derived =
               match (parent.Proxy.flavor, delegate) with
               | Proxy.Conventional _, _ ->
@@ -269,11 +295,14 @@ let run ?mutation ~cache ~seed (prog : Program.t) : Program.run =
                   ~operation:bound_op ~target:path () ]
         in
         let creds = u.fs_creds.(presenter) in
-        match verb with
-        | `Read ->
-            O_ok (Result.is_ok (File_server.read u.net ~creds ~proxies ~path ()))
-        | `Write ->
-            O_ok (Result.is_ok (File_server.write u.net ~creds ~proxies ~path "mbt write")))
+        let granted =
+          match verb with
+          | `Read -> Result.is_ok (File_server.read u.net ~creds ~proxies ~path ())
+          | `Write -> Result.is_ok (File_server.write u.net ~creds ~proxies ~path "mbt write")
+        in
+        if mutation = Some Reset_progress_on_retry then
+          Seq_tracker.clear (Guard.seq_tracker (File_server.guard u.fs));
+        O_ok granted)
     | Revoke { owner } ->
         Acl.remove_subject (File_server.acl u.fs) ~target:(target_name (File owner))
           (Acl.Principal_is u.users.(owner));

@@ -17,6 +17,12 @@ let realm = "example.org"
 
 (* --- seed values: one valid encoding per codec --- *)
 
+let sample_seq_steps fs =
+  [
+    { Restriction.step_op = "open"; step_server = Some fs; step_target = Some "u0.dat" };
+    { Restriction.step_op = "read"; step_server = None; step_target = None };
+  ]
+
 let sample_restrictions u0 u1 fs =
   [
     Restriction.Grantee ([ u0; u1 ], 1);
@@ -28,6 +34,7 @@ let sample_restrictions u0 u1 fs =
     Restriction.Group_membership [ "team" ];
     Restriction.Accept_once "ck-0001";
     Restriction.Limit_restriction ([ fs ], [ Restriction.Quota ("usd", 7) ]);
+    Restriction.Sequence (sample_seq_steps fs);
     Restriction.Unknown "x-future-restriction";
   ]
 
@@ -127,6 +134,11 @@ let seeds () : (string * Wire.t * (Wire.t -> (unit, string) result)) list =
       Revocation.entry_to_wire (Revocation.By_serial "serial-1"),
       ign Revocation.entry_of_wire );
     ("rev-bulletin", Revocation.bulletin_to_wire bulletin, ign Revocation.bulletin_of_wire);
+    (* Appended last so earlier seeds keep their indices in the corpus file
+       names. *)
+    ( "restriction-seq",
+      Restriction.to_wire (Restriction.Sequence (sample_seq_steps fs)),
+      ign Restriction.of_wire );
   ]
 
 (* --- mutations --- *)
@@ -193,6 +205,7 @@ type stats = {
   decode_error : int;
   typed_ok : int;
   typed_error : int;
+  seq_iters : int;  (** mutants derived from the sequence-restriction seed *)
   crashes : crash list;  (** any exception escaping a decoder: a finding *)
 }
 
@@ -214,7 +227,8 @@ let run ~seed ~iters =
   let seeds = seeds () in
   let encoded = List.map (fun (name, v, re) -> (name, Wire.encode v, re)) seeds in
   let stats =
-    ref { iterations = 0; decode_ok = 0; decode_error = 0; typed_ok = 0; typed_error = 0; crashes = [] }
+    ref { iterations = 0; decode_ok = 0; decode_error = 0; typed_ok = 0; typed_error = 0;
+          seq_iters = 0; crashes = [] }
   in
   let crash c = stats := { !stats with crashes = c :: !stats.crashes } in
   (* Round-trip obligation on every valid seed first. *)
@@ -242,6 +256,7 @@ let run ~seed ~iters =
     in
     let mutant = mutate drbg bytes in
     stats := { !stats with iterations = !stats.iterations + 1 };
+    if name = "restriction-seq" then stats := { !stats with seq_iters = !stats.seq_iters + 1 };
     match no_crash "wire-decode" name mutant (fun () -> Wire.decode mutant) with
     | Error c -> crash c
     | Ok `Err -> stats := { !stats with decode_error = !stats.decode_error + 1 }
@@ -351,7 +366,47 @@ let save_corpus ~dir =
   write
     (Filename.concat dir "neg-lenbomb-rev-bulletin.hex")
     (Program.to_hex (Bytes.to_string bomb));
-  (4 * List.length seeds) + List.length json_crashers + 2
+  (* Sequence-restriction negatives: a truncation, a length bomb on the
+     steps list's u32 count, a duplicate-step list and an empty list.  The
+     first two must be refused at the wire layer; the last two decode as
+     wire values but [Restriction.of_wire] must refuse them — replay fails
+     any [neg-*] entry its typed decoder accepts. *)
+  let fs = Principal.make ~realm "fs" in
+  let seq_bytes =
+    Wire.encode (Restriction.to_wire (Restriction.Sequence (sample_seq_steps fs)))
+  in
+  write
+    (Filename.concat dir "neg-truncated-restriction-seq.hex")
+    (Program.to_hex (String.sub seq_bytes 0 (String.length seq_bytes / 2)));
+  let steps_sub =
+    match Restriction.to_wire (Restriction.Sequence (sample_seq_steps fs)) with
+    | Wire.L [ _; (Wire.L _ as steps) ] -> Wire.encode steps
+    | _ -> failwith "fuzz corpus: unexpected sequence shape"
+  in
+  let soff =
+    let n = String.length seq_bytes and m = String.length steps_sub in
+    let rec find i =
+      if i + m > n then failwith "fuzz corpus: steps not a substring"
+      else if String.sub seq_bytes i m = steps_sub then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let sbomb = Bytes.of_string seq_bytes in
+  for j = soff + 1 to soff + 4 do
+    Bytes.set sbomb j '\xff'
+  done;
+  write
+    (Filename.concat dir "neg-lenbomb-restriction-seq.hex")
+    (Program.to_hex (Bytes.to_string sbomb));
+  let dup = List.hd (sample_seq_steps fs) in
+  write
+    (Filename.concat dir "neg-dupstep-restriction-seq.hex")
+    (Program.to_hex (Wire.encode (Restriction.to_wire (Restriction.Sequence [ dup; dup ]))));
+  write
+    (Filename.concat dir "neg-empty-restriction-seq.hex")
+    (Program.to_hex (Wire.encode (Restriction.to_wire (Restriction.Sequence []))));
+  (4 * List.length seeds) + List.length json_crashers + 2 + 4
 
 type corpus_result = { files : int; failures : (string * string) list }
 
@@ -378,6 +433,9 @@ let replay_corpus ~dir =
           let must_be_valid =
             String.length fname >= 6 && String.sub fname 0 6 = "valid-"
           in
+          let must_be_refused =
+            String.length fname >= 4 && String.sub fname 0 4 = "neg-"
+          in
           match no_crash "wire-decode" fname bytes (fun () -> Wire.decode bytes) with
           | Error c -> fail fname ("decode raised: " ^ c.c_exn)
           | Ok `Err -> if must_be_valid then fail fname "valid corpus entry failed to decode"
@@ -391,6 +449,8 @@ let replay_corpus ~dir =
                   | Ok `Err ->
                       if must_be_valid then
                         fail fname "valid corpus entry refused by its typed decoder"
-                  | Ok `Ok -> ()))))
+                  | Ok `Ok ->
+                      if must_be_refused then
+                        fail fname "negative corpus entry accepted by its typed decoder"))))
     hexes;
   { files = List.length hexes; failures = List.rev !failures }

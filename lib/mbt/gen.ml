@@ -43,7 +43,15 @@ let rec rspec g ~grantor ~depth =
   else if choice < 76 then R_accept_once (int g 6)
   else if choice < 84 && depth < 2 then
     R_limit (pick g [ Fs; Bank; Gs ], List.init (1 + int g 2) (fun _ -> rspec g ~grantor ~depth:(depth + 1)))
-  else if choice < 90 then R_unknown
+  else if choice < 88 then R_unknown
+  else if choice < 94 then
+    (* Steps are always pairwise distinct — the generator never emits the
+       degenerate (empty or duplicate-step) sequences both the decoder and
+       the checker refuse; those live in the fuzz negatives instead. *)
+    if bool_pct g 50 then R_sequence [ ((if bool_pct g 50 then "read" else "write"), File grantor) ]
+    else
+      let a, b = if bool_pct g 50 then ("read", "write") else ("write", "read") in
+      R_sequence [ (a, File grantor); (b, File grantor) ]
   else R_authorized [ (File grantor, []) ]
 
 let rs g ~grantor ~min_len ~max_len =
@@ -65,7 +73,50 @@ let narrow g ~grantor =
    own chain's grantor, and half the presentations aim a recent proxy at
    that grantor's file.  Uncorrelated noise still flows through the other
    half — coherence is a bias, not a straitjacket. *)
-let op g slots =
+(* A coherent sequence episode: grant a proxy carrying a two-step sequence
+   over the grantor's own file to another user, then drive presentations at
+   it — in order (the whole sequence should be consumed exactly once), or as
+   a deliberate out-of-order / repeated-step attack (every out-of-turn
+   presentation must be denied).  Occasionally a tightening derive first
+   narrows the sequence to its one-step prefix, the only transformation the
+   additive-only rule lets a delegate express. *)
+let seq_episode g slots =
+  let grantor = user g in
+  let presenter = (grantor + 1 + int g (n_users - 1)) mod n_users in
+  let first_op, second_op = if bool_pct g 50 then ("read", "write") else ("write", "read") in
+  let steps = [ (first_op, File grantor); (second_op, File grantor) ] in
+  let gslot = List.length !slots in
+  slots := !slots @ [ grantor ];
+  let grant =
+    Grant
+      {
+        grantor;
+        flavor = flavor g;
+        expired = bool_pct g 8;
+        rs =
+          (if bool_pct g 50 then [ R_grantee [ presenter ] ] else [])
+          @ [ R_sequence steps ];
+      }
+  in
+  let tighten =
+    if bool_pct g 25 then begin
+      slots := !slots @ [ grantor ];
+      [ Derive
+          { slot = gslot; expired = false;
+            rs = [ R_sequence [ (first_op, File grantor) ] ]; delegate = None } ]
+    end
+    else []
+  in
+  let verb_of o = if o = "read" then `Read else `Write in
+  let present o = Present { slot = gslot; presenter; verb = verb_of o; target = File grantor } in
+  let presents =
+    if bool_pct g 55 then [ present first_op; present second_op ]
+    else if bool_pct g 50 then [ present second_op; present first_op; present second_op ]
+    else [ present first_op; present first_op; present second_op ]
+  in
+  (grant :: tighten) @ presents
+
+let op1 g slots =
   let n_slots = List.length !slots in
   let slot_grantor s = List.nth !slots (s mod n_slots) in
   let pick_slot () =
@@ -118,7 +169,10 @@ let op g slots =
       Write_check { payor = user g; payee = user g; amount = 1 + int g 150 }
   | _ -> Deposit { cslot = int g 4; depositor = user g }
 
+let op g slots =
+  if bool_pct g 12 then seq_episode g slots else [ op1 g slots ]
+
 let program g : Program.t =
   let len = 3 + int g 10 in
   let slots = ref [] in
-  List.init len (fun _ -> op g slots)
+  List.concat (List.init len (fun _ -> op g slots))

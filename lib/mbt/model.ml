@@ -52,6 +52,9 @@ type state = {
   members : bool array;
   fs_seen : (int, unit) Hashtbl.t;  (** consumed accept-once ids at fs *)
   bank_seen : (int, unit) Hashtbl.t;  (** consumed check numbers at the bank *)
+  seq_progress : (int * (string * target) list, int) Hashtbl.t;
+      (** sequence progress, keyed (chain head, steps) — the pure mirror of
+          the guard's [Seq_tracker] keyed on head serial + canonical form *)
   balances : int array;
 }
 
@@ -64,7 +67,16 @@ type mreq = {
   q_presenters : int list;
   q_spend : int option;
   q_seen : int -> bool;
+  q_seq : (string * target) list -> int;
+      (** current progress of a sequence presented on this chain; the
+          Present interpreter closes this over the chain's head identity,
+          exactly as the verifier wraps the request's progress function
+          with the head serial *)
 }
+
+let rec distinct_steps = function
+  | [] -> true
+  | s :: tl -> (not (List.mem s tl)) && distinct_steps tl
 
 let rec rcheck req = function
   | R_grantee us -> List.exists (fun u -> List.mem u req.q_presenters) us
@@ -77,6 +89,18 @@ let rec rcheck req = function
         es
   | R_accept_once n -> not (req.q_seen n)
   | R_limit (s, rs) -> s <> req.q_server || List.for_all (rcheck req) rs
+  | R_sequence steps ->
+      (* Empty and duplicate-step sequences fail closed, mirroring
+         [Restriction.seq_validate]; otherwise the request must be exactly
+         the next unconsumed step. *)
+      steps <> []
+      && distinct_steps steps
+      &&
+      let k = req.q_seq steps in
+      k < List.length steps
+      &&
+      let op, t = List.nth steps k in
+      op = req.q_operation && target_name t = req.q_target
   | R_unknown -> false
 
 let rcheck_all req rs = List.for_all (rcheck req) rs
@@ -124,6 +148,11 @@ let chain_restrictions (p : mproxy) =
 let top_accept_once rs =
   List.filter_map (function R_accept_once n -> Some n | _ -> None) rs
 
+(* Sequences nested under a Limit_restriction are checked but never
+   advanced, mirroring the guard's top-level-only advancement rule. *)
+let top_sequences rs =
+  List.filter_map (function R_sequence s -> Some s | _ -> None) rs
+
 let nth_mod l i = match l with [] -> None | _ -> Some (List.nth l (i mod List.length l))
 
 let run (prog : Program.t) : Program.run =
@@ -136,6 +165,7 @@ let run (prog : Program.t) : Program.run =
       members = Array.make n_users false;
       fs_seen = Hashtbl.create 8;
       bank_seen = Hashtbl.create 8;
+      seq_progress = Hashtbl.create 8;
       balances = Array.make n_users initial_balance;
     }
   in
@@ -177,6 +207,7 @@ let run (prog : Program.t) : Program.run =
             q_presenters = [ presenter ];
             q_spend = None;
             q_seen = Hashtbl.mem st.fs_seen;
+            q_seq = (fun _ -> 0);
           }
         in
         match target with
@@ -200,13 +231,40 @@ let run (prog : Program.t) : Program.run =
                   match chain_restrictions proxy with
                   | None -> O_ok false
                   | Some rs ->
+                      (* The chain's head identity keys sequence progress:
+                         every cascade of one grant shares the counter. *)
+                      let req =
+                        { req with
+                          q_seq =
+                            (fun steps ->
+                              Option.value
+                                (Hashtbl.find_opt st.seq_progress (proxy.m_root, steps))
+                                ~default:0) }
+                      in
                       let usable = proxy.m_grantor = owner && rcheck_all req rs in
-                      if usable then
+                      if usable then begin
                         (* The proxy contributed, so its (top-level)
                            accept-once identifiers are consumed. *)
                         List.iter
                           (fun n -> Hashtbl.replace st.fs_seen n ())
                           (top_accept_once rs);
+                        (* ... and each distinct top-level sequence advances
+                           by exactly one step, however often it appears on
+                           the chain. *)
+                        let advanced = ref [] in
+                        List.iter
+                          (fun steps ->
+                            if not (List.mem steps !advanced) then begin
+                              advanced := steps :: !advanced;
+                              let key = (proxy.m_root, steps) in
+                              let k =
+                                Option.value (Hashtbl.find_opt st.seq_progress key)
+                                  ~default:0
+                              in
+                              Hashtbl.replace st.seq_progress key (k + 1)
+                            end)
+                          (top_sequences rs)
+                      end;
                       O_ok usable)))
     | Revoke { owner } ->
         st.revoked.(owner) <- true;

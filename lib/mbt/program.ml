@@ -24,6 +24,9 @@ type rspec =
   | R_authorized of (target * string list) list
   | R_accept_once of int  (** single-use id, lowered to its decimal string *)
   | R_limit of server * rspec list
+  | R_sequence of (string * target) list
+      (** ordered permitted steps (operation, target); progress is tracked
+          per chain head, so every cascade of one grant shares the counter *)
   | R_unknown  (** an unrecognized restriction type: must fail closed *)
 
 type op =
@@ -83,6 +86,10 @@ let rec pp_rspec fmt = function
       Format.fprintf fmt "limit(%s, [%a])" (server_name s)
         (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "; ") pp_rspec)
         rs
+  | R_sequence steps ->
+      Format.fprintf fmt "sequence[%s]"
+        (String.concat " -> "
+           (List.map (fun (op, t) -> op ^ "@" ^ target_name t) steps))
   | R_unknown -> Format.fprintf fmt "unknown"
 
 let pp_rs fmt rs =
@@ -185,6 +192,10 @@ let rec rspec_to_wire = function
   | R_accept_once n -> Wire.L [ Wire.S "o"; Wire.I n ]
   | R_limit (s, rs) ->
       Wire.L [ Wire.S "l"; server_to_wire s; Wire.L (List.map rspec_to_wire rs) ]
+  | R_sequence steps ->
+      Wire.L
+        [ Wire.S "s";
+          Wire.L (List.map (fun (op, t) -> Wire.L [ Wire.S op; target_to_wire t ]) steps) ]
   | R_unknown -> Wire.L [ Wire.S "u" ]
 
 let map_result f l =
@@ -221,6 +232,15 @@ let rec rspec_of_wire v =
       let* rs = Result.bind (field v 2) to_list in
       let* rs = map_result rspec_of_wire rs in
       Ok (R_limit (s, rs))
+  | "s" ->
+      let* steps = Result.bind (field v 1) to_list in
+      let step s =
+        let* op = Result.bind (field s 0) to_string in
+        let* t = Result.bind (field s 1) target_of_wire in
+        Ok (op, t)
+      in
+      let* steps = map_result step steps in
+      Ok (R_sequence steps)
   | "u" -> Ok R_unknown
   | other -> Error (Printf.sprintf "mbt: bad rspec tag %S" other)
 

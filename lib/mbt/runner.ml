@@ -47,13 +47,24 @@ let check ?mutation ~seed prog =
             }
       | None -> None)
 
-type stats = { programs : int; ops : int }
+type stats = { programs : int; ops : int; seq_ops : int }
+
+(* Operations carrying a sequence spec anywhere in their restrictions —
+   the campaign coverage counter the smoke gate insists is nonzero. *)
+let rec has_seq = function
+  | R_sequence _ -> true
+  | R_limit (_, rs) -> List.exists has_seq rs
+  | _ -> false
+
+let op_has_seq = function
+  | Grant { rs; _ } | Derive { rs; _ } -> List.exists has_seq rs
+  | _ -> false
 
 (* Run [per_seed] programs under each campaign seed; stop at the first
    finding.  The world seed of program [i] under campaign seed [s] is
    ["s/i"], so any finding replays in isolation. *)
 let campaign ?mutation ?(progress = fun _ -> ()) ~seeds ~per_seed () =
-  let programs = ref 0 and ops = ref 0 in
+  let programs = ref 0 and ops = ref 0 and seq_ops = ref 0 in
   let finding = ref None in
   (try
      List.iter
@@ -64,6 +75,7 @@ let campaign ?mutation ?(progress = fun _ -> ()) ~seeds ~per_seed () =
            let world_seed = Printf.sprintf "%s/%d" seed i in
            incr programs;
            ops := !ops + List.length prog;
+           seq_ops := !seq_ops + List.length (List.filter op_has_seq prog);
            progress !programs;
            match check ?mutation ~seed:world_seed prog with
            | Some f ->
@@ -73,7 +85,7 @@ let campaign ?mutation ?(progress = fun _ -> ()) ~seeds ~per_seed () =
          done)
        seeds
    with Exit -> ());
-  (!finding, { programs = !programs; ops = !ops })
+  (!finding, { programs = !programs; ops = !ops; seq_ops = !seq_ops })
 
 (* Shrink a finding to a (locally) minimal program that still disagrees —
    under the same world seed and the same injected mutation. *)

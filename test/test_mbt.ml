@@ -111,6 +111,50 @@ let test_group_membership () =
         P.O_group (false, false) ]
     ~balances:[| 100; 100; 100 |]
 
+let test_sequence_steps () =
+  let seq = P.R_sequence [ ("read", P.File 1); ("write", P.File 1) ] in
+  scenario "in-order sequence runs once, then is exhausted"
+    [ P.Grant { grantor = 1; flavor = P.Conv; expired = false; rs = [ seq ] };
+      P.Present { slot = 0; presenter = 0; verb = `Read; target = P.File 1 };
+      P.Present { slot = 0; presenter = 0; verb = `Write; target = P.File 1 };
+      P.Present { slot = 0; presenter = 0; verb = `Read; target = P.File 1 } ]
+    ~outcomes:[ P.O_done; P.O_ok true; P.O_ok true; P.O_ok false ]
+    ~balances:[| 100; 100; 100 |];
+  scenario "out-of-order step denied, then the in-order run completes"
+    [ P.Grant { grantor = 1; flavor = P.Conv; expired = false; rs = [ seq ] };
+      P.Present { slot = 0; presenter = 0; verb = `Write; target = P.File 1 };
+      P.Present { slot = 0; presenter = 0; verb = `Read; target = P.File 1 };
+      P.Present { slot = 0; presenter = 0; verb = `Write; target = P.File 1 } ]
+    ~outcomes:[ P.O_done; P.O_ok false; P.O_ok true; P.O_ok true ]
+    ~balances:[| 100; 100; 100 |];
+  scenario "owner presentations do not consume sequence progress"
+    [ P.Grant { grantor = 1; flavor = P.Conv; expired = false; rs = [ seq ] };
+      P.Present { slot = 0; presenter = 1; verb = `Read; target = P.File 1 };
+      P.Present { slot = 0; presenter = 0; verb = `Read; target = P.File 1 } ]
+    ~outcomes:[ P.O_done; P.O_ok true; P.O_ok true ]
+    ~balances:[| 100; 100; 100 |];
+  scenario "cascades share the grant's progress counter"
+    [ P.Grant { grantor = 1; flavor = P.Conv; expired = false; rs = [ seq ] };
+      P.Derive
+        { slot = 0; expired = false;
+          rs = [ P.R_authorized [ (P.File 1, [ "read"; "write" ]) ] ];
+          delegate = None };
+      P.Present { slot = 1; presenter = 0; verb = `Read; target = P.File 1 };
+      P.Present { slot = 0; presenter = 0; verb = `Read; target = P.File 1 };
+      P.Present { slot = 0; presenter = 0; verb = `Write; target = P.File 1 } ]
+    ~outcomes:[ P.O_done; P.O_done; P.O_ok true; P.O_ok false; P.O_ok true ]
+    ~balances:[| 100; 100; 100 |];
+  scenario "a tightened prefix clamps the delegate, not the original"
+    [ P.Grant { grantor = 1; flavor = P.Conv; expired = false; rs = [ seq ] };
+      P.Derive
+        { slot = 0; expired = false;
+          rs = [ P.R_sequence [ ("read", P.File 1) ] ]; delegate = None };
+      P.Present { slot = 1; presenter = 0; verb = `Read; target = P.File 1 };
+      P.Present { slot = 1; presenter = 0; verb = `Write; target = P.File 1 };
+      P.Present { slot = 0; presenter = 0; verb = `Write; target = P.File 1 } ]
+    ~outcomes:[ P.O_done; P.O_done; P.O_ok true; P.O_ok false; P.O_ok true ]
+    ~balances:[| 100; 100; 100 |]
+
 (* --- generated campaigns --- *)
 
 let test_clean_campaign () =
@@ -227,7 +271,8 @@ let () =
           ("expiry and restrictions", `Quick, test_expiry_and_restrictions);
           ("accept-once contribution", `Quick, test_accept_once);
           ("checks and deposits", `Quick, test_checks_and_deposits);
-          ("group membership", `Quick, test_group_membership) ] );
+          ("group membership", `Quick, test_group_membership);
+          ("sequence steps", `Quick, test_sequence_steps) ] );
       ( "campaigns",
         [ ("clean campaign agrees", `Slow, test_clean_campaign);
           ( "kills drop-derived-restriction",
@@ -235,7 +280,13 @@ let () =
             kill_and_shrink Mbt.Exec.Drop_derived_restriction );
           ("kills ignore-expiry", `Slow, kill_and_shrink Mbt.Exec.Ignore_expiry);
           ("kills misbind-proof", `Slow, kill_and_shrink Mbt.Exec.Misbind_proof);
-          ("kills ignore-bulletin", `Slow, kill_and_shrink Mbt.Exec.Ignore_bulletin) ] );
+          ("kills ignore-bulletin", `Slow, kill_and_shrink Mbt.Exec.Ignore_bulletin);
+          ( "kills ignore-sequence-order",
+            `Slow,
+            kill_and_shrink Mbt.Exec.Ignore_sequence_order );
+          ( "kills reset-progress-on-retry",
+            `Slow,
+            kill_and_shrink Mbt.Exec.Reset_progress_on_retry ) ] );
       ( "codec and corpora",
         [ ("program wire roundtrip", `Quick, test_program_roundtrip);
           ("committed repros replay", `Slow, test_repro_corpus);

@@ -84,6 +84,89 @@ let test_limit_restriction () =
   (* ...ignored elsewhere. *)
   check_ok r { base_req with R.server = other_server; R.operation = "write" }
 
+(* --- sequence: the stateful ordered-steps restriction --- *)
+
+let step ?server ?target op = { R.step_op = op; step_server = server; step_target = target }
+
+let seq_req ?(progress = fun _ -> 0) ~operation ~target () =
+  R.request ~server ~time:100 ~operation ~target ~sequence_progress:progress ()
+
+let test_sequence_order () =
+  let steps = [ step "open" ~target:"file1"; step "read" ~target:"file1" ] in
+  let r = R.Sequence steps in
+  let at k = fun _ -> k in
+  (* Step 0 permits only "open" on file1. *)
+  check_ok r (seq_req ~operation:"open" ~target:"file1" ());
+  check_fails r (seq_req ~operation:"read" ~target:"file1" ());
+  check_fails r (seq_req ~operation:"open" ~target:"file2" ());
+  (* After one advance, only "read" is next; "open" is consumed. *)
+  check_ok r (seq_req ~progress:(at 1) ~operation:"read" ~target:"file1" ());
+  check_fails r (seq_req ~progress:(at 1) ~operation:"open" ~target:"file1" ());
+  (* Exhausted: everything is denied. *)
+  check_fails r (seq_req ~progress:(at 2) ~operation:"read" ~target:"file1" ());
+  (* A step naming a server binds the step to it. *)
+  let r2 = R.Sequence [ step "open" ~server:other_server ] in
+  check_fails r2 (seq_req ~operation:"open" ~target:"file1" ());
+  let r3 = R.Sequence [ step "open" ~server ] in
+  check_ok r3 (seq_req ~operation:"open" ~target:"file1" ());
+  (* A step with no target constraint accepts any target. *)
+  let r4 = R.Sequence [ step "open" ] in
+  check_ok r4 (seq_req ~operation:"open" ~target:"anything" ())
+
+let test_sequence_degenerate_fails_closed () =
+  (* Empty and duplicate-step sequences are unusable however they arise. *)
+  check_fails (R.Sequence []) (seq_req ~operation:"open" ~target:"file1" ());
+  let s = step "open" ~target:"file1" in
+  check_fails (R.Sequence [ s; s ]) (seq_req ~operation:"open" ~target:"file1" ())
+
+let test_sequence_wire_form_pinned () =
+  (* The exact wire form, pinned: a pre-sequence verifier sees the head tag
+     [S "sequence"], does not recognize it, decodes the whole value as
+     [Unknown "sequence"] — and [check] fails that closed.  A proxy carrying
+     a sequence is therefore unusable at servers that predate the tag, never
+     silently stateless. *)
+  let steps = [ step "open" ~server ~target:"file1"; step "read" ] in
+  let expected =
+    Wire.L
+      [ Wire.S "sequence";
+        Wire.L
+          [ Wire.L
+              [ Wire.S "open"; Wire.L [ Principal.to_wire server ];
+                Wire.L [ Wire.S "file1" ] ];
+            Wire.L [ Wire.S "read"; Wire.L []; Wire.L [] ] ] ]
+  in
+  Alcotest.(check bool) "pinned encoding" true
+    (Wire.equal (R.to_wire (R.Sequence steps)) expected);
+  (* Round-trips for a current verifier... *)
+  (match R.of_wire expected with
+  | Ok r -> Alcotest.check restriction "roundtrip" (R.Sequence steps) r
+  | Error e -> Alcotest.fail e);
+  (* ...and fails closed for a pre-sequence one, which maps the unrecognized
+     head tag to [Unknown] exactly as test_unknown_wire_form pins. *)
+  check_fails (R.Unknown "sequence") (seq_req ~operation:"open" ~target:"file1" ())
+
+let test_sequence_wire_rejects_degenerate () =
+  (* The decoder refuses what the checker would refuse: fail closed at both
+     layers. *)
+  Alcotest.(check bool) "empty" true
+    (Result.is_error (R.of_wire (Wire.L [ Wire.S "sequence"; Wire.L [] ])));
+  let s = step "open" ~target:"file1" in
+  Alcotest.(check bool) "duplicate step" true
+    (Result.is_error (R.of_wire (R.to_wire (R.Sequence [ s; s ]))));
+  Alcotest.(check bool) "malformed step" true
+    (Result.is_error
+       (R.of_wire (Wire.L [ Wire.S "sequence"; Wire.L [ Wire.I 3 ] ])))
+
+let test_tighten_sequence () =
+  let steps = [ step "a"; step "b"; step "c" ] in
+  Alcotest.(check int) "keep 2" 2 (List.length (R.tighten_sequence ~keep:2 steps));
+  (* Clamped: a delegate can neither extend nor empty the sequence. *)
+  Alcotest.(check int) "keep 9 clamps" 3 (List.length (R.tighten_sequence ~keep:9 steps));
+  Alcotest.(check int) "keep 0 clamps" 1 (List.length (R.tighten_sequence ~keep:0 steps));
+  Alcotest.(check bool) "prefix" true
+    (List.for_all2 R.seq_step_equal (R.tighten_sequence ~keep:2 steps)
+       [ step "a"; step "b" ])
+
 let test_unknown_fails_closed () =
   check_fails (R.Unknown "hologram") base_req;
   (* An unknown restriction arriving off the wire must also fail. *)
@@ -107,6 +190,9 @@ let all_restrictions =
     R.Group_membership [ "a"; "b" ];
     R.Accept_once "id-1";
     R.Limit_restriction ([ server ], [ R.Quota ("cpu", 1) ]);
+    R.Sequence
+      [ { R.step_op = "open"; step_server = Some server; step_target = Some "obj" };
+        { R.step_op = "read"; step_server = None; step_target = None } ];
     R.Unknown "mystery" ]
 
 let test_unknown_wire_form () =
@@ -186,7 +272,12 @@ let gen_restriction =
               map (fun gs -> R.Group_membership gs) (list_size (int_bound 3) string_small);
               map
                 (fun ts -> R.Authorized (List.map (fun t -> { R.target = t; ops = [] }) ts))
-                (list_size (int_bound 3) string_small) ]
+                (list_size (int_bound 3) string_small);
+              (* Steps distinct by construction: the generator never emits
+                 the degenerate forms the decoder refuses. *)
+              map
+                (fun n -> R.Sequence (List.init (1 + n) (fun i -> step (Printf.sprintf "s%d" i))))
+                (int_bound 2) ]
         in
         if n <= 0 then leaf
         else
@@ -222,9 +313,48 @@ let prop_propagate_monotone =
           | _ -> List.exists (R.equal r) rs)
         out)
 
+(* Tightening is additive-only: however a delegate chains tighten_sequence
+   calls, the result is a non-empty prefix of the original — never reordered,
+   never extended, never widened back after a narrowing. *)
+let prop_tighten_prefix =
+  QCheck.Test.make ~name:"sequence tightening stays a prefix" ~count:300
+    QCheck.(pair (int_range 1 5) (list_of_size (QCheck.Gen.int_bound 6) (int_range (-3) 9)))
+    (fun (n, keeps) ->
+      let steps = List.init n (fun i -> step (Printf.sprintf "s%d" i)) in
+      let final = List.fold_left (fun acc k -> R.tighten_sequence ~keep:k acc) steps keeps in
+      let m = List.length final in
+      m >= 1 && m <= n
+      && List.for_all2 R.seq_step_equal final (R.tighten_sequence ~keep:m steps))
+
+(* Progress is prefix-monotone: drive a random interleaving of step attempts
+   (including out-of-order and repeated ones) through check + advance; the
+   granted operations are always exactly the in-order prefix of the
+   sequence, and every out-of-turn attempt is denied. *)
+let prop_progress_prefix_monotone =
+  QCheck.Test.make ~name:"sequence progress is prefix-monotone" ~count:300
+    QCheck.(pair (int_range 1 4) (list_of_size (QCheck.Gen.int_range 1 12) (int_bound 5)))
+    (fun (n, attempts) ->
+      let steps = List.init n (fun i -> step (Printf.sprintf "s%d" i)) in
+      let r = R.Sequence steps in
+      let progress = ref 0 in
+      let granted = ref [] in
+      List.iter
+        (fun a ->
+          let operation = Printf.sprintf "s%d" a in
+          let req = seq_req ~progress:(fun _ -> !progress) ~operation ~target:"t" () in
+          match R.check r req with
+          | Ok () ->
+              granted := !granted @ [ operation ];
+              incr progress
+          | Error _ -> ())
+        attempts;
+      let k = List.length !granted in
+      k <= n && !granted = List.init k (fun i -> Printf.sprintf "s%d" i))
+
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_wire_roundtrip; prop_check_total; prop_propagate_monotone ]
+    [ prop_wire_roundtrip; prop_check_total; prop_propagate_monotone; prop_tighten_prefix;
+      prop_progress_prefix_monotone ]
 
 (* --- combination matrix: limit-restriction wrapping each type, quorum
    edges, unsatisfiable forms --- *)
@@ -287,6 +417,9 @@ let () =
           ("group-membership", `Quick, test_group_membership);
           ("accept-once", `Quick, test_accept_once);
           ("limit-restriction", `Quick, test_limit_restriction);
+          ("sequence order", `Quick, test_sequence_order);
+          ("sequence degenerate fails closed", `Quick, test_sequence_degenerate_fails_closed);
+          ("tighten sequence", `Quick, test_tighten_sequence);
           ("unknown fails closed", `Quick, test_unknown_fails_closed);
           ("check_all", `Quick, test_check_all);
           ("limit wraps each type", `Quick, test_limit_wraps_each_type);
@@ -296,6 +429,8 @@ let () =
       ( "wire",
         [ ("roundtrip", `Quick, test_wire_roundtrip);
           ("unknown tag pinned", `Quick, test_unknown_wire_form);
+          ("sequence form pinned, pre-tag fails closed", `Quick, test_sequence_wire_form_pinned);
+          ("sequence rejects degenerate", `Quick, test_sequence_wire_rejects_degenerate);
           ("rejects garbage", `Quick, test_wire_rejects_garbage) ] );
       ( "propagate",
         [ ("keeps everything", `Quick, test_propagate_keeps_everything);

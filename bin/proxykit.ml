@@ -254,8 +254,94 @@ let print_cluster_outcome (o : Cluster.Scenario.outcome) =
 let cluster_ok (o : Cluster.Scenario.outcome) =
   o.Cluster.Scenario.double_redemptions = 0 && Result.is_ok o.Cluster.Scenario.conserved
 
+(* --- lane-parallel engine (cluster/seq/load with --domains N) --- *)
+
+let print_lanes_outcome (o : Cluster.Lanes.outcome) =
+  let open Cluster.Lanes in
+  Printf.printf "  epochs:             %d run, %d cross-lane message(s) delivered\n" o.epochs_run
+    o.delivered;
+  Printf.printf "  goodput:            %d/%d operations succeeded\n" o.succeeded o.attempted;
+  if o.remote_sent > 0 || o.remote_cleared > 0 then
+    Printf.printf "  remote clearing:    %d check(s) mailed, %d cleared, %d bounced\n"
+      o.remote_sent o.remote_cleared o.remote_bounced;
+  if o.bulletins_applied > 0 then
+    Printf.printf "  bulletins:          applied on %d lane(s)\n" o.bulletins_applied;
+  Printf.printf "  checks redeemed:    each at most once: %s\n"
+    (if o.double_redemptions = 0 then "yes" else "NO");
+  (match o.conserved with
+  | Ok () -> print_endline "  value conserved:    yes"
+  | Error e -> Printf.printf "  value conserved:    NO -- %s\n" e);
+  List.iter
+    (fun (name, ok) ->
+      Printf.printf "  gate %-15s %s\n" (name ^ ":") (if ok then "ok" else "FAILED"))
+    o.seq_gates;
+  Printf.printf "  wall:               %.3f s\n" o.wall_s
+
+let lanes_ok (cfg : Cluster.Lanes.config) (o : Cluster.Lanes.outcome) =
+  let open Cluster.Lanes in
+  Result.is_ok o.conserved && o.double_redemptions = 0
+  &&
+  match cfg.flavor with
+  | Seq -> o.seq_gates <> [] && List.for_all snd o.seq_gates
+  | Checks | Load ->
+      o.succeeded > 0
+      && (cfg.shards < 2 || (o.remote_cleared > 0 && o.bulletins_applied = cfg.shards))
+
+(* Smoke gate for the lane engine: the run at [domains = N] must be
+   byte-identical — merged metrics, trace, span JSONL — to the same seed
+   at [domains = 1] (for N = 1 this degenerates to a same-seed rerun). *)
+let lanes_smoke ~label (cfg : Cluster.Lanes.config) =
+  Printf.printf "%s lane smoke: seed %S, %d shard(s), domains=%d vs domains=1\n%!" label
+    cfg.Cluster.Lanes.seed cfg.Cluster.Lanes.shards cfg.Cluster.Lanes.domains;
+  let o = Cluster.Lanes.run cfg in
+  print_lanes_outcome o;
+  let o1 = Cluster.Lanes.run { cfg with Cluster.Lanes.domains = 1 } in
+  let open Cluster.Lanes in
+  let deterministic =
+    o.metrics = o1.metrics && o.trace = o1.trace
+    && String.equal o.span_jsonl o1.span_jsonl
+    && o.epochs_run = o1.epochs_run && o.delivered = o1.delivered
+    && o.seq_gates = o1.seq_gates
+  in
+  Printf.printf "  deterministic:      %s (domains=%d vs domains=1 %s)\n"
+    (if deterministic then "yes" else "NO")
+    cfg.domains
+    (if deterministic then "byte-identical" else "DIVERGED");
+  if lanes_ok cfg o && deterministic then begin
+    Printf.printf "%s lane smoke: OK\n" label;
+    0
+  end
+  else 1
+
+let lanes_dispatch ~label (cfg : Cluster.Lanes.config) smoke =
+  if smoke then lanes_smoke ~label cfg
+  else begin
+    Printf.printf "%s lane run: seed %S, %d shard(s) on %d domain(s)\n%!" label
+      cfg.Cluster.Lanes.seed cfg.Cluster.Lanes.shards cfg.Cluster.Lanes.domains;
+    let o = Cluster.Lanes.run cfg in
+    print_lanes_outcome o;
+    if lanes_ok cfg o then 0 else 1
+  end
+
 let cluster seed shards ops buyers drop duplicate no_crash crash_buyer crash_after retries
-    timeout smoke =
+    timeout domains smoke =
+  if domains > 0 then
+    lanes_dispatch ~label:"cluster"
+      {
+        Cluster.Lanes.seed;
+        shards;
+        domains;
+        epochs = 6;
+        ops_per_epoch = max 1 (ops / 6);
+        buyers;
+        drop;
+        duplicate;
+        retries;
+        timeout_us = timeout;
+        flavor = Cluster.Lanes.Checks;
+      }
+      smoke
+  else
   let crash =
     if no_crash then Cluster.Scenario.No_crash
     else if crash_buyer then Cluster.Scenario.Buyer_primary
@@ -338,7 +424,22 @@ let seq_ok (o : Cluster.Seq_scenario.outcome) =
   && o.standby_progress_before_crash = 1
   && o.failover_debit_ok && o.second_debit_denied && o.promotions >= 1
 
-let seq_run seed drop duplicate retries timeout crash_after smoke =
+let seq_run seed drop duplicate retries timeout crash_after domains smoke =
+  if domains > 0 then
+    lanes_dispatch ~label:"seq"
+      {
+        Cluster.Lanes.default with
+        Cluster.Lanes.seed;
+        shards = max 2 domains;
+        domains;
+        drop;
+        duplicate;
+        retries;
+        timeout_us = timeout;
+        flavor = Cluster.Lanes.Seq;
+      }
+      smoke
+  else
   let cfg =
     {
       Cluster.Seq_scenario.seed;
@@ -409,7 +510,23 @@ let load_determinism cfg (o : Load.Driver.outcome) =
   && o.Load.Driver.jsonl = o2.Load.Driver.jsonl
 
 let load seed population objects shards sweep_width churn_every no_link_cache no_pipeline retries
-    timeout smoke =
+    timeout domains smoke =
+  if domains > 0 then
+    lanes_dispatch ~label:"load"
+      {
+        Cluster.Lanes.default with
+        Cluster.Lanes.seed;
+        shards;
+        domains;
+        epochs = 6;
+        ops_per_epoch = 8;
+        buyers = 4;
+        retries;
+        timeout_us = timeout;
+        flavor = Cluster.Lanes.Load;
+      }
+      smoke
+  else
   let cfg =
     {
       Load.Driver.default with
@@ -904,6 +1021,13 @@ let cluster_cmd =
   let timeout =
     Arg.(value & opt int 10_000 & info [ "timeout" ] ~docv:"US" ~doc:"Client timeout (us)")
   in
+  let domains =
+    Arg.(value & opt int 0
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Run the lane-parallel engine on N OCaml domains (0 = the classic \
+                   synchronous scenario). With --smoke, gates that the run is byte-identical \
+                   to the same seed at --domains 1")
+  in
   let smoke =
     Arg.(value & flag
          & info [ "smoke" ]
@@ -918,7 +1042,7 @@ let cluster_cmd =
           crash a primary mid-run; checks conservation and exactly-once redemption across \
           the failover")
     Term.(const cluster $ seed $ shards $ ops $ buyers $ drop $ duplicate $ no_crash
-          $ crash_buyer $ crash_after $ retries $ timeout $ smoke)
+          $ crash_buyer $ crash_after $ retries $ timeout $ domains $ smoke)
 
 let seq_cmd =
   let seed =
@@ -942,6 +1066,13 @@ let seq_cmd =
          & info [ "crash-after" ] ~docv:"US"
              ~doc:"Bank-primary crash instant relative to chaos start (us)")
   in
+  let domains =
+    Arg.(value & opt int 0
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Run the lane-parallel engine on N OCaml domains (0 = the classic \
+                   synchronous scenario). With --smoke, gates that the run is byte-identical \
+                   to the same seed at --domains 1")
+  in
   let smoke =
     Arg.(value & flag
          & info [ "smoke" ]
@@ -955,7 +1086,8 @@ let seq_cmd =
          "Run the two-server sequence scenario: one Sequence restriction spans a file server \
           and a sharded bank (an fs open gates a bank debit); earned progress is handed over \
           and journalled to the standby, surviving a mid-sequence primary crash")
-    Term.(const seq_run $ seed $ drop $ duplicate $ retries $ timeout $ crash_after $ smoke)
+    Term.(const seq_run $ seed $ drop $ duplicate $ retries $ timeout $ crash_after $ domains
+          $ smoke)
 
 let load_cmd =
   let seed =
@@ -996,6 +1128,13 @@ let load_cmd =
   let timeout =
     Arg.(value & opt int 10_000 & info [ "timeout" ] ~docv:"US" ~doc:"Client timeout (us)")
   in
+  let domains =
+    Arg.(value & opt int 0
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Run the lane-parallel engine on N OCaml domains (0 = the classic \
+                   synchronous scenario). With --smoke, gates that the run is byte-identical \
+                   to the same seed at --domains 1")
+  in
   let smoke =
     Arg.(value & flag
          & info [ "smoke" ]
@@ -1010,7 +1149,7 @@ let load_cmd =
           check clearing, audit sweeps) from a lazily-materialized Zipf population against \
           the full stack, and report goodput and latency percentiles")
     Term.(const load $ seed $ population $ objects $ shards $ sweep_width $ churn_every
-          $ no_link_cache $ no_pipeline $ retries $ timeout $ smoke)
+          $ no_link_cache $ no_pipeline $ retries $ timeout $ domains $ smoke)
 
 let revoke_cmd =
   let seed =

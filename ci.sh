@@ -30,6 +30,11 @@ echo "== cluster failover smoke =="
 # must be byte-identical (metrics snapshot and trace).
 dune exec --no-build bin/proxykit.exe -- cluster --smoke
 dune exec --no-build bin/proxykit.exe -- cluster --smoke --seed ci-cluster --shards 2 --crash-buyer
+# Lane-parallel engine: the same seeded workload spread over 4 OCaml
+# domains must be byte-identical (metrics, trace, span JSONL) to the
+# single-domain schedule, with conservation, exactly-once redemption, and
+# a bulletin landing on every lane.
+dune exec --no-build bin/proxykit.exe -- cluster --smoke --domains 4
 
 echo "== model-based conformance smoke =="
 # Generated authorization programs run against the real stack (verify cache

@@ -75,6 +75,14 @@ val handle :
     wrap it (promotion gating, replication taps) and register it under a
     physical node name via {!Secure_rpc.serve}. *)
 
+val settle : t -> presenter:Principal.t -> Check.t -> (int, string) result
+(** Clear a presented check at this server: if it is drawn on an account
+    held here, validate the endorsement chain and debit (the "collect"
+    verb's local leg); otherwise endorse it onward to the configured route
+    and forward a collect. Exposed so lane schedulers can run the clearing
+    leg at an epoch boundary, where the presenting bank lives in another
+    lane and the RPC transport cannot span lanes. Returns the amount paid. *)
+
 val set_redemption_observer : t -> (string -> unit) option -> unit
 (** Observer fired with the check number each time a check is paid here —
     the replication feed for mirroring accept-once records to a standby. *)

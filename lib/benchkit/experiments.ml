@@ -24,8 +24,15 @@ let ns_per_op name f =
   let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
   let res = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  match Hashtbl.fold (fun _ v acc -> v :: acc) res [] with
-  | [ est ] -> ( match Analyze.OLS.estimates est with Some (ns :: _) -> ns | _ -> nan)
+  (* Canonicalize by key before inspecting: Hashtbl fold order is resize
+     history, and even a singleton today could silently become "first of
+     several in hash order" when Bechamel grows the result table. *)
+  let results =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) res []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  match results with
+  | [ (_, est) ] -> ( match Analyze.OLS.estimates est with Some (ns :: _) -> ns | _ -> nan)
   | _ -> nan
 
 (* Wall-clock per call for heavyweight operations (key generation) where
@@ -1293,6 +1300,31 @@ let s1 () =
     (shards, Cluster.Scenario.run cfg)
   in
   let measured = List.map row [ 1; 2; 4; 8 ] in
+  (* The domains axis: the same seeded lane workload (4 shards, one fully
+     isolated world per shard, cross-shard checks cleared at epoch
+     barriers) scheduled over 1, 2, and 4 OCaml domains. Every count and
+     the merged metrics/trace/span output must be byte-identical to the
+     domains=1 schedule — those are the gated integers; wall-clock and the
+     derived speedup are machine-dependent floats and never gated. *)
+  let lane_cfg domains =
+    { Cluster.Lanes.default with Cluster.Lanes.seed = "s1-lanes"; shards = 4; domains }
+  in
+  let lane_base = Cluster.Lanes.run (lane_cfg 1) in
+  let lane_rows =
+    List.map
+      (fun domains ->
+        let o = if domains = 1 then lane_base else Cluster.Lanes.run (lane_cfg domains) in
+        let same =
+          o.Cluster.Lanes.metrics = lane_base.Cluster.Lanes.metrics
+          && o.Cluster.Lanes.trace = lane_base.Cluster.Lanes.trace
+          && o.Cluster.Lanes.span_jsonl = lane_base.Cluster.Lanes.span_jsonl
+          && o.Cluster.Lanes.epochs_run = lane_base.Cluster.Lanes.epochs_run
+          && o.Cluster.Lanes.delivered = lane_base.Cluster.Lanes.delivered
+          && o.Cluster.Lanes.succeeded = lane_base.Cluster.Lanes.succeeded
+        in
+        (domains, o, same))
+      [ 1; 2; 4 ]
+  in
   print_table "S1: goodput/latency/messages vs shard count (primary crashed mid-run)"
     [ "shards"; "goodput"; "failovers"; "promoted"; "repl ships"; "messages"; "p50";
       "p99"; "conserved"; "double-redeem" ]
@@ -1309,6 +1341,20 @@ let s1 () =
            (match o.Cluster.Scenario.conserved with Ok () -> "yes" | Error _ -> "NO");
            string_of_int o.Cluster.Scenario.double_redemptions ])
        measured);
+  print_table "S1: lane-parallel schedule vs OCaml domains (4 shards, same seed)"
+    [ "domains"; "goodput"; "cleared"; "delivered"; "conserved"; "identical";
+      "wall"; "speedup" ]
+    (List.map
+       (fun (domains, o, same) ->
+         [ string_of_int domains;
+           Printf.sprintf "%d/%d" o.Cluster.Lanes.succeeded o.Cluster.Lanes.attempted;
+           Printf.sprintf "%d/%d" o.Cluster.Lanes.remote_cleared o.Cluster.Lanes.remote_sent;
+           string_of_int o.Cluster.Lanes.delivered;
+           (match o.Cluster.Lanes.conserved with Ok () -> "yes" | Error _ -> "NO");
+           (if same then "yes" else "NO");
+           Printf.sprintf "%.3f s" o.Cluster.Lanes.wall_s;
+           Printf.sprintf "%.2fx" (lane_base.Cluster.Lanes.wall_s /. o.Cluster.Lanes.wall_s) ])
+       lane_rows);
   Benchout.write ~id:"s1"
     ~title:"cluster: sharded accounting, replica failover, conservation"
     (List.map
@@ -1330,7 +1376,26 @@ let s1 () =
                ("p99_us", o.Cluster.Scenario.p99_us) ];
            floats = [];
          })
-       measured)
+       measured
+    @ List.map
+        (fun (domains, o, same) ->
+          {
+            Benchout.label = Printf.sprintf "domains=%d" domains;
+            ints =
+              [ ("domains", domains);
+                ("succeeded", o.Cluster.Lanes.succeeded);
+                ("remote_cleared", o.Cluster.Lanes.remote_cleared);
+                ("delivered", o.Cluster.Lanes.delivered);
+                ("bulletins_applied", o.Cluster.Lanes.bulletins_applied);
+                ("conservation_ok", if Result.is_ok o.Cluster.Lanes.conserved then 1 else 0);
+                ("double_redemptions", o.Cluster.Lanes.double_redemptions);
+                ("identical_to_1domain", if same then 1 else 0) ];
+            floats =
+              [ ("wall_s", o.Cluster.Lanes.wall_s);
+                ("speedup_vs_1domain",
+                 lane_base.Cluster.Lanes.wall_s /. o.Cluster.Lanes.wall_s) ];
+          })
+        lane_rows)
 
 (* ------------------------------------------------------------------ *)
 (* R1: revocation rate vs verify throughput                           *)

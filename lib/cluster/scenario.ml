@@ -207,12 +207,15 @@ let run cfg =
         Hashtbl.replace by_shard sid
           ((b, r) :: Option.value (Hashtbl.find_opt by_shard sid) ~default:[]))
       buyers;
-    Hashtbl.fold
-      (fun _ bs acc ->
-        match bs with
-        | (b1, r1) :: (b2, _) :: _ -> ((b1, r1), b2) :: acc
-        | _ -> acc)
-      by_shard []
+    (* Fold in sorted shard order: hash iteration order depends on table
+       resize history, and the pair list feeds the seeded workload mix — a
+       hash-order fold here makes op selection build-dependent. *)
+    Hashtbl.fold (fun sid bs acc -> (sid, bs) :: acc) by_shard []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.filter_map (fun (_, bs) ->
+           match bs with
+           | (b1, r1) :: (b2, _) :: _ -> Some ((b1, r1), b2)
+           | _ -> None)
   in
   (* Both replicas of a shard hold identical ledgers here, so capturing
      the primaries captures the cluster. The closing check reads whichever

@@ -1,7 +1,13 @@
 type t = {
-  entries : (string, int * string option) Hashtbl.t; (* identifier -> (expiry, tag) *)
+  entries : (string, int * int * string option) Hashtbl.t;
+      (* identifier -> (expiry, insertion seq, tag) *)
   capacity : int;
   on_evict : unit -> unit;
+  mutable next_seq : int;
+      (* monotonic insertion counter — the eviction tie-break. Hashtbl fold
+         order depends on resize history, so two caches holding the same
+         entries can disagree about which of several equal-expiry entries
+         "comes first"; the seq makes the soonest-expiry pick total. *)
 }
 
 let default_capacity = 1 lsl 17
@@ -9,12 +15,12 @@ let no_evict () = ()
 
 let create ?(capacity = default_capacity) ?(on_evict = no_evict) () =
   if capacity < 1 then invalid_arg "Replay_cache.create: capacity must be positive";
-  { entries = Hashtbl.create 64; capacity; on_evict }
+  { entries = Hashtbl.create 64; capacity; on_evict; next_seq = 0 }
 
 let seen t ~now id =
   match Hashtbl.find_opt t.entries id with
   | None -> false
-  | Some (expires, _) ->
+  | Some (expires, _, _) ->
       if expires > now then true
       else begin
         Hashtbl.remove t.entries id;
@@ -24,7 +30,7 @@ let seen t ~now id =
 let purge t ~now =
   let stale =
     Hashtbl.fold
-      (fun id (expires, _) acc -> if expires <= now then id :: acc else acc)
+      (fun id (expires, _, _) acc -> if expires <= now then id :: acc else acc)
       t.entries []
   in
   List.iter (Hashtbl.remove t.entries) stale
@@ -32,18 +38,19 @@ let purge t ~now =
 (* Capacity pressure: purge the dead first; if the cache is genuinely full
    of live identifiers, drop the one closest to its natural expiry — it is
    the one whose replay window closes soonest, so forgetting it early
-   reopens the smallest window. *)
+   reopens the smallest window. Expiry ties break by insertion seq (oldest
+   first), never by hash iteration order. *)
 let evict_soonest t =
   match
     Hashtbl.fold
-      (fun id (expires, _) best ->
+      (fun id (expires, seq, _) best ->
         match best with
-        | Some (_, e) when e <= expires -> best
-        | _ -> Some (id, expires))
+        | Some (_, e, s) when (e, s) <= (expires, seq) -> best
+        | _ -> Some (id, expires, seq))
       t.entries None
   with
   | None -> ()
-  | Some (id, _) ->
+  | Some (id, _, _) ->
       Hashtbl.remove t.entries id;
       t.on_evict ()
 
@@ -54,7 +61,8 @@ let record t ~now ~expires ?tag id =
       purge t ~now;
       if Hashtbl.length t.entries >= t.capacity then evict_soonest t
     end;
-    Hashtbl.replace t.entries id (expires, tag);
+    Hashtbl.replace t.entries id (expires, t.next_seq, tag);
+    t.next_seq <- t.next_seq + 1;
     Ok ()
   end
 
@@ -68,7 +76,7 @@ let record t ~now ~expires ?tag id =
 let shed t ~tag =
   let doomed =
     Hashtbl.fold
-      (fun id (_, tg) acc -> if tg = Some tag then id :: acc else acc)
+      (fun id (_, _, tg) acc -> if tg = Some tag then id :: acc else acc)
       t.entries []
   in
   List.iter (Hashtbl.remove t.entries) doomed;

@@ -1,8 +1,12 @@
 type t = {
-  entries : (string, int * int * string option) Hashtbl.t;
-      (* key -> (progress, expiry, tag) *)
+  entries : (string, int * int * int * string option) Hashtbl.t;
+      (* key -> (progress, expiry, insertion seq, tag) *)
   capacity : int;
   on_evict : unit -> unit;
+  mutable next_seq : int;
+      (* monotonic insertion counter — the eviction tie-break, mirroring
+         {!Replay_cache}: Hashtbl fold order depends on resize history, so
+         equal-expiry entries need a total order of their own. *)
 }
 
 let default_capacity = 1 lsl 17
@@ -10,12 +14,12 @@ let no_evict () = ()
 
 let create ?(capacity = default_capacity) ?(on_evict = no_evict) () =
   if capacity < 1 then invalid_arg "Seq_tracker.create: capacity must be positive";
-  { entries = Hashtbl.create 64; capacity; on_evict }
+  { entries = Hashtbl.create 64; capacity; on_evict; next_seq = 0 }
 
 let progress t ~now key =
   match Hashtbl.find_opt t.entries key with
   | None -> 0
-  | Some (k, expires, _) ->
+  | Some (k, expires, _, _) ->
       if expires > now then k
       else begin
         Hashtbl.remove t.entries key;
@@ -25,7 +29,7 @@ let progress t ~now key =
 let purge t ~now =
   let stale =
     Hashtbl.fold
-      (fun key (_, expires, _) acc -> if expires <= now then key :: acc else acc)
+      (fun key (_, expires, _, _) acc -> if expires <= now then key :: acc else acc)
       t.entries []
   in
   List.iter (Hashtbl.remove t.entries) stale
@@ -33,18 +37,19 @@ let purge t ~now =
 (* Capacity pressure mirrors {!Replay_cache}: purge the dead first; if the
    tracker is genuinely full of live entries, forget the one whose window
    closes soonest — losing it resets that sequence to its first step, which
-   only ever narrows what the proxy can do. *)
+   only ever narrows what the proxy can do. Expiry ties break by insertion
+   seq (oldest first), never by hash iteration order. *)
 let evict_soonest t =
   match
     Hashtbl.fold
-      (fun key (_, expires, _) best ->
+      (fun key (_, expires, seq, _) best ->
         match best with
-        | Some (_, e) when e <= expires -> best
-        | _ -> Some (key, expires))
+        | Some (_, e, s) when (e, s) <= (expires, seq) -> best
+        | _ -> Some (key, expires, seq))
       t.entries None
   with
   | None -> ()
-  | Some (key, _) ->
+  | Some (key, _, _) ->
       Hashtbl.remove t.entries key;
       t.on_evict ()
 
@@ -56,12 +61,22 @@ let make_room t ~now =
 
 (* Progress is max-monotone: concurrent advancement, replicated imports and
    retransmitted forwards can only move a sequence forward, never rewind
-   it — rewinding would re-open already-consumed steps. *)
+   it — rewinding would re-open already-consumed steps. Re-advancing an
+   existing key keeps its original insertion seq (it is the same logical
+   sequence, not a fresh one). *)
 let set_progress t ~now ~expires ?tag key k =
   let current = progress t ~now key in
   if k > current then begin
-    if not (Hashtbl.mem t.entries key) then make_room t ~now;
-    Hashtbl.replace t.entries key (k, expires, tag)
+    let seq =
+      match Hashtbl.find_opt t.entries key with
+      | Some (_, _, s, _) -> s
+      | None ->
+          make_room t ~now;
+          let s = t.next_seq in
+          t.next_seq <- t.next_seq + 1;
+          s
+    in
+    Hashtbl.replace t.entries key (k, expires, seq, tag)
   end
 
 let advance t ~now ~expires ?tag key =
@@ -76,7 +91,7 @@ let advance t ~now ~expires ?tag key =
 let shed t ~tag =
   let doomed =
     Hashtbl.fold
-      (fun key (_, _, tg) acc -> if tg = Some tag then key :: acc else acc)
+      (fun key (_, _, _, tg) acc -> if tg = Some tag then key :: acc else acc)
       t.entries []
   in
   List.iter (Hashtbl.remove t.entries) doomed;

@@ -21,42 +21,54 @@ let err msg = Wire.encode (Wire.L [ Wire.S "err"; Wire.S msg ])
    have it seeded by replication: a client that fails over after the
    primary executed its request but died before answering gets the
    original sealed reply from the standby instead of a second execution. *)
-type cache = { capacity : int; seen_auths : (string, int * string) Hashtbl.t }
+type cache = {
+  capacity : int;
+  seen_auths : (string, int * int * string) Hashtbl.t;
+      (* digest -> (expiry, insertion seq, sealed reply) *)
+  mutable next_seq : int;
+      (* monotonic insertion counter — the eviction tie-break. Hashtbl fold
+         order depends on resize history, so two replicas holding the same
+         entries (primary vs replication-seeded standby) could otherwise
+         evict different equal-expiry responses and diverge. *)
+}
 
 let create_cache ?(capacity = 4096) () =
   if capacity < 1 then invalid_arg "Secure_rpc.create_cache: capacity must be positive";
-  { capacity; seen_auths = Hashtbl.create 64 }
+  { capacity; seen_auths = Hashtbl.create 64; next_seq = 0 }
 
-let cache_insert ?metrics cache ~now auth_id entry =
-  let { capacity; seen_auths } = cache in
+let cache_insert ?metrics cache ~now auth_id ~expires ~reply =
+  let { capacity; seen_auths; _ } = cache in
   if Hashtbl.length seen_auths >= capacity then begin
     let stale =
       Hashtbl.fold
-        (fun k (expiry, _) acc -> if expiry <= now then k :: acc else acc)
+        (fun k (expiry, _, _) acc -> if expiry <= now then k :: acc else acc)
         seen_auths []
     in
     List.iter (Hashtbl.remove seen_auths) stale;
     if Hashtbl.length seen_auths >= capacity then begin
       match
         Hashtbl.fold
-          (fun k (expiry, _) best ->
+          (fun k (expiry, seq, _) best ->
             match best with
-            | Some (_, e) when e <= expiry -> best
-            | _ -> Some (k, expiry))
+            | Some (_, e, s) when (e, s) <= (expiry, seq) -> best
+            | _ -> Some (k, expiry, seq))
           seen_auths None
       with
       | None -> ()
-      | Some (k, _) ->
+      | Some (k, _, _) ->
           Hashtbl.remove seen_auths k;
           (match metrics with
           | Some m -> Sim.Metrics.incr m "rpc.cache_evictions"
           | None -> ())
     end
   end;
-  Hashtbl.replace seen_auths auth_id entry
+  Hashtbl.replace seen_auths auth_id (expires, cache.next_seq, reply);
+  cache.next_seq <- cache.next_seq + 1
 
 let seed_response cache ~now ~auth_id ~expires ~reply =
-  cache_insert cache ~now auth_id (expires, reply)
+  cache_insert cache ~now auth_id ~expires ~reply
+
+let cached cache ~auth_id = Hashtbl.mem cache.seen_auths auth_id
 
 let serve net ~me ~my_key ?node ?(max_skew_us = 5 * 60 * 1_000_000)
     ?(response_cache_capacity = 4096) ?cache ?on_handled handler =
@@ -113,7 +125,7 @@ let serve net ~me ~my_key ?node ?(max_skew_us = 5 * 60 * 1_000_000)
                   else begin
                     let auth_id = Crypto.Sha256.digest auth_blob in
                     match Hashtbl.find_opt seen_auths auth_id with
-                    | Some (_, cached_reply) ->
+                    | Some (_, _, cached_reply) ->
                         Sim.Metrics.incr metrics "rpc.dedup";
                         cached_reply
                     | None ->
@@ -166,7 +178,7 @@ let serve net ~me ~my_key ?node ?(max_skew_us = 5 * 60 * 1_000_000)
                         in
                         let reply = Wire.encode (Wire.L [ Wire.S "sealed"; Wire.S sealed ]) in
                         let expires = now + max_skew_us in
-                        cache_insert ~metrics cache ~now auth_id (expires, reply);
+                        cache_insert ~metrics cache ~now auth_id ~expires ~reply;
                         (* The handler really ran (not a cache hit): feed the
                            replication hook, reply bytes included, so a
                            standby can answer this client's retransmissions

@@ -27,6 +27,11 @@ val create_cache : ?capacity:int -> unit -> cache
 
 val seed_response : cache -> now:int -> auth_id:string -> expires:int -> reply:string -> unit
 
+val cached : cache -> auth_id:string -> bool
+(** Is a response recorded under this authenticator digest? Replication
+    assertions and eviction-order regression tests; not a freshness check
+    (an expired entry still answers [true] until it is purged). *)
+
 val serve :
   Sim.Net.t ->
   me:Principal.t ->

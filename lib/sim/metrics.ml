@@ -3,9 +3,23 @@ type dist = { count : int; sum : int; max : int }
 type t = {
   counters : (string, int ref) Hashtbl.t;
   dists : (string, dist ref) Hashtbl.t;
+  mutable owner : int;
+      (* Domain id allowed to mutate, or -1 for unguarded. Lane schedulers
+         pin this to the executing domain for the duration of an epoch so
+         any cross-lane write — a shared-counter bug that would silently
+         lose increments under parallelism — crashes instead. *)
 }
 
-let create () = { counters = Hashtbl.create 32; dists = Hashtbl.create 8 }
+let create () = { counters = Hashtbl.create 32; dists = Hashtbl.create 8; owner = -1 }
+
+let self_id () = (Domain.self () :> int)
+
+let guard_here t = t.owner <- self_id ()
+let unguard t = t.owner <- -1
+
+let check_owner t =
+  if t.owner >= 0 && t.owner <> self_id () then
+    failwith "Sim.Metrics: cross-domain write (counter mutated outside its owning lane)"
 
 let cell t name =
   match Hashtbl.find_opt t.counters name with
@@ -15,11 +29,15 @@ let cell t name =
       Hashtbl.add t.counters name r;
       r
 
-let add t name n = cell t name := !(cell t name) + n
+let add t name n =
+  check_owner t;
+  cell t name := !(cell t name) + n
+
 let incr t name = add t name 1
 let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 
 let observe t name v =
+  check_owner t;
   match Hashtbl.find_opt t.dists name with
   | Some r -> r := { count = !r.count + 1; sum = !r.sum + v; max = max !r.max v }
   | None -> Hashtbl.add t.dists name (ref { count = 1; sum = v; max = v })
@@ -53,3 +71,29 @@ let diff ~before ~after =
       Hashtbl.replace acc k (cur - v))
     before;
   Hashtbl.fold (fun k d l -> if d <> 0 then (k, d) :: l else l) acc [] |> sorted
+
+(* Lane-merge: fold [src] into [into] in canonical (sorted) key order. The
+   default sums shared keys — the right semantics for per-lane counters of
+   the same global quantity ("net.messages" across lanes). [`Fail] asserts
+   the key sets are disjoint instead, for merges where an overlap would
+   mean two lanes mutated what should have been lane-private state. *)
+let merge_into ?(on_conflict = `Sum) ~into src =
+  check_owner into;
+  List.iter
+    (fun (k, v) ->
+      (match (on_conflict, Hashtbl.find_opt into.counters k) with
+      | `Fail, Some r when !r <> 0 && v <> 0 ->
+          failwith (Printf.sprintf "Sim.Metrics.merge_into: key %S present in both" k)
+      | _ -> ());
+      cell into k := !(cell into k) + v)
+    (snapshot src);
+  List.iter
+    (fun (k, d) ->
+      match Hashtbl.find_opt into.dists k with
+      | Some r ->
+          (match on_conflict with
+          | `Fail -> failwith (Printf.sprintf "Sim.Metrics.merge_into: dist %S present in both" k)
+          | `Sum -> ());
+          r := { count = !r.count + d.count; sum = !r.sum + d.sum; max = max !r.max d.max }
+      | None -> Hashtbl.add into.dists k (ref d))
+    (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) src.dists [] |> sorted)

@@ -37,3 +37,20 @@ val snapshot : t -> (string * int) list
 val diff : before:(string * int) list -> after:(string * int) list -> (string * int) list
 (** Per-counter deltas over the union of keys (non-zero deltas only), for
     measuring a single operation. *)
+
+val guard_here : t -> unit
+(** Pin mutation to the calling domain: until {!unguard}, [incr]/[add]/
+    [observe]/[merge_into] from any other domain raise. Lane schedulers set
+    this at each epoch's lane entry so a cross-lane shared-counter bug
+    crashes loudly instead of silently losing increments under parallel
+    execution. *)
+
+val unguard : t -> unit
+(** Lift the {!guard_here} pin (e.g. before a barrier-side merge). *)
+
+val merge_into : ?on_conflict:[ `Sum | `Fail ] -> into:t -> t -> unit
+(** Fold the second table into [into], walking keys in canonical (sorted)
+    order so the merged table is independent of either table's hash
+    layout. [`Sum] (default) adds shared counters and pools shared
+    distribution cells; [`Fail] raises on any key live in both — for
+    merges of lane-private namespaces where an overlap is a bug. *)

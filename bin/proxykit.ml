@@ -671,6 +671,123 @@ let revoke seed grants staleness_bound lifetime smoke =
     end
   end
 
+(* --- cross-realm federation --- *)
+
+module Fed = Cluster.Federation
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let print_fed_outcome (o : Fed.outcome) =
+  Printf.printf "  forged foreign-client TGT: %s\n"
+    (if o.Fed.forged_refused then "refused (" ^ o.Fed.forged_error ^ ")"
+     else "ACCEPTED or wrong error: " ^ o.Fed.forged_error);
+  Printf.printf "  forged local-client TGT:   %s\n"
+    (if o.Fed.forged_local_refused then "refused" else "ACCEPTED (violation)");
+  Printf.printf "  malformed subkey:          server %S, client %S\n" o.Fed.subkey_server_error
+    o.Fed.subkey_client_error;
+  Printf.printf "  three-realm cascade:       %s (%d cross-realm TGT(s) accepted)\n"
+    (if o.Fed.cascade_ok then "served" else "REFUSED")
+    o.Fed.cross_tgs;
+  Printf.printf "  granter rekey recovery:    %s\n"
+    (if o.Fed.granter_retry_ok then "evict + retry ok" else "FAILED");
+  Printf.printf "  membership (warm):         %d assert(s), group-ACL read %s, non-member %s\n"
+    o.Fed.warm_asserts
+    (if o.Fed.membership_read_ok then "served" else "REFUSED")
+    (if o.Fed.non_member_refused then "refused" else "GRANTED (violation)");
+  Printf.printf "  partition:                 refresh %s, %d assert(s) from the replica\n"
+    (if o.Fed.refresh_partitioned_failed then "failed (cut)" else "SUCCEEDED (no cut?)")
+    o.Fed.partitioned_asserts;
+  Printf.printf "  past staleness bound:      %s\n"
+    (if o.Fed.stale_denied then "failed closed (" ^ o.Fed.stale_error ^ ")"
+     else "STILL SERVING (violation)");
+  Printf.printf "  heal:                      refresh %s, %d assert(s), replica epoch %d\n"
+    (if o.Fed.healed_refresh_ok then "ok" else "FAILED")
+    o.Fed.healed_asserts o.Fed.replica_epoch;
+  Printf.printf "  replica counters:          %d hit(s), %d stale denial(s), %d snapshot(s) applied\n"
+    o.Fed.replica_hits o.Fed.replica_stale_denials o.Fed.snapshots_applied
+
+let fed_ok (cfg : Fed.config) (o : Fed.outcome) =
+  o.Fed.forged_refused && o.Fed.forged_local_refused
+  && o.Fed.subkey_server_error = "tgs: subkey must be 32 bytes"
+  && o.Fed.subkey_client_error = "derive: subkey must be 32 bytes"
+  && o.Fed.cascade_ok && o.Fed.granter_retry_ok
+  && o.Fed.cross_tgs > 0
+  && o.Fed.warm_asserts = cfg.Fed.members
+  && o.Fed.membership_read_ok && o.Fed.non_member_refused
+  && o.Fed.refresh_partitioned_failed
+  && o.Fed.partitioned_asserts = cfg.Fed.members
+  && o.Fed.stale_denied
+  && contains o.Fed.stale_error "failing closed"
+  && o.Fed.healed_refresh_ok
+  && o.Fed.healed_asserts = cfg.Fed.members
+  && o.Fed.replica_epoch >= 2
+  && o.Fed.replica_stale_denials > 0
+  && o.Fed.snapshots_applied >= 2
+
+let federate seed members staleness_bound domains smoke =
+  let cfg = { Fed.seed; members; staleness_bound_us = staleness_bound } in
+  if domains > 0 then begin
+    (* One realm per lane: isolated KDC + directory + group server per
+       lane, signed snapshots ringing between them. *)
+    Printf.printf "federate lanes: seed %S, %d domain(s), one realm per lane\n%!" seed domains;
+    let o = Fed.run_lanes ~domains cfg in
+    let ok =
+      List.fold_left
+        (fun acc (label, pass) ->
+          Printf.printf "  %s %s\n" (if pass then "ok  " else "FAIL") label;
+          acc && pass)
+        true o.Fed.l_gates
+    in
+    Printf.printf "  epochs run: %d, snapshots delivered: %d\n" o.Fed.l_epochs_run
+      o.Fed.l_delivered;
+    if not smoke then if ok then 0 else 1
+    else begin
+      let base = Fed.run_lanes ~domains:1 cfg in
+      let identical = o.Fed.l_digest = base.Fed.l_digest in
+      Printf.printf "  %s digest byte-identical to --domains 1\n"
+        (if identical then "ok  " else "FAIL");
+      if ok && identical then begin
+        print_endline "federate smoke: OK";
+        0
+      end
+      else begin
+        print_endline "federate smoke: FAILED";
+        1
+      end
+    end
+  end
+  else begin
+    Printf.printf
+      "federation: seed %S, 3 realms, %d group member(s), staleness bound %d us\n%!" seed
+      members staleness_bound;
+    let o = Fed.run cfg in
+    print_fed_outcome o;
+    if not smoke then if fed_ok cfg o then 0 else 1
+    else begin
+      (* Acceptance gates: forged inter-realm TGTs refused with the pinned
+         realm-mismatch error while the legitimate three-realm cascade is
+         served; the membership replica serves through the partition, fails
+         closed past its staleness bound and recovers on heal; and a
+         same-seed rerun is byte-identical (metrics and trace). *)
+      let o2 = Fed.run cfg in
+      let deterministic = o.Fed.metrics = o2.Fed.metrics && o.Fed.trace = o2.Fed.trace in
+      Printf.printf "  deterministic:             %s (same-seed rerun %s)\n"
+        (if deterministic then "yes" else "NO")
+        (if deterministic then "byte-identical" else "DIVERGED");
+      if fed_ok cfg o && deterministic then begin
+        print_endline "federate smoke: OK";
+        0
+      end
+      else begin
+        print_endline "federate smoke: FAILED";
+        1
+      end
+    end
+  end
+
 (* --- trace --- *)
 
 let run_traced_scenario scenario ~seed ~requests ~depth =
@@ -1185,6 +1302,45 @@ let revoke_cmd =
           bulletin delivery to both replicas of a bank shard")
     Term.(const revoke $ seed $ grants $ staleness_bound $ lifetime $ smoke)
 
+let federate_cmd =
+  let seed =
+    Arg.(value & opt string "federation"
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed")
+  in
+  let members =
+    Arg.(value & opt int 3
+         & info [ "members" ] ~docv:"N" ~doc:"Members of the replicated group")
+  in
+  let staleness_bound =
+    Arg.(value & opt int 600_000_000
+         & info [ "staleness-bound" ] ~docv:"US"
+             ~doc:"Membership-replica staleness bound before it fails closed (us)")
+  in
+  let domains =
+    Arg.(value & opt int 0
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Run the lane-parallel variant on N OCaml domains, one realm per lane \
+                   (0 = the classic synchronous three-realm scenario). With --smoke, gates \
+                   that the run is byte-identical to the same seed at --domains 1")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Run the acceptance gates: forged inter-realm TGTs refused with the pinned \
+                   realm-mismatch error, the legitimate three-realm cascade served, the \
+                   membership replica serving through a partition then failing closed past \
+                   its staleness bound, and a byte-identical same-seed rerun; exit non-zero \
+                   on violation")
+  in
+  Cmd.v
+    (Cmd.info "federate"
+       ~doc:
+         "Run the cross-realm federation scenario: three realms with pairwise inter-realm \
+          keys, forged-TGT probes against the trusting TGS, cascaded authorization whose \
+          chain crosses all three realms, granter recovery after a link rekey, and a \
+          Grapevine-style replicated group served across a partition of the origin realm")
+    Term.(const federate $ seed $ members $ staleness_bound $ domains $ smoke)
+
 (* --- model-based conformance testing --- *)
 
 (* A repro file optionally records the mutation it was found under; replaying
@@ -1478,6 +1634,6 @@ let main =
     (Cmd.info "proxykit" ~version:"1.0.0"
        ~doc:"Restricted proxies for distributed authorization and accounting (Neuman, ICDCS '93)")
     [ selftest_cmd; demo_cmd; keygen_cmd; inspect_cmd; bench_cmd; bench_check_cmd; chaos_cmd;
-      cluster_cmd; seq_cmd; revoke_cmd; load_cmd; trace_cmd; mbt_cmd; fuzz_cmd ]
+      cluster_cmd; seq_cmd; revoke_cmd; federate_cmd; load_cmd; trace_cmd; mbt_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -60,6 +60,20 @@ echo "== revocation storm smoke =="
 # byte-identical.
 dune exec --no-build bin/proxykit.exe -- revoke --smoke
 
+echo "== cross-realm federation smoke =="
+# Three federated realms on one net: forged inter-realm TGTs (foreign and
+# local client realms) must be refused with the pinned realm-mismatch
+# error, the legitimate three-realm cascaded grant->present must be
+# served, the granter must recover from an inter-realm rekey, and the
+# membership replica must serve through a partition of the origin realm,
+# fail closed past its staleness bound, recover on heal — byte-identical
+# on a same-seed rerun.
+dune exec --no-build bin/proxykit.exe -- federate --smoke
+# Lane-parallel variant: one realm per lane, signed membership snapshots
+# ringing between lanes; the 2-domain digest must be byte-identical to the
+# single-domain schedule.
+dune exec --no-build bin/proxykit.exe -- federate --smoke --domains 2
+
 echo "== open-loop load smoke =="
 # Deterministic open-loop mixed workload from a lazily-materialized 100k
 # Zipf population against the full stack. Gates: the batched hot path must
@@ -82,14 +96,14 @@ echo "== wire-codec fuzz smoke =="
 dune exec --no-build bin/proxykit.exe -- fuzz --smoke
 
 echo "== bench smoke (logical metrics vs committed baseline) =="
-# Reduced-iteration F1/F4/F6/S1/R1/L1 regenerate BENCH_*.json into a
+# Reduced-iteration F1/F4/F6/S1/R1/L1/X1 regenerate BENCH_*.json into a
 # scratch dir;
 # bench-check validates the JSON schema and compares every integer metric
 # (ops, bytes, crypto-op counts) exactly against the committed baseline.
 # Wall-times are recorded in the artifacts but never gated.
 BENCH_SMOKE_DIR=$(mktemp -d)
 BENCH_FAST=1 BENCH_DIR="$BENCH_SMOKE_DIR" \
-    dune exec --no-build bin/proxykit.exe -- bench f1 f4 f6 s1 r1 l1
+    dune exec --no-build bin/proxykit.exe -- bench f1 f4 f6 s1 r1 l1 x1
 dune exec --no-build bin/proxykit.exe -- bench-check \
     bench/BENCH_F1.json "$BENCH_SMOKE_DIR/BENCH_F1.json"
 dune exec --no-build bin/proxykit.exe -- bench-check \
@@ -102,6 +116,8 @@ dune exec --no-build bin/proxykit.exe -- bench-check \
     bench/BENCH_R1.json "$BENCH_SMOKE_DIR/BENCH_R1.json"
 dune exec --no-build bin/proxykit.exe -- bench-check \
     bench/BENCH_L1.json "$BENCH_SMOKE_DIR/BENCH_L1.json"
+dune exec --no-build bin/proxykit.exe -- bench-check \
+    bench/BENCH_X1.json "$BENCH_SMOKE_DIR/BENCH_X1.json"
 rm -rf "$BENCH_SMOKE_DIR"
 
 echo "== OK =="

@@ -46,14 +46,27 @@ let credentials_for t target =
        then ask the remote realm's TGS for the service ticket. The remote
        KDC is named "kdc" by convention. *)
     let remote_kdc = Principal.make ~realm:target.Principal.realm "kdc" in
-    match
-      cached t ("xrealm:" ^ target.Principal.realm) ~now (fun () ->
-          Kdc.Client.derive t.net ~kdc:t.kdc ~tgt:t.tgt ~target:remote_kdc ())
-    with
-    | Error e -> Error e
-    | Ok cross_tgt ->
-        cached t (Principal.to_string target) ~now (fun () ->
-            Kdc.Client.derive t.net ~kdc:remote_kdc ~tgt:cross_tgt ~target ())
+    let xkey = "xrealm:" ^ target.Principal.realm in
+    let attempt () =
+      match
+        cached t xkey ~now (fun () ->
+            Kdc.Client.derive t.net ~kdc:t.kdc ~tgt:t.tgt ~target:remote_kdc ())
+      with
+      | Error e -> Error e
+      | Ok cross_tgt ->
+          cached t (Principal.to_string target) ~now (fun () ->
+              Kdc.Client.derive t.net ~kdc:remote_kdc ~tgt:cross_tgt ~target ())
+    in
+    match attempt () with
+    | Ok creds -> Ok creds
+    | Error _ ->
+        (* A cached cross-realm TGT can outlive the trust that minted it
+           (link rekeyed, cross TGT revoked): the remote derive then fails
+           even though a fresh walk would succeed. Drop the cached leg and
+           retry the full path once before surfacing the error. *)
+        Hashtbl.remove t.cache xkey;
+        Hashtbl.remove t.cache (Principal.to_string target);
+        attempt ()
   end
 
 let grant t ~end_server ~expires ~restrictions =

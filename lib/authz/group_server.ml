@@ -7,11 +7,15 @@ type t = {
   (* Membership database: one ACL whose targets are group names and whose
      entries are the members (principals or nested groups). *)
   guard : Guard.t;
+  (* Snapshot publication (Grapevine-style replication): present when the
+     server can sign epoch-stamped copies of its table for replicas. *)
+  signing_key : Crypto.Rsa.private_ option;
+  mutable publish_epoch : int;
 }
 
 let membership_right = "member"
 
-let create net ~me ~my_key ~kdc ?lookup_pub ?verify_cache
+let create net ~me ~my_key ~kdc ?lookup_pub ?verify_cache ?signing_key
     ?(proxy_lifetime_us = 2 * 3600 * 1_000_000) () =
   match Granter.create net ~me ~my_key ~kdc with
   | Error e -> Error e
@@ -19,7 +23,7 @@ let create net ~me ~my_key ~kdc ?lookup_pub ?verify_cache
       let guard =
         Guard.create net ~me ~my_key ?lookup_pub ?verify_cache ~acl:(Acl.create ()) ()
       in
-      Ok { net; me; my_key; granter; proxy_lifetime_us; guard }
+      Ok { net; me; my_key; granter; proxy_lifetime_us; guard; signing_key; publish_epoch = 0 }
 
 let me t = t.me
 
@@ -41,6 +45,24 @@ let members t ~group =
 
 let group_name t local = Principal.Group.make ~server:t.me local
 
+(* The full table of direct principal members, for snapshot publication.
+   Nested Group entries are deliberately not flattened: a replica speaks
+   only for memberships this server can attest directly. *)
+let table t =
+  List.map
+    (fun g -> (g, members t ~group:g))
+    (List.filter (fun g -> g <> "*") (Acl.targets (Guard.acl t.guard)))
+
+let publish t =
+  match t.signing_key with
+  | None -> Error "group: no signing key; snapshot publication disabled"
+  | Some key ->
+      t.publish_epoch <- t.publish_epoch + 1;
+      Sim.Metrics.incr (Sim.Net.metrics t.net) "membership.published";
+      Ok
+        (Membership.sign ~key ~server:t.me ~epoch:t.publish_epoch
+           ~issued_at:(Sim.Net.now t.net) (table t))
+
 let map_result f l =
   List.fold_right
     (fun x acc -> Result.bind acc (fun tl -> Result.map (fun h -> h :: tl) (f x)))
@@ -49,7 +71,12 @@ let map_result f l =
 let handle t ctx payload =
   let open Wire in
   let* tag = Result.bind (field payload 0) to_string in
-  if tag <> "assert" then Error (Printf.sprintf "group: unknown operation %S" tag)
+  if tag = "snapshot" then
+    (* Any authenticated principal may pull the signed table: the snapshot
+       is self-authenticating, so possession discloses nothing a replica
+       could not already learn by asserting memberships one by one. *)
+    Result.map Membership.snapshot_to_wire (publish t)
+  else if tag <> "assert" then Error (Printf.sprintf "group: unknown operation %S" tag)
   else
     let* group = Result.bind (field payload 1) to_string in
     let* end_server = Result.bind (field payload 2) Principal.of_wire in
@@ -100,3 +127,8 @@ let request_membership_proxy net ~creds ~group ~end_server ?(evidence = []) () =
   match Secure_rpc.call net ~creds payload with
   | Error e -> Error e
   | Ok reply -> Proxy.transfer_of_wire reply
+
+let fetch_snapshot net ~creds () =
+  match Secure_rpc.call net ~creds (Wire.L [ Wire.S "snapshot" ]) with
+  | Error e -> Error e
+  | Ok reply -> Membership.snapshot_of_wire reply

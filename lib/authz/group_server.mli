@@ -24,11 +24,13 @@ val create :
   kdc:Principal.t ->
   ?lookup_pub:(Principal.t -> Crypto.Rsa.public option) ->
   ?verify_cache:Verify_cache.t ->
+  ?signing_key:Crypto.Rsa.private_ ->
   ?proxy_lifetime_us:int ->
   unit ->
   (t, string) result
 (** [verify_cache] overrides the membership guard's signature-verification
-    memo cache (capacity 0 disables caching). *)
+    memo cache (capacity 0 disables caching). [signing_key] enables
+    snapshot publication ({!publish}) for cross-realm replicas. *)
 
 val install : t -> unit
 val me : t -> Principal.t
@@ -44,6 +46,17 @@ val members : t -> group:string -> Principal.t list
 val group_name : t -> string -> Principal.Group.t
 (** The global name of one of this server's groups. *)
 
+val table : t -> (string * Principal.t list) list
+(** The full membership table (direct principal members per group). Nested
+    [Group] entries are not flattened: a snapshot attests only memberships
+    this server vouches for directly. *)
+
+val publish : t -> (Membership.snapshot, string) result
+(** Sign an epoch-stamped copy of {!table} for replicas in other realms
+    (Grapevine-style replication); each publication advances the epoch.
+    [Error] without a [signing_key]. Also served remotely as the
+    ["snapshot"] verb ({!fetch_snapshot}). *)
+
 (** Client side. *)
 val request_membership_proxy :
   Sim.Net.t ->
@@ -57,3 +70,10 @@ val request_membership_proxy :
     [end_server]. [evidence] carries membership proxies for nested groups,
     each presented for operation "assert-membership" at {e this} group
     server. *)
+
+val fetch_snapshot :
+  Sim.Net.t ->
+  creds:Ticket.credentials ->
+  unit ->
+  (Membership.snapshot, string) result
+(** Pull the signed membership snapshot (the replica's refresh path). *)

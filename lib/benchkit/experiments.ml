@@ -1625,6 +1625,183 @@ let l1 () =
            })
          runs)
 
+(* ------------------------------------------------------------------ *)
+(* X1: federation — intra- vs cross-realm cost; membership replica    *)
+(* ------------------------------------------------------------------ *)
+
+(* Two federated realms on one seeded network. The first half prices the
+   ticket walk and the presentation: an intra-realm grant is one TGS
+   exchange, a cold cross-realm grant pays the extra hop through the peer
+   KDC (cross-realm TGT + remote TGS), a warm one is free (credential
+   cache), and a second target in the same foreign realm pays only the
+   remote half (the cross-realm TGT is cached per realm). The second half
+   prices the Grapevine-style membership replica: asserts served from the
+   local snapshot vs the snapshot pulls themselves. All integer metric
+   deltas are deterministic and CI-gated; CPU time is informative only. *)
+
+let x1 () =
+  section "X1: federation — intra- vs cross-realm cost; membership replica";
+  let wa = World.create ~seed:"x1" ~realm:"realm-a" () in
+  let net = wa.World.net in
+  let wb = World.create_in net ~realm:"realm-b" () in
+  Kdc.federate wa.World.kdc wb.World.kdc;
+  let user, user_key = World.enrol wa "user" in
+  let fileserver w name =
+    let p, key = World.enrol w name in
+    let acl = Acl.create () in
+    Acl.add acl ~target:"*"
+      { Acl.subject = Acl.Principal_is user; rights = [ "read" ]; restrictions = [] };
+    let fs = File_server.create net ~me:p ~my_key:key ~acl () in
+    File_server.install fs;
+    File_server.put_direct fs ~path:"doc" "x1";
+    p
+  in
+  let fs_a = fileserver wa "fs-a" in
+  let fs_b = fileserver wb "fs-b" in
+  let fs_b2 = fileserver wb "fs-b2" in
+  let g =
+    match Granter.create net ~me:user ~my_key:user_key ~kdc:wa.World.kdc_name with
+    | Ok g -> g
+    | Error e -> failwith ("x1: " ^ e)
+  in
+  let m = Sim.Net.metrics net in
+  let gauges =
+    [ ("messages", "net.messages"); ("seal", "crypto.seal"); ("open", "crypto.open");
+      ("tgs_req", "kdc.tgs_req"); ("tgs_cross", "kdc.tgs_cross") ]
+  in
+  let probe label f =
+    let before = List.map (fun (_, k) -> Sim.Metrics.get m k) gauges in
+    let ns = wall_ns ~iters:1 f in
+    let ints =
+      List.map2 (fun (name, k) b -> (name, Sim.Metrics.get m k - b)) gauges before
+    in
+    (label, ints, ns)
+  in
+  let creds_for target = ignore (Result.get_ok (Granter.credentials_for g target)) in
+  let read target =
+    let creds = Result.get_ok (Granter.credentials_for g target) in
+    match File_server.read net ~creds ~path:"doc" () with
+    | Ok _ -> ()
+    | Error e -> failwith ("x1 read: " ^ e)
+  in
+  (* Explicitly sequenced: each probe must see the cache state the previous
+     one left behind. *)
+  let g1 = probe "grant intra cold" (fun () -> creds_for fs_a) in
+  let g2 = probe "grant intra warm" (fun () -> creds_for fs_a) in
+  let g3 = probe "grant cross cold" (fun () -> creds_for fs_b) in
+  let g4 = probe "grant cross warm" (fun () -> creds_for fs_b) in
+  let g5 = probe "grant cross 2nd target" (fun () -> creds_for fs_b2) in
+  let g6 = probe "present intra" (fun () -> read fs_a) in
+  let g7 = probe "present cross" (fun () -> read fs_b) in
+  let grant_rows = [ g1; g2; g3; g4; g5; g6; g7 ] in
+  print_table "X1a: ticket walks and presentations (metric deltas)"
+    ("phase" :: List.map fst gauges @ [ "CPU" ])
+    (List.map
+       (fun (label, ints, ns) ->
+         label :: List.map (fun (_, v) -> string_of_int v) ints @ [ fmt_ns ns ])
+       grant_rows);
+  (* --- membership replica: serve locally, pull rarely --- *)
+  let members = 8 in
+  let gs_p, gs_key, gs_rsa = World.enrol_pk wa "groups" in
+  let gs =
+    match
+      Group_server.create net ~me:gs_p ~my_key:gs_key ~kdc:wa.World.kdc_name
+        ~signing_key:gs_rsa ()
+    with
+    | Ok gs -> gs
+    | Error e -> failwith ("x1 groups: " ^ e)
+  in
+  Group_server.install gs;
+  let crowd =
+    Array.init members (fun i -> World.enrol wa (Printf.sprintf "member-%d" i))
+  in
+  Array.iter (fun (p, _) -> Group_server.add_member gs ~group:"eng" p) crowd;
+  let rep_p, rep_key = World.enrol wb "groups-replica" in
+  let bound = 600_000_000 in
+  let replica =
+    match
+      Group_replica.create net ~me:rep_p ~my_key:rep_key ~kdc:wb.World.kdc_name ~origin:gs_p
+        ~origin_pub:gs_rsa.Crypto.Rsa.pub ~staleness_bound_us:bound ()
+    with
+    | Ok r -> r
+    | Error e -> failwith ("x1 replica: " ^ e)
+  in
+  Group_replica.install replica;
+  let pull label =
+    probe label (fun () ->
+        match Group_replica.refresh replica with
+        | Ok _ -> ()
+        | Error e -> failwith ("x1 refresh: " ^ e))
+  in
+  let pull1 = pull "snapshot pull cold" in
+  let creds_of (p, key) =
+    let tgt =
+      Result.get_ok
+        (Kdc.Client.authenticate net ~kdc:wa.World.kdc_name ~client:p ~client_key:key
+           ~service:wa.World.kdc_name ())
+    in
+    let cross =
+      Result.get_ok
+        (Kdc.Client.derive net ~kdc:wa.World.kdc_name ~tgt ~target:wb.World.kdc_name ())
+    in
+    Result.get_ok (Kdc.Client.derive net ~kdc:wb.World.kdc_name ~tgt:cross ~target:rep_p ())
+  in
+  let crowd_creds = Array.map creds_of crowd in
+  let assert_all label =
+    probe label (fun () ->
+        Array.iter
+          (fun creds ->
+            match
+              Group_server.request_membership_proxy net ~creds ~group:"eng" ~end_server:fs_b ()
+            with
+            | Ok _ -> ()
+            | Error e -> failwith ("x1 assert: " ^ e))
+          crowd_creds)
+  in
+  let served1 = assert_all "asserts from replica" in
+  (* Push the replica past its bound: asserts fail closed locally, no
+     origin traffic; a pull restores service. *)
+  Sim.Clock.advance (Sim.Net.clock net) (bound + 1);
+  let stale =
+    probe "asserts while stale" (fun () ->
+        Array.iter
+          (fun creds ->
+            match
+              Group_server.request_membership_proxy net ~creds ~group:"eng" ~end_server:fs_b ()
+            with
+            | Ok _ -> failwith "x1: stale replica served"
+            | Error _ -> ())
+          crowd_creds)
+  in
+  let pull2 = pull "snapshot pull after stale" in
+  let served2 = assert_all "asserts after refresh" in
+  let membership_rows = [ pull1; served1; stale; pull2; served2 ] in
+  print_table "X1b: membership replica (metric deltas)"
+    ("phase" :: List.map fst gauges @ [ "CPU" ])
+    (List.map
+       (fun (label, ints, ns) ->
+         label :: List.map (fun (_, v) -> string_of_int v) ints @ [ fmt_ns ns ])
+       membership_rows);
+  let hits = Sim.Metrics.get m "membership.replica_hits" in
+  let stale_denials = Sim.Metrics.get m "membership.replica_stale_denials" in
+  let pulls = Sim.Metrics.get m "membership.snapshots_applied" in
+  Printf.printf
+    "\nReplica served %d assert(s) from %d snapshot pull(s) (%d stale denial(s) while past\n\
+     the bound): the origin realm sees one cross-realm walk per publication interval, not\n\
+     one per membership decision.\n"
+    hits pulls stale_denials;
+  Benchout.write ~id:"x1" ~title:"federation: intra- vs cross-realm cost; membership replica"
+    (List.map
+       (fun (label, ints, ns) -> { Benchout.label; ints; floats = [ ("cpu_ns", ns) ] })
+       (grant_rows @ membership_rows)
+    @ [ {
+          Benchout.label = "replica counters";
+          ints =
+            [ ("members", members); ("replica_hits", hits);
+              ("stale_denials", stale_denials); ("snapshots_applied", pulls) ];
+          floats = [];
+        } ])
+
 (* The experiment registry: ids as used in DESIGN.md / EXPERIMENTS.md. *)
 let all =
   [ ("f1", "Fig 1: proxy grant/verify vs restriction count", fig1);
@@ -1640,7 +1817,8 @@ let all =
     ("a3", "Sec 6.3: TGS proxies vs per-server capabilities", a3);
     ("s1", "cluster: sharded accounting, replica failover", s1);
     ("r1", "revocation: bulletin rate vs verify throughput", r1);
-    ("l1", "load: open-loop harness + batched hot path", l1) ]
+    ("l1", "load: open-loop harness + batched hot path", l1);
+    ("x1", "federation: intra- vs cross-realm cost; membership replica", x1) ]
 
 let run ids =
   let t0 = Unix.gettimeofday () in

@@ -1,0 +1,70 @@
+(** The cross-realm federation scenario: three realms on one seeded
+    network, exercising every boundary the federation layer has.
+
+    Forged inter-realm TGTs (a peer minting another realm's users — or
+    the trusting realm's own) must bounce at the TGS with the pinned
+    realm-mismatch error; malformed TGS subkeys are refused in-band on
+    both sides; a cascaded proxy chain signed in realm A and extended in
+    realm C is verified at a realm-B end-server with each signer's key
+    resolved by realm; the granter recovers from an inter-realm rekey by
+    evicting its cached cross TGT; and a Grapevine-style membership
+    replica serves realm A's group through a partition, fails closed
+    past its staleness bound, and recovers on heal. Same-config reruns
+    are byte-identical (metrics and trace). *)
+
+type config = {
+  seed : string;
+  members : int;  (** direct members of the replicated group *)
+  staleness_bound_us : int;  (** replica staleness bound *)
+}
+
+val default : config
+
+type outcome = {
+  forged_refused : bool;  (** foreign-client forgery bounced at B's TGS *)
+  forged_error : string;  (** the pinned realm-mismatch error *)
+  forged_local_refused : bool;  (** peer minting B's own users also bounced *)
+  subkey_server_error : string;  (** wire-level bad subkey, refused in-band *)
+  subkey_client_error : string;  (** client-side validation before sending *)
+  cascade_ok : bool;  (** A-grantor -> C-intermediate -> B-presenter chain served *)
+  granter_retry_ok : bool;  (** post-rekey derive recovered via evict + retry *)
+  cross_tgs : int;  (** cross-realm TGTs accepted at remote TGSs *)
+  warm_asserts : int;  (** replica membership proxies before the partition *)
+  membership_read_ok : bool;  (** group-ACL read at the end-server succeeded *)
+  non_member_refused : bool;
+  refresh_partitioned_failed : bool;  (** pull across the cut failed *)
+  partitioned_asserts : int;  (** still served from the replica during the cut *)
+  stale_denied : bool;  (** fail closed past the staleness bound *)
+  stale_error : string;
+  healed_refresh_ok : bool;
+  healed_asserts : int;
+  replica_epoch : int;
+  replica_hits : int;
+  replica_stale_denials : int;
+  snapshots_applied : int;
+  metrics : (string * int) list;
+  trace : string list;
+}
+
+val run : config -> outcome
+(** Raises [Failure] only on scaffolding errors (setup steps that the
+    scenario itself never gates on). *)
+
+(** {2 Lane-parallel variant: one realm per lane}
+
+    Each lane owns a fully-isolated realm; the only cross-lane traffic is
+    what would cross realms in production — signed membership snapshots,
+    ringing to the next lane and applied there — plus a per-lane
+    forged-TGT probe against the lane's own TGS. The digest is
+    byte-identical for any [domains]. *)
+
+type lanes_outcome = {
+  l_epochs_run : int;
+  l_delivered : int;
+  l_gates : (string * bool) list;  (** label, pass *)
+  l_digest : string;  (** per-lane logs + metrics + traces, lane order *)
+}
+
+val run_lanes : ?lanes:int -> domains:int -> config -> lanes_outcome
+(** [lanes] defaults to 3 and must be at least 2 (snapshots travel to the
+    next lane in the ring). *)

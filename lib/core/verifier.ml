@@ -423,3 +423,13 @@ let authorize verified ~req ~proof ~max_skew =
       | Some p ->
           Presentation.check verified.commitment p ~now:req.Restriction.time ~max_skew
             ~request_digest:(Presentation.digest_request req))
+
+(* Cross-realm public-key resolution: route each principal's lookup to its
+   home realm's directory. Federation never merges key directories — realm
+   B verifies a chain whose grantor lives in realm A with A's published
+   keys, resolved across the boundary — so an unknown realm answers None
+   (the chain walk then fails closed on the unresolvable grantor). *)
+let lookup_by_realm routes p =
+  match List.assoc_opt p.Principal.realm routes with
+  | None -> None
+  | Some lookup -> lookup p

@@ -134,3 +134,13 @@ val authorize :
     delegate proxy is refused unless the grantee quorum is among the
     authenticated presenters (which {!Restriction.check} enforces via the
     [Grantee] restriction). *)
+
+val lookup_by_realm :
+  (string * (Principal.t -> Crypto.Rsa.public option)) list ->
+  Principal.t ->
+  Crypto.Rsa.public option
+(** Compose per-realm public-key directories into one [lookup] for
+    {!verify_pk}/{!verify}: each principal resolves against its home
+    realm's directory, and a principal from a realm with no route answers
+    [None] (the verifier then refuses the chain — fail closed, never
+    fall through to another realm's keys). *)

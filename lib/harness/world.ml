@@ -1,18 +1,25 @@
 type t = {
   net : Sim.Net.t;
   dir : Directory.t;
+  kdc : Kdc.t;
   kdc_name : Principal.t;
   realm : string;
 }
 
-let create ?(seed = "world") ?(realm = "example.org") ?default_latency_us () =
-  let net = Sim.Net.create ~seed ?default_latency_us () in
+(* Build a realm (directory + KDC) on an existing network: the multi-realm
+   harness creates one net and one of these per realm, then links the KDCs
+   with [Kdc.federate]. *)
+let create_in net ?(realm = "example.org") () =
   let dir = Directory.create () in
   let kdc_name = Principal.make ~realm "kdc" in
   Directory.add_symmetric dir kdc_name (Sim.Net.fresh_key net);
   let kdc = Kdc.create net ~name:kdc_name ~directory:dir () in
   Kdc.install kdc;
-  { net; dir; kdc_name; realm }
+  { net; dir; kdc; kdc_name; realm }
+
+let create ?(seed = "world") ?(realm = "example.org") ?default_latency_us () =
+  let net = Sim.Net.create ~seed ?default_latency_us () in
+  create_in net ~realm ()
 
 let enrol w name =
   let p = Principal.make ~realm:w.realm name in

@@ -7,11 +7,17 @@
 type t = {
   net : Sim.Net.t;
   dir : Directory.t;
+  kdc : Kdc.t;
   kdc_name : Principal.t;
   realm : string;
 }
 
 val create : ?seed:string -> ?realm:string -> ?default_latency_us:int -> unit -> t
+
+val create_in : Sim.Net.t -> ?realm:string -> unit -> t
+(** Build a realm (fresh directory + KDC) on an existing network — the
+    multi-realm harness: one net, one of these per realm, KDCs linked with
+    {!Kdc.federate}. *)
 
 val enrol : t -> string -> Principal.t * string
 (** Register a principal with a fresh long-term symmetric key. *)

@@ -39,33 +39,50 @@ let service_key_for t service =
     | Some _ -> Error "cross-realm tickets may only name the remote realm's KDC"
     | None -> Error (Printf.sprintf "no trust path to realm %s" service.Principal.realm)
 
+let metrics_incr t name = Sim.Metrics.incr (Sim.Net.metrics t.net) name
+
 (* Open a presented TGT: sealed under our own key for local clients, or
-   under an inter-realm key when a foreign KDC issued it. *)
+   under an inter-realm key when a foreign KDC issued it. Returns which key
+   opened it. A cross-realm open binds the client to the trusting realm:
+   the peer that sealed the ticket may only speak for its own principals,
+   never for ours or a third realm's — otherwise any single federated peer
+   could mint tickets for users of every realm we trust, including our own.
+   Inter-realm keys are tried in sorted realm order (key-trial order must
+   not depend on Hashtbl history) and every attempted open is metered. *)
 let open_tgt t blob =
   let own_key =
     match Directory.symmetric t.directory t.name with
     | Some k -> k
     | None -> assert false (* checked in [create] *)
   in
+  metrics_incr t "crypto.open";
   match Ticket.open_ ~service_key:own_key blob with
-  | Ok tgt -> Ok tgt
+  | Ok tgt -> Ok (tgt, `Local)
   | Error _ ->
-      let cross =
-        Hashtbl.fold
-          (fun _realm key acc ->
-            match acc with
-            | Some _ -> acc
-            | None -> Result.to_option (Ticket.open_ ~service_key:key blob))
-          t.cross_keys None
+      let peers =
+        List.sort compare (Hashtbl.fold (fun realm key acc -> (realm, key) :: acc) t.cross_keys [])
       in
-      (match cross with
-      | Some tgt -> Ok tgt
-      | None -> Error "tgs: cannot open presented ticket")
+      let rec trial = function
+        | [] -> Error "cannot open presented ticket"
+        | (peer_realm, key) :: rest -> (
+            metrics_incr t "crypto.open";
+            match Ticket.open_ ~service_key:key blob with
+            | Error _ -> trial rest
+            | Ok tgt ->
+                (* The sealing key is authenticated, so this key's owner is
+                   the issuer; stop trialling and judge the contents. *)
+                let client_realm = tgt.Ticket.client.Principal.realm in
+                if client_realm <> peer_realm || client_realm = t.name.Principal.realm then
+                  Error
+                    (Printf.sprintf
+                       "cross-realm TGT client realm %s does not match trusting realm %s"
+                       client_realm peer_realm)
+                else Ok (tgt, `Cross peer_realm))
+      in
+      trial peers
 
 let err msg = Wire.encode (Wire.L [ Wire.S "err"; Wire.S msg ])
 let ok parts = Wire.encode (Wire.L (Wire.S "ok" :: parts))
-
-let metrics_incr t name = Sim.Metrics.incr (Sim.Net.metrics t.net) name
 
 (* Issue a ticket for [client] at [service] and build the reply sealed under
    [reply_key]. *)
@@ -166,10 +183,17 @@ let handle_tgs t fields =
   | Error e -> err ("tgs: " ^ e)
   | Ok (tgt_blob, auth_blob, target, nonce) -> (
       metrics_incr t "kdc.tgs_req";
-      metrics_incr t "crypto.open";
       match open_tgt t tgt_blob with
       | Error e -> err ("tgs: " ^ e)
-      | Ok tgt ->
+      | Ok (tgt, origin) ->
+          (match origin with
+          | `Local -> ()
+          | `Cross peer -> (
+              metrics_incr t "kdc.tgs_cross";
+              Sim.Trace.record (Sim.Net.trace t.net) ~time:(Sim.Net.now t.net)
+                ~actor:(Principal.to_string t.name)
+                (Printf.sprintf "cross-realm TGT accepted: client=%s trusting=%s"
+                   (Principal.to_string tgt.Ticket.client) peer)));
           let now = Sim.Net.now t.net in
           if not (Principal.equal tgt.Ticket.service t.name) then err "tgs: ticket is not a TGT"
           else if tgt.Ticket.expires <= now then err "tgs: TGT expired"
@@ -187,13 +211,18 @@ let handle_tgs t fields =
                      authenticator's, never fewer. *)
                   let auth_data = tgt.Ticket.authorization_data @ auth.Ticket.auth_data in
                   let expires = min tgt.Ticket.expires (now + t.lifetime_us) in
-                  let reply_key =
-                    match auth.Ticket.subkey with
-                    | Some k when String.length k = 32 -> k
-                    | Some _ | None -> tgt.Ticket.session_key
-                  in
-                  issue t ~client:tgt.Ticket.client ~service:target ~auth_data ~expires ~nonce
-                    ~reply_key ~reply_ad:"tgs-rep"
+                  (* The client decrypts the reply under the subkey it sent,
+                     so silently falling back to the session key here would
+                     surface as an opaque decrypt failure on its side.
+                     Refuse malformed subkeys with a clean error instead. *)
+                  match auth.Ticket.subkey with
+                  | Some k when String.length k <> 32 -> err "tgs: subkey must be 32 bytes"
+                  | (Some _ | None) as subkey ->
+                      let reply_key =
+                        Option.value subkey ~default:tgt.Ticket.session_key
+                      in
+                      issue t ~client:tgt.Ticket.client ~service:target ~auth_data ~expires
+                        ~nonce ~reply_key ~reply_ad:"tgs-rep"
                 end
           end)
 
@@ -291,6 +320,12 @@ module Client = struct
       ~kind:"kdc.tgs"
       ~attrs:[ ("target", Principal.to_string target) ]
     @@ fun () ->
+    match subkey with
+    | Some k when String.length k <> 32 ->
+        (* The KDC would refuse it anyway; failing here names the actual
+           problem instead of a downstream decrypt error. *)
+        Error "derive: subkey must be 32 bytes"
+    | _ ->
     let nonce = fresh_nonce_int net in
     let authenticator =
       {
